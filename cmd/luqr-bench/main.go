@@ -1,0 +1,112 @@
+// Command luqr-bench regenerates the tables and figures of the paper's
+// evaluation section (§V):
+//
+//	luqr-bench -exp table1              Table I   kernel operation counts
+//	luqr-bench -exp fig2                Figure 2  criteria sweeps on random matrices
+//	luqr-bench -exp table2              Table II  performance ladder (Max criterion)
+//	luqr-bench -exp fig3                Figure 3  stability on special matrices
+//	luqr-bench -exp table3              Table III the special-matrix set
+//	luqr-bench -exp overhead            §V-B      decision-path overhead
+//	luqr-bench -exp ablation            DESIGN.md trees / pivot scope / LU variants
+//	luqr-bench -exp tune                §VII      auto-tune α per criterion
+//	luqr-bench -exp calu                §VI-D     CALU (tournament pivoting) comparison
+//	luqr-bench -exp kappa               extension conditioning sweep (randsvd)
+//	luqr-bench -exp machines            extension platform-sensitivity sweep
+//	luqr-bench -exp all                 everything
+//
+// Default sizes run in minutes on a laptop; pass -n/-nb (e.g. -n 20000
+// -nb 240) for the paper-scale experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"luqr/internal/experiments"
+	"luqr/internal/matgen"
+	"luqr/internal/tile"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1, fig2, table2, fig3, table3, overhead, all")
+		n       = flag.Int("n", 480, "matrix order")
+		nb      = flag.Int("nb", 40, "tile order")
+		p       = flag.Int("p", 4, "grid rows")
+		q       = flag.Int("q", 4, "grid columns")
+		reps    = flag.Int("reps", 3, "random matrices per configuration")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		workers = flag.Int("workers", 0, "runtime workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	o := experiments.Options{
+		N: *n, NB: *nb, Grid: tile.NewGrid(*p, *q),
+		Reps: *reps, Seed: *seed, Workers: *workers,
+	}
+	out := os.Stdout
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			experiments.Table1(*nb, 3, out)
+		case "fig2":
+			_, err := experiments.Fig2(o, out)
+			return err
+		case "table2":
+			_, err := experiments.Table2(o, out)
+			return err
+		case "fig3":
+			_, err := experiments.Fig3(o, out)
+			return err
+		case "table3":
+			fmt.Fprintln(out, "# Table III — the special-matrix set")
+			rng := rand.New(rand.NewSource(*seed))
+			for i, e := range matgen.SpecialSet() {
+				a := e.Gen(64, rng)
+				fmt.Fprintf(out, "%2d  %-10s  ‖A‖₁=%-12.4g  %s\n", i+1, e.Name, a.Norm1(), e.Desc)
+			}
+		case "overhead":
+			_, err := experiments.Overhead(o, out)
+			return err
+		case "ablation":
+			_, err := experiments.Ablation(o, out)
+			return err
+		case "calu":
+			_, err := experiments.CALUCompare(o, out)
+			return err
+		case "kappa":
+			_, err := experiments.Kappa(o, out)
+			return err
+		case "machines":
+			_, err := experiments.MachineSweep(o, out)
+			return err
+		case "tune":
+			fmt.Fprintln(out, "# Auto-tuned α per criterion (§VII future work): largest α with mean HPL3 ≤ 2× LUPP")
+			for _, c := range []string{"max", "sum", "mumps"} {
+				if _, _, _, err := experiments.TuneAlpha(o, c, 2.0, out); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table3", "fig2", "table2", "fig3", "overhead", "ablation", "calu"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := runOne(name); err != nil {
+			fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command luqr-dag runs a small hybrid factorization and emits its task
+// graph as Graphviz DOT — the reproduction of the paper's Figure 1, showing
+// the Backup Panel → LU On Panel → Decide → Propagate structure and the
+// selected LU or QR branch of each step.
+//
+//	luqr-dag -nt 3 -decide qr > step.dot && dot -Tsvg step.dot -o step.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"luqr/internal/core"
+	"luqr/internal/criteria"
+	"luqr/internal/matgen"
+	"luqr/internal/runtime"
+	"luqr/internal/tile"
+)
+
+func main() {
+	var (
+		nt      = flag.Int("nt", 3, "tiles per row/column")
+		nb      = flag.Int("nb", 8, "tile order")
+		p       = flag.Int("p", 2, "grid rows")
+		q       = flag.Int("q", 1, "grid columns")
+		decide  = flag.String("decide", "criterion", "force the branch: lu, qr, or criterion")
+		alpha   = flag.Float64("alpha", 100, "criterion threshold when -decide criterion")
+		step    = flag.Int("step", -1, "restrict the output to one elimination step (-1: all)")
+		cluster = flag.Bool("cluster", true, "cluster tasks by node")
+	)
+	flag.Parse()
+
+	var crit criteria.Criterion
+	switch *decide {
+	case "lu":
+		crit = criteria.Always{}
+	case "qr":
+		crit = criteria.Never{}
+	case "criterion":
+		crit = criteria.Max{Alpha: *alpha}
+	default:
+		fmt.Fprintln(os.Stderr, "luqr-dag: -decide must be lu, qr or criterion")
+		os.Exit(1)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	n := *nt * *nb
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	res, err := core.Run(a, b, core.Config{
+		Alg: core.LUQR, NB: *nb, Grid: tile.NewGrid(*p, *q),
+		Criterion: crit, Trace: true, Workers: 1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "luqr-dag:", err)
+		os.Exit(1)
+	}
+	trace := res.Report.Trace
+	if *step >= 0 {
+		trace = filterStep(trace, *step)
+	}
+	fmt.Print(runtime.DOT(trace, *cluster))
+}
+
+// filterStep keeps the tasks of one elimination step, identified by the
+// "(k" / "(i,piv,k" suffix conventions of the task names, plus every task a
+// kept task depends on directly (so the cut graph stays connected).
+func filterStep(trace []*runtime.TraceTask, k int) []*runtime.TraceTask {
+	keep := map[int]bool{}
+	var out []*runtime.TraceTask
+	tag := fmt.Sprintf("(%d", k)
+	for _, t := range trace {
+		if strings.Contains(t.Name, tag+")") || strings.Contains(t.Name, tag+",") ||
+			strings.HasSuffix(t.Name, fmt.Sprintf(",%d)", k)) {
+			keep[t.ID] = true
+			out = append(out, t)
+		}
+	}
+	// Drop dependency edges that leave the kept set.
+	for _, t := range out {
+		var deps []int
+		for _, d := range t.Deps {
+			if keep[d] {
+				deps = append(deps, d)
+			}
+		}
+		t.Deps = deps
+	}
+	return out
+}

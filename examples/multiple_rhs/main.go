@@ -1,0 +1,70 @@
+// Multiple right-hand sides and iterative refinement: factor once, solve
+// many times by replaying the stored transformations (the "second pass" of
+// §II-D.1), and recover accuracy from a deliberately unstable fast
+// factorization with iterative refinement.
+//
+//	go run ./examples/multiple_rhs
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"luqr"
+)
+
+func main() {
+	const n, nb = 320, 40
+	rng := rand.New(rand.NewSource(9))
+	a, err := luqr.GenerateMatrix("random", n, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b0 := make([]float64, n)
+	for i := range b0 {
+		b0[i] = rng.NormFloat64()
+	}
+
+	// Factor once with the hybrid.
+	res, err := luqr.Solve(a, b0, luqr.Config{
+		Alg:       luqr.AlgLUQR,
+		NB:        nb,
+		Grid:      luqr.NewGrid(2, 2),
+		Criterion: luqr.MaxCriterion(100),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("factorization: %s\n", res.Report)
+
+	// Solve three more systems against the same factors — O(N²) each.
+	for trial := 1; trial <= 3; trial++ {
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := res.Solve(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("extra rhs %d: HPL3 = %.3g\n", trial, luqr.HPL3(a, x, b))
+	}
+
+	// Iterative refinement: take the FAST but risky route (LU with no
+	// pivoting across tiles), then repair the error with two rounds of
+	// refinement through the stored factors.
+	fast, err := luqr.Solve(a, b0, luqr.Config{Alg: luqr.AlgLUNoPiv, NB: nb})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLU NoPiv:            HPL3 = %.3g (growth %.3g)\n", fast.Report.HPL3, fast.Report.Growth)
+	refined, err := fast.Refine(a, b0, fast.X, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after 2 refinements: HPL3 = %.3g\n", luqr.HPL3(a, refined, b0))
+	fmt.Println("\nRefinement buys back the stability that tile-local pivoting lost —")
+	fmt.Println("as long as the growth is moderate; the hybrid's criterion is the")
+	fmt.Println("systematic way to guarantee that precondition.")
+}

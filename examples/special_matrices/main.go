@@ -1,0 +1,63 @@
+// Special matrices: run the §V-C experiment in miniature — pathological
+// matrices on which plain LU (even with partial pivoting) loses digits or
+// breaks down, and watch the robustness criteria steer the hybrid to QR
+// steps exactly where needed.
+//
+//	go run ./examples/special_matrices
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"luqr/internal/core"
+	"luqr/internal/criteria"
+	"luqr/internal/matgen"
+	"luqr/internal/tile"
+)
+
+func main() {
+	const n, nb = 320, 40
+	grid := tile.NewGrid(4, 1) // tall grid, like the paper's 16×1 in Fig. 3
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "matrix\tLU NoPiv HPL3\tLUQR(max) HPL3\t%LU steps\tHQR HPL3")
+	for _, name := range []string{"wilkinson", "foster", "wright", "fiedler", "dorr", "lehmer"} {
+		ent, err := matgen.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		a := ent.Gen(n, rng)
+		b := matgen.RandomVector(n, rng)
+
+		nopiv, err := core.Run(a, b, core.Config{Alg: core.LUNoPiv, NB: nb, Grid: grid})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hybrid, err := core.Run(a, b, core.Config{
+			Alg: core.LUQR, NB: nb, Grid: grid,
+			Criterion: criteria.Max{Alpha: 30},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hqr, err := core.Run(a, b, core.Config{Alg: core.HQR, NB: nb, Grid: grid})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		np := fmt.Sprintf("%.3g", nopiv.Report.HPL3)
+		if nopiv.Report.Breakdown {
+			np = "BREAKDOWN"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.3g\t%.0f%%\t%.3g\n",
+			name, np, hybrid.Report.HPL3, 100*hybrid.Report.FracLU(), hqr.Report.HPL3)
+	}
+	w.Flush()
+	fmt.Println("\nThe hybrid matches HQR's stability on the pathological rows while")
+	fmt.Println("still taking LU steps wherever the criterion deems them safe.")
+}

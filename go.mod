@@ -1,0 +1,3 @@
+module luqr
+
+go 1.22

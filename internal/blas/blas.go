@@ -1,0 +1,193 @@
+// Package blas implements the subset of dense Basic Linear Algebra
+// Subprograms needed by the tiled LU-QR solver, on row-major matrices from
+// the mat package.
+//
+// It is a pure-Go stand-in for the vendor BLAS (MKL in the paper's setup):
+// the mathematics and the flop counts are identical, only absolute speed
+// differs. Level-3 kernels use loop orders that stream along rows (the unit
+// stride of the row-major layout), which is what makes GEMM — and therefore
+// the LU update path of the hybrid algorithm — the fastest kernel here, just
+// as it is on the paper's platform.
+package blas
+
+import (
+	"fmt"
+	"math"
+
+	"luqr/internal/mat"
+)
+
+// Side selects whether a triangular factor is applied from the left or the
+// right in Trsm/Trmm.
+type Side int
+
+// Uplo selects the triangle of a triangular matrix.
+type Uplo int
+
+// Diag declares whether a triangular matrix has an implicit unit diagonal.
+type Diag int
+
+// Transpose selects op(A) ∈ {A, Aᵀ}.
+type Transpose int
+
+// Enumerations follow the BLAS naming scheme.
+const (
+	Left Side = iota
+	Right
+)
+
+const (
+	Upper Uplo = iota
+	Lower
+)
+
+const (
+	NonUnit Diag = iota
+	Unit
+)
+
+const (
+	NoTrans Transpose = iota
+	Trans
+)
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("blas: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha·x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("blas: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal computes x *= alpha.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Iamax returns the index of the first element of maximum absolute value.
+// It panics on an empty slice.
+func Iamax(x []float64) int {
+	if len(x) == 0 {
+		panic("blas: Iamax of empty vector")
+	}
+	best, bv := 0, math.Abs(x[0])
+	for i := 1; i < len(x); i++ {
+		if a := math.Abs(x[i]); a > bv {
+			best, bv = i, a
+		}
+	}
+	return best
+}
+
+// Ger performs the rank-1 update A += alpha·x·yᵀ.
+func Ger(alpha float64, x, y []float64, a *mat.Matrix) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic(fmt.Sprintf("blas: Ger shape mismatch %dx%d vs |x|=%d |y|=%d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		axi := alpha * x[i]
+		if axi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, yj := range y {
+			row[j] += axi * yj
+		}
+	}
+}
+
+// Gemv computes y = alpha·op(A)·x + beta·y.
+func Gemv(trans Transpose, alpha float64, a *mat.Matrix, x []float64, beta float64, y []float64) {
+	rows, cols := a.Rows, a.Cols
+	if trans == Trans {
+		rows, cols = cols, rows
+	}
+	if len(x) != cols || len(y) != rows {
+		panic(fmt.Sprintf("blas: Gemv shape mismatch op(A)=%dx%d |x|=%d |y|=%d", rows, cols, len(x), len(y)))
+	}
+	if beta != 1 {
+		Scal(beta, y)
+	}
+	if trans == NoTrans {
+		for i := 0; i < a.Rows; i++ {
+			row := a.Row(i)
+			s := 0.0
+			for j, v := range row {
+				s += v * x[j]
+			}
+			y[i] += alpha * s
+		}
+		return
+	}
+	// y += alpha·Aᵀx: accumulate row by row to keep unit stride.
+	for i := 0; i < a.Rows; i++ {
+		axi := alpha * x[i]
+		if axi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			y[j] += axi * v
+		}
+	}
+}
+
+// Trsv solves op(T)·x = b in place (x := solution), with T triangular.
+func Trsv(uplo Uplo, trans Transpose, diag Diag, t *mat.Matrix, x []float64) {
+	n := t.Rows
+	if t.Cols != n || len(x) != n {
+		panic(fmt.Sprintf("blas: Trsv shape mismatch %dx%d |x|=%d", t.Rows, t.Cols, len(x)))
+	}
+	lower := uplo == Lower
+	if trans == Trans {
+		lower = !lower
+	}
+	get := func(i, j int) float64 {
+		if trans == Trans {
+			return t.At(j, i)
+		}
+		return t.At(i, j)
+	}
+	if lower {
+		for i := 0; i < n; i++ {
+			s := x[i]
+			for j := 0; j < i; j++ {
+				s -= get(i, j) * x[j]
+			}
+			if diag == NonUnit {
+				s /= get(i, i)
+			}
+			x[i] = s
+		}
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= get(i, j) * x[j]
+		}
+		if diag == NonUnit {
+			s /= get(i, i)
+		}
+		x[i] = s
+	}
+}

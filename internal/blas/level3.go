@@ -1,0 +1,347 @@
+package blas
+
+import (
+	"fmt"
+
+	"luqr/internal/mat"
+)
+
+// gemmBlock is the cache tile edge used by Gemm. 64×64 float64 panels
+// (32 KiB per operand pair) fit comfortably in L1/L2 on current hardware.
+const gemmBlock = 64
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C.
+//
+// The inner kernel uses i-k-j loop order so that both the B row and the C row
+// are walked with unit stride, which is the cache-friendly order for the
+// row-major layout. Operands are additionally blocked so large tiles do not
+// thrash the cache.
+func Gemm(transA, transB Transpose, alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix) {
+	m, ka := opShape(a, transA)
+	kb, n := opShape(b, transB)
+	if ka != kb || c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("blas: Gemm shape mismatch op(A)=%dx%d op(B)=%dx%d C=%dx%d", m, ka, kb, n, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		for i := 0; i < m; i++ {
+			row := c.Row(i)
+			if beta == 0 {
+				for j := range row {
+					row[j] = 0
+				}
+			} else {
+				for j := range row {
+					row[j] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || ka == 0 {
+		return
+	}
+	k := ka
+	if transA == NoTrans && transB == NoTrans {
+		gemmNN(alpha, a, b, c, m, n, k)
+		return
+	}
+	// The transposed variants appear only on small operands (Householder
+	// applications with nb ≤ a few hundred), so a straightforward blocked
+	// triple loop is sufficient.
+	at := func(i, p int) float64 {
+		if transA == Trans {
+			return a.At(p, i)
+		}
+		return a.At(i, p)
+	}
+	if transB == NoTrans {
+		// C += alpha · op(A) · B: still stream B and C rows.
+		for i := 0; i < m; i++ {
+			crow := c.Row(i)
+			for p := 0; p < k; p++ {
+				aip := alpha * at(i, p)
+				if aip == 0 {
+					continue
+				}
+				brow := b.Row(p)
+				for j := 0; j < n; j++ {
+					crow[j] += aip * brow[j]
+				}
+			}
+		}
+		return
+	}
+	// op(B) = Bᵀ: the dot-product form walks B rows with unit stride.
+	for i := 0; i < m; i++ {
+		crow := c.Row(i)
+		for j := 0; j < n; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			if transA == NoTrans {
+				arow := a.Row(i)
+				for p := 0; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+			} else {
+				for p := 0; p < k; p++ {
+					s += a.At(p, i) * brow[p]
+				}
+			}
+			crow[j] += alpha * s
+		}
+	}
+}
+
+// gemmNN is the hot path: C += alpha·A·B with no transposes, blocked.
+func gemmNN(alpha float64, a, b, c *mat.Matrix, m, n, k int) {
+	for i0 := 0; i0 < m; i0 += gemmBlock {
+		iMax := min(i0+gemmBlock, m)
+		for p0 := 0; p0 < k; p0 += gemmBlock {
+			pMax := min(p0+gemmBlock, k)
+			for j0 := 0; j0 < n; j0 += gemmBlock {
+				jMax := min(j0+gemmBlock, n)
+				for i := i0; i < iMax; i++ {
+					arow := a.Row(i)
+					crow := c.Row(i)[j0:jMax]
+					for p := p0; p < pMax; p++ {
+						aip := alpha * arow[p]
+						if aip == 0 {
+							continue
+						}
+						brow := b.Row(p)[j0:jMax]
+						for j, bv := range brow {
+							crow[j] += aip * bv
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func opShape(m *mat.Matrix, t Transpose) (rows, cols int) {
+	if t == Trans {
+		return m.Cols, m.Rows
+	}
+	return m.Rows, m.Cols
+}
+
+// Trsm solves op(T)·X = alpha·B (Side == Left) or X·op(T) = alpha·B
+// (Side == Right) in place: B is overwritten with X. T is triangular as
+// described by uplo/diag.
+func Trsm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b *mat.Matrix) {
+	n := t.Rows
+	if t.Cols != n {
+		panic(fmt.Sprintf("blas: Trsm with non-square T %dx%d", t.Rows, t.Cols))
+	}
+	if side == Left && b.Rows != n {
+		panic(fmt.Sprintf("blas: Trsm Left shape mismatch T=%d B=%dx%d", n, b.Rows, b.Cols))
+	}
+	if side == Right && b.Cols != n {
+		panic(fmt.Sprintf("blas: Trsm Right shape mismatch T=%d B=%dx%d", n, b.Rows, b.Cols))
+	}
+	if alpha != 1 {
+		for i := 0; i < b.Rows; i++ {
+			Scal(alpha, b.Row(i))
+		}
+	}
+	// Reduce the transposed cases to the non-transposed triangle on the
+	// opposite side of the diagonal; element access goes through get().
+	lower := uplo == Lower
+	if trans == Trans {
+		lower = !lower
+	}
+	get := func(i, j int) float64 {
+		if trans == Trans {
+			return t.At(j, i)
+		}
+		return t.At(i, j)
+	}
+
+	if side == Left {
+		// Row-oriented forward/back substitution over the rows of B: each
+		// step updates a whole row with unit stride.
+		if lower {
+			for i := 0; i < n; i++ {
+				bi := b.Row(i)
+				for p := 0; p < i; p++ {
+					Axpy(-get(i, p), b.Row(p), bi)
+				}
+				if diag == NonUnit {
+					Scal(1/get(i, i), bi)
+				}
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				bi := b.Row(i)
+				for p := i + 1; p < n; p++ {
+					Axpy(-get(i, p), b.Row(p), bi)
+				}
+				if diag == NonUnit {
+					Scal(1/get(i, i), bi)
+				}
+			}
+		}
+		return
+	}
+
+	// Right side: X·op(T) = B, solved one row of B at a time. For the
+	// untransposed cases the substitution is expressed with T's rows so the
+	// inner loops run over contiguous memory (this is the hot "Eliminate"
+	// path of the LU step: A_ik ← A_ik·U⁻¹).
+	if trans == NoTrans {
+		for r := 0; r < b.Rows; r++ {
+			row := b.Row(r)
+			if lower {
+				for p := n - 1; p >= 0; p-- {
+					if diag == NonUnit {
+						row[p] /= t.At(p, p)
+					}
+					v := row[p]
+					if v == 0 {
+						continue
+					}
+					trow := t.Row(p)[:p]
+					head := row[:p]
+					for j, tv := range trow {
+						head[j] -= v * tv
+					}
+				}
+			} else {
+				for p := 0; p < n; p++ {
+					if diag == NonUnit {
+						row[p] /= t.At(p, p)
+					}
+					v := row[p]
+					if v == 0 {
+						continue
+					}
+					trow := t.Row(p)[p+1 : n]
+					tail := row[p+1 : n]
+					for j, tv := range trow {
+						tail[j] -= v * tv
+					}
+				}
+			}
+		}
+		return
+	}
+	for r := 0; r < b.Rows; r++ {
+		row := b.Row(r)
+		if lower {
+			// op(T) lower: x_j computed from last to first.
+			for j := n - 1; j >= 0; j-- {
+				s := row[j]
+				for p := j + 1; p < n; p++ {
+					s -= row[p] * get(p, j)
+				}
+				if diag == NonUnit {
+					s /= get(j, j)
+				}
+				row[j] = s
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				s := row[j]
+				for p := 0; p < j; p++ {
+					s -= row[p] * get(p, j)
+				}
+				if diag == NonUnit {
+					s /= get(j, j)
+				}
+				row[j] = s
+			}
+		}
+	}
+}
+
+// Trmm computes B = alpha·op(T)·B (Side == Left) or B = alpha·B·op(T)
+// (Side == Right) in place, with T triangular.
+func Trmm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b *mat.Matrix) {
+	n := t.Rows
+	if t.Cols != n {
+		panic(fmt.Sprintf("blas: Trmm with non-square T %dx%d", t.Rows, t.Cols))
+	}
+	if side == Left && b.Rows != n {
+		panic(fmt.Sprintf("blas: Trmm Left shape mismatch T=%d B=%dx%d", n, b.Rows, b.Cols))
+	}
+	if side == Right && b.Cols != n {
+		panic(fmt.Sprintf("blas: Trmm Right shape mismatch T=%d B=%dx%d", n, b.Rows, b.Cols))
+	}
+	lower := uplo == Lower
+	if trans == Trans {
+		lower = !lower
+	}
+	get := func(i, j int) float64 {
+		if trans == Trans {
+			return t.At(j, i)
+		}
+		return t.At(i, j)
+	}
+	if side == Left {
+		if !lower {
+			// Row i of result depends on rows i..n−1: compute top-down.
+			for i := 0; i < n; i++ {
+				bi := b.Row(i)
+				if diag == NonUnit {
+					Scal(get(i, i), bi)
+				}
+				for p := i + 1; p < n; p++ {
+					Axpy(get(i, p), b.Row(p), bi)
+				}
+				Scal(alpha, bi)
+			}
+		} else {
+			// Row i depends on rows 0..i: compute bottom-up.
+			for i := n - 1; i >= 0; i-- {
+				bi := b.Row(i)
+				if diag == NonUnit {
+					Scal(get(i, i), bi)
+				}
+				for p := 0; p < i; p++ {
+					Axpy(get(i, p), b.Row(p), bi)
+				}
+				Scal(alpha, bi)
+			}
+		}
+		return
+	}
+	// Right side: operate on each row independently.
+	for r := 0; r < b.Rows; r++ {
+		row := b.Row(r)
+		if !lower {
+			// Column j of the result depends on columns 0..j: right-to-left.
+			for j := n - 1; j >= 0; j-- {
+				s := 0.0
+				if diag == NonUnit {
+					s = row[j] * get(j, j)
+				} else {
+					s = row[j]
+				}
+				for p := 0; p < j; p++ {
+					s += row[p] * get(p, j)
+				}
+				row[j] = alpha * s
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				if diag == NonUnit {
+					s = row[j] * get(j, j)
+				} else {
+					s = row[j]
+				}
+				for p := j + 1; p < n; p++ {
+					s += row[p] * get(p, j)
+				}
+				row[j] = alpha * s
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"luqr/internal/dist"
+	"luqr/internal/runtime"
+)
+
+// scheduleHybridStep builds step k of the hybrid LU-QR algorithm
+// (Algorithm 1 / Figure 1): norm collection, panel backup, trial LU on the
+// diagonal domain, the criterion decision, and — from the decision task's
+// unfolding hook — either the LU step (keeping the trial factorization) or
+// the restore + QR step; finally it schedules step k+1.
+func (f *fact) scheduleHybridStep(k int) {
+	st := &stepState{k: k, rows: f.pivotRows(k, f.cfg.Scope)}
+	f.steps[k] = st
+
+	f.submitNormTasks(st)
+	f.submitBackup(st)
+	f.submitPanelFactor(st, true)
+
+	// Decide: every node evaluates the same criterion on the all-reduced
+	// data; here the task reads the small norm handles (the trace charges
+	// their movement) and unfolds the chosen subgraph.
+	acc := []runtime.Access{runtime.R(st.hStack), runtime.R(st.hBackup)}
+	for _, h := range st.hNorms {
+		acc = append(acc, runtime.R(h))
+	}
+	f.e.Submit(runtime.TaskSpec{
+		Name:      fmt.Sprintf("Decide(%d)", k),
+		Kernel:    "DECIDE",
+		Node:      f.owner(k, k),
+		Flops:     float64(10 * f.nb * f.nb), // norm estimate + reductions, O(nb²)
+		Priority:  prioPanel(k),
+		ExtraComm: f.allReduceComm(k),
+		Accesses:  acc,
+		Run: func() {
+			st.decision = f.cfg.Criterion.Decide(f.criterionInput(st))
+			f.report.Decisions[k] = st.decision
+			if st.decision {
+				f.noteBreakdown(st.luErr)
+			}
+		},
+		Then: func(*runtime.Engine) {
+			if st.decision {
+				f.submitLUStep(st)
+			} else {
+				f.submitRestore(st)
+				f.submitQRStep(st)
+			}
+			f.submitGrowthProbe(k)
+			if k+1 < f.nt {
+				f.scheduleHybridStep(k + 1)
+			}
+		},
+	})
+}
+
+// allReduceComm models the Bruck all-reduce of the criterion data among the
+// nodes hosting panel-k tiles (§III): ⌈log₂ p⌉ serial rounds, each carrying
+// the tile norms and column maxima.
+func (f *fact) allReduceComm(k int) []runtime.Message {
+	nodes := dist.PanelNodes(f.cfg.Grid, k, f.nt)
+	rounds := dist.AllReduceRounds(len(nodes))
+	if rounds == 0 {
+		return nil
+	}
+	msgs := make([]runtime.Message, rounds)
+	for i := range msgs {
+		msgs[i] = runtime.Message{From: -1, To: f.owner(k, k), Bytes: 8 * (f.nb + 1)}
+	}
+	return msgs
+}
+
+// scheduleLU builds the static task graph of the pure LU algorithms: LU
+// NoPiv (pivot search inside the diagonal tile) and LUPP (pivot search over
+// the whole panel). Both take an LU step at every panel, so the entire
+// graph is known upfront — no backup, criterion, or propagate tasks.
+func (f *fact) scheduleLU(scope Scope, wholePanel bool) {
+	for k := 0; k < f.nt; k++ {
+		st := &stepState{k: k}
+		if wholePanel {
+			st.rows = f.panelRows(k)
+		} else {
+			st.rows = f.pivotRows(k, scope)
+		}
+		f.steps[k] = st
+		f.report.Decisions[k] = true
+		f.submitPanelFactorStatic(st)
+		f.submitLUStep(st)
+		f.submitGrowthProbe(k)
+	}
+}
+
+// submitPanelFactorStatic is submitPanelFactor without criterion data, and
+// with breakdown reporting in the factor task itself (there is no decision
+// task to defer it to).
+func (f *fact) submitPanelFactorStatic(st *stepState) {
+	f.submitPanelFactor(st, false)
+	// Wrap breakdown reporting: the panel task stores luErr; a tiny control
+	// task reads the stack handle and records it.
+	k := st.k
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("CheckPanel(%d)", k),
+		Kernel:   "DECIDE",
+		Node:     f.owner(k, k),
+		Priority: prioPanel(k),
+		Accesses: []runtime.Access{runtime.R(st.hStack)},
+		Run:      func() { f.noteBreakdown(st.luErr) },
+	})
+}
+
+// scheduleHQR builds the static task graph of the hierarchical tiled QR
+// factorization [8]: a QR step at every panel, with no decision path — the
+// baseline whose gap to LUQR(α=0) measures the decision-path overhead
+// (§V-B).
+func (f *fact) scheduleHQR() {
+	for k := 0; k < f.nt; k++ {
+		st := &stepState{k: k}
+		f.steps[k] = st
+		f.report.Decisions[k] = false
+		f.submitQRStep(st)
+		f.submitGrowthProbe(k)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"luqr/internal/mat"
+	"luqr/internal/matgen"
+	"luqr/internal/tile"
+)
+
+func TestCALUSolvesAccurately(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for _, cfg := range []struct {
+		nt, nb, p, q int
+	}{{1, 12, 1, 1}, {4, 12, 2, 2}, {8, 8, 4, 1}, {5, 16, 1, 4}} {
+		n := cfg.nt * cfg.nb
+		a := matgen.Random(n, rng)
+		xTrue := matgen.RandomVector(n, rng)
+		b := mat.MulVec(a, xTrue)
+		res := runOn(t, a, b, Config{Alg: CALU, NB: cfg.nb, Grid: tile.NewGrid(cfg.p, cfg.q)})
+		for i := range xTrue {
+			if math.Abs(res.X[i]-xTrue[i]) > 1e-7*(1+math.Abs(xTrue[i])) {
+				t.Fatalf("%+v: x[%d] = %g, want %g", cfg, i, res.X[i], xTrue[i])
+			}
+		}
+	}
+}
+
+// TestCALUStableOnSpecialMatrices: tournament pivoting must handle the
+// matrices that defeat tile-local pivoting.
+func TestCALUStableOnSpecialMatrices(t *testing.T) {
+	n := 96
+	for _, name := range []string{"fiedler", "orthogo", "ris", "circul"} {
+		ent, err := matgen.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(51))
+		a := ent.Gen(n, rng)
+		b := matgen.RandomVector(n, rng)
+		res := runOn(t, a, b, Config{Alg: CALU, NB: 16, Grid: tile.NewGrid(3, 1)})
+		if res.Report.Breakdown || res.Report.HPL3 > 100 {
+			t.Errorf("%s: breakdown=%v HPL3=%g", name, res.Report.Breakdown, res.Report.HPL3)
+		}
+	}
+}
+
+// TestCALUSingularLeadingTile: the anti-diagonal system that breaks LU
+// NoPiv is routine for tournament pivoting.
+func TestCALUSingularLeadingTile(t *testing.T) {
+	nb := 8
+	n := 4 * nb
+	a := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, n-1-i, 1)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	res := runOn(t, a, b, Config{Alg: CALU, NB: nb, Grid: tile.NewGrid(4, 1)})
+	if res.Report.Breakdown || res.Report.HPL3 > 10 {
+		t.Fatalf("CALU failed the anti-diagonal system: breakdown=%v HPL3=%g", res.Report.Breakdown, res.Report.HPL3)
+	}
+}
+
+// TestCALUFewerPanelMessagesThanLUPP: the communication-avoiding property —
+// LUPP's panel factorization pays a sequential pivot exchange per column
+// (nb·⌈log₂ p⌉ messages per panel, modeled as ExtraComm), while CALU's
+// tournament moves only O(#tiles) candidate blocks per panel.
+func TestCALUFewerPanelMessagesThanLUPP(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n := 128
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	count := func(alg Algorithm) int {
+		res := runOn(t, a, b, Config{Alg: alg, NB: 16, Grid: tile.NewGrid(4, 1), Trace: true})
+		msgs := 0
+		for _, task := range res.Report.Trace {
+			msgs += len(task.Recv) + len(task.ExtraComm)
+		}
+		return msgs
+	}
+	calu, lupp := count(CALU), count(LUPP)
+	if calu >= lupp {
+		t.Fatalf("CALU moved %d messages, LUPP %d — expected fewer", calu, lupp)
+	}
+	// And the panel-phase latency: LUPP's per-column exchanges must put
+	// more ExtraComm rounds on the critical path than CALU (which has
+	// none).
+	extra := func(alg Algorithm) int {
+		res := runOn(t, a, b, Config{Alg: alg, NB: 16, Grid: tile.NewGrid(4, 1), Trace: true})
+		n := 0
+		for _, task := range res.Report.Trace {
+			n += len(task.ExtraComm)
+		}
+		return n
+	}
+	if ec, el := extra(CALU), extra(LUPP); ec != 0 || el == 0 {
+		t.Fatalf("ExtraComm: CALU %d (want 0), LUPP %d (want > 0)", ec, el)
+	}
+}
+
+// TestCALUDeterministic: worker-count independence.
+func TestCALUDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	n := 96
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	var ref []float64
+	for _, w := range []int{1, 4} {
+		res := runOn(t, a, b, Config{Alg: CALU, NB: 16, Grid: tile.NewGrid(2, 2), Workers: w})
+		if ref == nil {
+			ref = res.X
+			continue
+		}
+		for i := range ref {
+			if res.X[i] != ref[i] {
+				t.Fatalf("workers=%d changed the CALU result", w)
+			}
+		}
+	}
+}
+
+// TestCALUGrowthComparableToLUPP: "tournament pivoting has been proven to
+// be stable in practice" — growth within a modest factor of partial
+// pivoting on random matrices.
+func TestCALUGrowthComparableToLUPP(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	n := 128
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	calu := runOn(t, a, b, Config{Alg: CALU, NB: 16, Grid: tile.NewGrid(4, 1)})
+	lupp := runOn(t, a, b, Config{Alg: LUPP, NB: 16, Grid: tile.NewGrid(4, 1)})
+	if calu.Report.Growth > 50*lupp.Report.Growth {
+		t.Fatalf("CALU growth %g vs LUPP %g", calu.Report.Growth, lupp.Report.Growth)
+	}
+	if calu.Report.HPL3 > 100*lupp.Report.HPL3 {
+		t.Fatalf("CALU HPL3 %g vs LUPP %g", calu.Report.HPL3, lupp.Report.HPL3)
+	}
+}

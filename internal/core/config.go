@@ -1,0 +1,204 @@
+// Package core implements the paper's solvers on top of the dataflow
+// runtime: the hybrid LU-QR algorithm (Algorithm 1, variant (A1) with
+// diagonal-domain pivoting) and the comparison algorithms of §V-B — LU
+// NoPiv, LU IncPiv (incremental/pairwise pivoting), LUPP (partial pivoting
+// across the whole panel, the ScaLAPACK reference), and HQR (hierarchical
+// tiled QR).
+//
+// Every algorithm is expressed as a dynamically unfolding task graph: panel
+// steps submit their elimination and update tasks as decisions resolve,
+// trailing-matrix tasks of different steps overlap freely, and the recorded
+// trace drives the discrete-event performance simulation.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"luqr/internal/criteria"
+	"luqr/internal/tile"
+	"luqr/internal/tree"
+)
+
+// Algorithm selects a factorization.
+type Algorithm int
+
+// The five algorithms compared in §V.
+const (
+	// LUQR is the hybrid LU-QR algorithm: at each step a robustness
+	// criterion chooses between an LU step (pivoting confined to the
+	// diagonal domain) and a QR step (hierarchical reduction trees).
+	LUQR Algorithm = iota
+	// LUNoPiv performs LU with pivoting only inside the diagonal tile —
+	// fast, communication-free on the panel, and unstable in general.
+	LUNoPiv
+	// LUIncPiv performs incremental (pairwise) pivoting across the panel
+	// tiles, as in the tiled LU of PLASMA — efficient but with compounding
+	// growth.
+	LUIncPiv
+	// LUPP performs LU with partial pivoting across the whole panel — the
+	// stable reference, paying a global pivot search and cross-node row
+	// swaps at every step (the ScaLAPACK PDGETRF baseline).
+	LUPP
+	// HQR is the hierarchical tiled QR factorization of [8] — always
+	// stable, twice the flops.
+	HQR
+	// CALU is communication-avoiding LU with tournament pivoting [14]
+	// (§VI-D) — implemented here as an extension; the paper had no CALU
+	// implementation to compare against.
+	CALU
+	// HLU is hierarchical LU with multiple eliminators per panel — a
+	// prototype of the §VII future-work algorithm, reusing the QR step's
+	// reduction trees with pairwise LU kernels. Pairwise-pivoting
+	// stability; short critical path.
+	HLU
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case LUQR:
+		return "luqr"
+	case LUNoPiv:
+		return "lunopiv"
+	case LUIncPiv:
+		return "luincpiv"
+	case LUPP:
+		return "lupp"
+	case HQR:
+		return "hqr"
+	case CALU:
+		return "calu"
+	case HLU:
+		return "hlu"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm converts a CLI name into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range []Algorithm{LUQR, LUNoPiv, LUIncPiv, LUPP, HQR, CALU, HLU} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// LUVariant selects the formulation of the LU step (§II-A / §II-C). The
+// paper evaluates (A1) only; the other variants are described in §II-C and
+// implemented here as extensions.
+type LUVariant int
+
+const (
+	// VarA1 factors the panel with LU and partial pivoting (restricted to
+	// the configured Scope), applies L⁻¹P to row k, eliminates with U, and
+	// updates with GEMM — the paper's evaluated variant.
+	VarA1 LUVariant = iota
+	// VarA2 factors the diagonal tile with QR instead: same dependencies
+	// and update as (A1), Factor/Apply twice as expensive, but a rejected
+	// trial is not discarded — the QR step reuses the factorization
+	// (§II-C.1). Implies diagonal-tile pivot scope.
+	VarA2
+	// VarB1 is block LU (§II-C.2): Factor = LU of the diagonal tile,
+	// Eliminate = A_ik·A_kk⁻¹, no Apply (row k untouched), Schur update
+	// with the original row k. The result is block upper triangular, so the
+	// solve performs a block back-substitution through the stored diagonal
+	// factors. Implies diagonal-tile pivot scope.
+	VarB1
+	// VarB2 is block LU with a QR diagonal factorization: like (B1) with
+	// Eliminate = (A_ik·R⁻¹)·Qᵀ, and the QR step reusing the trial
+	// factorization as in (A2). Implies diagonal-tile pivot scope.
+	VarB2
+)
+
+func (v LUVariant) String() string {
+	switch v {
+	case VarA1:
+		return "a1"
+	case VarA2:
+		return "a2"
+	case VarB1:
+		return "b1"
+	case VarB2:
+		return "b2"
+	}
+	return fmt.Sprintf("LUVariant(%d)", int(v))
+}
+
+// ParseVariant converts a CLI name into an LUVariant.
+func ParseVariant(s string) (LUVariant, error) {
+	for _, v := range []LUVariant{VarA1, VarA2, VarB1, VarB2} {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown LU-step variant %q", s)
+}
+
+// Scope selects where the LU step searches for pivots (§II-A).
+type Scope int
+
+const (
+	// ScopeDomain pivots across all panel tiles local to the diagonal
+	// node — the variant used in the paper's experiments. No inter-node
+	// communication is needed.
+	ScopeDomain Scope = iota
+	// ScopeTile pivots only inside the diagonal tile, as LU NoPiv does.
+	ScopeTile
+)
+
+// Config configures a factorization run.
+type Config struct {
+	Alg Algorithm
+	// NB is the tile order. N must be a multiple of NB.
+	NB int
+	// Grid is the virtual process grid for the 2-D block-cyclic
+	// distribution; it determines domains and communication accounting.
+	Grid tile.Grid
+	// Criterion drives the LU/QR choice for Alg == LUQR.
+	Criterion criteria.Criterion
+	// Scope selects diagonal-domain (default) or diagonal-tile pivoting for
+	// the LU steps of LUQR.
+	Scope Scope
+	// Variant selects the LU-step formulation for Alg == LUQR: (A1) by
+	// default, or the §II-C variants (A2), (B1), (B2), which force
+	// diagonal-tile scope.
+	Variant LUVariant
+	// IntraTree and InterTree configure the QR-step reduction
+	// (defaults: GREEDY inside nodes, FIBONACCI between nodes — §IV).
+	IntraTree, InterTree tree.Tree
+	// Workers is the size of the runtime worker pool (default: GOMAXPROCS).
+	Workers int
+	// Trace records the task graph for simulation / DOT output.
+	Trace bool
+	// TrackGrowth samples the trailing submatrix after every elimination
+	// step and records the peak intermediate element growth in
+	// Report.PeakGrowth — the quantity the §III growth bounds govern.
+	// Costs an extra O(N²) read per step and a mild serialization.
+	TrackGrowth bool
+	// Seed seeds the Random criterion's generator.
+	Seed int64
+}
+
+func (c *Config) withDefaults(n int) (Config, error) {
+	cfg := *c
+	if cfg.NB <= 0 {
+		cfg.NB = 40
+	}
+	if cfg.Grid.P == 0 && cfg.Grid.Q == 0 {
+		cfg.Grid = tile.NewGrid(1, 1)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.IntraTree == 0 && cfg.InterTree == 0 {
+		cfg.IntraTree, cfg.InterTree = tree.Greedy, tree.Fibonacci
+	}
+	if cfg.Alg == LUQR && cfg.Criterion == nil {
+		cfg.Criterion = criteria.Max{Alpha: 100}
+	}
+	if n%cfg.NB != 0 {
+		return cfg, fmt.Errorf("core: N=%d is not a multiple of NB=%d", n, cfg.NB)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"luqr/internal/criteria"
+	"luqr/internal/lapack"
+	"luqr/internal/mat"
+	"luqr/internal/runtime"
+	"luqr/internal/tile"
+)
+
+// Task priorities: the panel path (backup, trial factorization, decision,
+// restore, panel eliminations) must outrun trailing updates so the next
+// step's decision is never starved — the lookahead that makes the hybrid
+// algorithm pipeline (§IV). Within updates, earlier panels and nearer
+// columns first.
+func prioPanel(k int) int { return 1 << 28 }
+func prioElim(k int) int  { return 1<<27 - k<<8 }
+func prioUpdate(k, j int) int {
+	return 1<<26 - k<<10 - (j - k)
+}
+
+type normResult struct {
+	row      int
+	inDomain bool
+	norm1    float64
+	colMax   []float64
+}
+
+type stepState struct {
+	k    int
+	rows []int // pivot rows: the diagonal domain (or tile, or whole panel)
+
+	backup   []*mat.Matrix // pre-factorization copies of the pivot-row tiles
+	localMax []float64     // per-column max |a| over the pivot rows (backup)
+
+	stack   *mat.Matrix // the factored stacked panel (L\U), kept for applies
+	piv     []int
+	pivots  []float64 // |U_jj|
+	invNorm float64   // ‖(A_kk^(k))⁻¹‖₁ estimate
+	luErr   error
+
+	norms []*normResult // one per sub-diagonal panel tile
+
+	decision bool // true = LU step
+	// preFactored marks that the diagonal tile already holds a QR
+	// factorization from an (A2)/(B2) trial, reusable by the QR step.
+	preFactored bool
+	// variant records which LU-step formulation the step used (for RHS
+	// replay in Result.Solve).
+	variant LUVariant
+	// inc retains the incremental-pivoting factors of an LU IncPiv step.
+	inc *incState
+	// hlu retains the multi-eliminator LU factors of an HLU step.
+	hlu *hluState
+
+	hBackup *runtime.Handle
+	hStack  *runtime.Handle
+	hNorms  []*runtime.Handle
+
+	// QR-step reflector storage, keyed by tile row.
+	tGeqrt  map[int]*mat.Matrix
+	tKill   map[int]*mat.Matrix
+	hTGeqrt map[int]*runtime.Handle
+	hTKill  map[int]*runtime.Handle
+}
+
+// fact carries one factorization through the runtime.
+type fact struct {
+	cfg Config
+	A   *tile.Matrix
+	rhs *tile.Vector
+	e   *runtime.Engine
+
+	h  [][]*runtime.Handle // tile handles
+	hb []*runtime.Handle   // rhs tile handles
+
+	nt, nb int
+	steps  []*stepState
+	rng    *rand.Rand
+
+	// diagSolvers[k] applies A_kk⁻¹ to an RHS tile during the block
+	// back-substitution; nil means the default upper-triangular solve
+	// (variants (B1)/(B2) install custom solvers).
+	diagSolvers []func(b *mat.Matrix)
+
+	mu        sync.Mutex
+	breakdown bool
+	peakAbs   float64 // max |a_ij| seen by growth probes
+
+	report *Report
+}
+
+func newFact(cfg Config, a *tile.Matrix, rhs *tile.Vector) *fact {
+	f := &fact{
+		cfg: cfg, A: a, rhs: rhs,
+		nt: a.NT, nb: a.NB,
+		steps:       make([]*stepState, a.NT),
+		diagSolvers: make([]func(b *mat.Matrix), a.NT),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		report: &Report{
+			Alg: cfg.Alg, N: a.N(), NB: a.NB, NT: a.NT,
+			GridP: cfg.Grid.P, GridQ: cfg.Grid.Q,
+			Decisions: make([]bool, a.NT),
+		},
+	}
+	f.e = runtime.NewEngine(runtime.Config{Workers: cfg.Workers, Trace: cfg.Trace})
+	tileBytes := a.NB * a.NB * 8
+	f.h = make([][]*runtime.Handle, a.MT)
+	for i := range f.h {
+		f.h[i] = make([]*runtime.Handle, a.NT)
+		for j := range f.h[i] {
+			f.h[i][j] = f.e.NewHandle(fmt.Sprintf("A(%d,%d)", i, j), tileBytes, cfg.Grid.Owner(i, j))
+		}
+	}
+	f.hb = make([]*runtime.Handle, a.MT)
+	for i := range f.hb {
+		f.hb[i] = f.e.NewHandle(fmt.Sprintf("b(%d)", i), a.NB*8, cfg.Grid.Owner(i, 0))
+	}
+	return f
+}
+
+func (f *fact) owner(i, j int) int { return f.cfg.Grid.Owner(i, j) }
+
+func (f *fact) noteBreakdown(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	f.breakdown = true
+	f.mu.Unlock()
+}
+
+// trailingCols returns the column indices j > k.
+func (f *fact) trailingCols(k int) []int {
+	cols := make([]int, 0, f.nt-k-1)
+	for j := k + 1; j < f.nt; j++ {
+		cols = append(cols, j)
+	}
+	return cols
+}
+
+// pivotRows returns the rows participating in the panel factorization of
+// step k for the given scope.
+func (f *fact) pivotRows(k int, scope Scope) []int {
+	switch scope {
+	case ScopeTile:
+		return []int{k}
+	case ScopeDomain:
+		return f.cfg.Grid.DiagonalDomain(k, f.nt)
+	}
+	panic("core: unknown scope")
+}
+
+// panelRows returns all rows of panel k.
+func (f *fact) panelRows(k int) []int {
+	rows := make([]int, 0, f.nt-k)
+	for i := k; i < f.nt; i++ {
+		rows = append(rows, i)
+	}
+	return rows
+}
+
+// accRows builds write accesses for the panel tiles of the given rows in
+// column j.
+func (f *fact) accRows(rows []int, j int) []runtime.Access {
+	acc := make([]runtime.Access, 0, len(rows))
+	for _, i := range rows {
+		acc = append(acc, runtime.W(f.h[i][j]))
+	}
+	return acc
+}
+
+// accRHSRows builds write accesses for the RHS tiles of the given rows.
+func (f *fact) accRHSRows(rows []int) []runtime.Access {
+	acc := make([]runtime.Access, 0, len(rows))
+	for _, i := range rows {
+		acc = append(acc, runtime.W(f.hb[i]))
+	}
+	return acc
+}
+
+// inSet reports membership of i in sorted rows.
+func inSet(rows []int, i int) bool {
+	for _, r := range rows {
+		if r == i {
+			return true
+		}
+	}
+	return false
+}
+
+// submitNormTasks measures ‖A_ik‖₁ and the per-column maxima of every
+// sub-diagonal panel tile before the trial factorization (criterion data,
+// §III). One task per tile, on the tile's owner, so that the trace charges
+// only the small norm payloads for the criterion exchange.
+func (f *fact) submitNormTasks(st *stepState) {
+	k := st.k
+	nb := f.nb
+	for i := k + 1; i < f.nt; i++ {
+		i := i
+		nr := &normResult{row: i, inDomain: inSet(st.rows, i)}
+		st.norms = append(st.norms, nr)
+		h := f.e.NewHandle(fmt.Sprintf("norm(%d,%d)", i, k), 16, f.owner(i, k))
+		st.hNorms = append(st.hNorms, h)
+		f.e.Submit(runtime.TaskSpec{
+			Name:     fmt.Sprintf("Norm(%d,%d)", i, k),
+			Kernel:   "NORM",
+			Node:     f.owner(i, k),
+			Flops:    float64(2 * nb * nb),
+			Priority: prioPanel(k),
+			Accesses: []runtime.Access{runtime.R(f.h[i][k]), runtime.W(h)},
+			Run: func() {
+				t := f.A.Tile(i, k)
+				nr.norm1 = t.Norm1()
+				nr.colMax = make([]float64, nb)
+				for j := 0; j < nb; j++ {
+					nr.colMax[j] = t.ColAbsMax(j)
+				}
+			},
+		})
+	}
+}
+
+// submitBackup snapshots the pivot-row tiles (and records their pre-factor
+// column maxima for the MUMPS criterion) — the Backup Panel stage of Fig. 1.
+func (f *fact) submitBackup(st *stepState) {
+	k := st.k
+	st.hBackup = f.e.NewHandle(fmt.Sprintf("backup(%d)", k), len(st.rows)*f.nb*f.nb*8, f.owner(k, k))
+	acc := []runtime.Access{runtime.W(st.hBackup)}
+	for _, i := range st.rows {
+		acc = append(acc, runtime.R(f.h[i][k]))
+	}
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("Backup(%d)", k),
+		Kernel:   "BACKUP",
+		Node:     f.owner(k, k),
+		Flops:    0,
+		Priority: prioPanel(k),
+		Accesses: acc,
+		Run: func() {
+			st.backup = make([]*mat.Matrix, len(st.rows))
+			for r, i := range st.rows {
+				st.backup[r] = f.A.Tile(i, k).Clone()
+			}
+			st.localMax = make([]float64, f.nb)
+			for j := 0; j < f.nb; j++ {
+				m := 0.0
+				for _, t := range st.backup {
+					if v := t.ColAbsMax(j); v > m {
+						m = v
+					}
+				}
+				st.localMax[j] = m
+			}
+		},
+	})
+}
+
+// submitPanelFactor stacks the pivot-row tiles of column k, factors them
+// with partial pivoting, writes the factors back into the tiles, and
+// computes the criterion's diagonal-tile data (pivot magnitudes and the
+// Hager–Higham estimate of ‖(A_kk^(k))⁻¹‖₁). This is the LU On Panel stage
+// of Fig. 1; the paper uses the multithreaded recursive-LU kernel of PLASMA
+// here, our stand-in is the stacked Getrf.
+func (f *fact) submitPanelFactor(st *stepState, withCriterion bool) {
+	k := st.k
+	nb := f.nb
+	st.hStack = f.e.NewHandle(fmt.Sprintf("panelLU(%d)", k), len(st.rows)*nb*nb*8, f.owner(k, k))
+	acc := []runtime.Access{runtime.W(st.hStack)}
+	acc = append(acc, f.accRows(st.rows, k)...)
+	// When the pivot search spans several nodes (LUPP), every column pays a
+	// sequential pivot exchange — ScaLAPACK's IDAMAX all-reduce — which is
+	// the latency the communication-avoiding algorithms eliminate. The
+	// diagonal-domain and tile scopes are node-local and pay nothing.
+	var pivComm []runtime.Message
+	if rounds := pivotExchangeRounds(f.cfg.Grid, st.rows); rounds > 0 {
+		pivComm = make([]runtime.Message, nb*rounds)
+		for i := range pivComm {
+			pivComm[i] = runtime.Message{From: -1, To: f.owner(k, k), Bytes: 16}
+		}
+	}
+	flop := float64(len(st.rows)*nb) * float64(nb) * float64(nb)
+	f.e.Submit(runtime.TaskSpec{
+		Name:      fmt.Sprintf("PanelLU(%d)", k),
+		Kernel:    "GETRF",
+		Node:      f.owner(k, k),
+		Flops:     flop - float64(nb)*float64(nb)*float64(nb)/3,
+		Priority:  prioPanel(k),
+		ExtraComm: pivComm,
+		Accesses:  acc,
+		Run: func() {
+			st.stack = f.A.StackRows(st.rows, k)
+			piv, err := lapack.Getrf(st.stack)
+			st.piv = piv
+			st.luErr = err
+			f.A.UnstackRows(st.stack, st.rows, k)
+			if withCriterion {
+				top := st.stack.View(0, 0, nb, nb)
+				st.pivots = lapack.LUPivotGrowth(top)
+				if err != nil {
+					st.invNorm = math.Inf(1)
+				} else {
+					st.invNorm = lapack.InvNorm1EstLU(top, nil)
+				}
+			}
+		},
+	})
+}
+
+// pivotExchangeRounds returns the number of communication rounds of one
+// per-column pivot exchange among the nodes owning the given panel rows:
+// ⌈log₂ #node-rows⌉, 0 when the rows live on a single node.
+func pivotExchangeRounds(g tile.Grid, rows []int) int {
+	seen := map[int]bool{}
+	for _, i := range rows {
+		seen[i%g.P] = true
+	}
+	p := len(seen)
+	r := 0
+	for (1 << r) < p {
+		r++
+	}
+	return r
+}
+
+// criterionInput assembles the Input for the configured criterion from the
+// data gathered by the norm, backup and panel tasks.
+func (f *fact) criterionInput(st *stepState) *criteria.Input {
+	in := &criteria.Input{
+		Step:         st.k,
+		InvDiagNorm1: st.invNorm,
+		LocalMax:     st.localMax,
+		Pivots:       st.pivots,
+		Rng:          f.rng,
+	}
+	away := make([]float64, f.nb)
+	for _, nr := range st.norms {
+		in.OffDiagTileNorms = append(in.OffDiagTileNorms, nr.norm1)
+		if !nr.inDomain {
+			for j, v := range nr.colMax {
+				if v > away[j] {
+					away[j] = v
+				}
+			}
+		}
+	}
+	in.AwayMax = away
+	return in
+}
+
+// submitRestore undoes the trial factorization when the criterion picks a
+// QR step (the Propagate tasks' restore path of Fig. 1).
+func (f *fact) submitRestore(st *stepState) {
+	k := st.k
+	acc := []runtime.Access{runtime.R(st.hBackup)}
+	acc = append(acc, f.accRows(st.rows, k)...)
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("Restore(%d)", k),
+		Kernel:   "RESTORE",
+		Node:     f.owner(k, k),
+		Priority: prioPanel(k),
+		Accesses: acc,
+		Run: func() {
+			for r, i := range st.rows {
+				f.A.Tile(i, k).CopyFrom(st.backup[r])
+			}
+			st.backup = nil // destroyed on exit of Propagate, as in §IV
+		},
+	})
+}
+
+// submitGrowthProbe samples max|A^(k+1)| over the trailing submatrix after
+// step k's updates and folds it into the report's peak intermediate growth
+// (Config.TrackGrowth). The probe reads every trailing tile, so it also
+// acts as a soft barrier; it is purely observational.
+func (f *fact) submitGrowthProbe(k int) {
+	if !f.cfg.TrackGrowth {
+		return
+	}
+	acc := make([]runtime.Access, 0, (f.nt-k)*(f.nt-k))
+	for i := k; i < f.nt; i++ {
+		for j := k; j < f.nt; j++ {
+			acc = append(acc, runtime.R(f.h[i][j]))
+		}
+	}
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("GrowthProbe(%d)", k),
+		Kernel:   "PROBE",
+		Node:     f.owner(k, k),
+		Priority: prioUpdate(k, f.nt),
+		Accesses: acc,
+		Run: func() {
+			m := 0.0
+			for i := k; i < f.nt; i++ {
+				for j := k; j < f.nt; j++ {
+					if v := f.A.Tile(i, j).NormMax(); v > m {
+						m = v
+					}
+				}
+			}
+			f.mu.Lock()
+			if m > f.peakAbs {
+				f.peakAbs = m
+			}
+			f.mu.Unlock()
+		},
+	})
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"luqr/internal/blas"
+	"luqr/internal/flops"
+	"luqr/internal/lapack"
+	"luqr/internal/mat"
+	"luqr/internal/runtime"
+	"luqr/internal/tree"
+)
+
+// HLU — hierarchical LU with multiple eliminators per panel — is a
+// prototype of the final future-work item of §VII: "derive LU algorithms
+// with several eliminators per panel (just as for HQR) to decrease the
+// critical path". It reuses the QR step's reduction-tree machinery with LU
+// pair kernels:
+//
+//	GETRF(i)        each panel tile is factored locally (pivoting inside
+//	                the tile); its U part becomes the row's representative,
+//	                and the L/P factors are applied to the row's trailing
+//	                tiles (a GESSM per column) — the analogue of
+//	                GEQRT+UNMQR.
+//	PairLU(i, piv)  two representatives merge: the stacked pair of upper
+//	                triangles is factored with partial pivoting, the
+//	                winner's U survives at row piv, and the pair's L/P
+//	                factors update both rows' trailing tiles (an SSSSM per
+//	                column) — the analogue of TTQRT+TTMQR.
+//
+// With a FLAT tree this degenerates to classical incremental pivoting; with
+// GREEDY/FIBONACCI trees one panel reduces in ⌈log₂ m⌉ rounds instead of m —
+// the critical-path improvement §VII asks for. As with the QR trees of [8],
+// the win materializes on tall panels and latency-bound settings: on square
+// matrices the flat chain pipelines consecutive panels perfectly (the next
+// diagonal tile is the chain's first elimination), so tree choice is a
+// genuine trade-off there too. Stability is pairwise-pivoting class (growth
+// compounds along the tree), which is exactly why the paper says such an
+// algorithm needs "a reliable robustness test" before it can replace the
+// hybrid's LU step; quantifying that gap is what this prototype is for.
+
+// pairLU holds the factors of one pair merge, for updates and RHS replay.
+type pairLU struct {
+	s   *mat.Matrix // factored 2nb×nb stack (L\U)
+	piv []int
+}
+
+// hluState retains a step's elimination factors. Per-row data lives in
+// slices indexed by tile row so concurrent factor tasks never share a map.
+type hluState struct {
+	headPiv [][]int       // local GETRF pivots per row
+	headL   []*mat.Matrix // local GETRF factors (tile snapshot) per row
+	pairs   []*pairLU     // pair factors indexed by the killed row
+	hPair   []*runtime.Handle
+	hHead   []*runtime.Handle
+	ops     []tree.Op
+}
+
+// scheduleHLU builds the multi-eliminator LU task graph (static, like HQR).
+func (f *fact) scheduleHLU() {
+	for k := 0; k < f.nt; k++ {
+		st := &stepState{k: k}
+		f.steps[k] = st
+		f.report.Decisions[k] = true
+		f.scheduleHLUStep(st)
+		f.submitGrowthProbe(k)
+	}
+}
+
+func (f *fact) scheduleHLUStep(st *stepState) {
+	k := st.k
+	hs := &hluState{
+		headPiv: make([][]int, f.nt),
+		headL:   make([]*mat.Matrix, f.nt),
+		pairs:   make([]*pairLU, f.nt),
+		hPair:   make([]*runtime.Handle, f.nt),
+		hHead:   make([]*runtime.Handle, f.nt),
+	}
+	st.hlu = hs
+	domains := f.cfg.Grid.PanelDomains(k, f.nt)
+	hs.ops = tree.Hierarchical(domains, f.cfg.IntraTree, f.cfg.InterTree)
+	for _, op := range hs.ops {
+		switch op.Kind {
+		case tree.OpGeqrt:
+			f.submitHLULocalFactor(st, op.I)
+		case tree.OpTS:
+			// TS kill: the killed row was never locally factored; its full
+			// square tile enters the pair (exactly IncPiv's TSTRF).
+			f.submitHLUPair(st, op.I, op.Piv, true)
+		case tree.OpTT:
+			f.submitHLUPair(st, op.I, op.Piv, false)
+		}
+	}
+}
+
+// submitHLULocalFactor factors tile row i in place and applies its L/P to
+// the row's trailing tiles and RHS tile.
+func (f *fact) submitHLULocalFactor(st *stepState, i int) {
+	k := st.k
+	nb := f.nb
+	hs := st.hlu
+	hH := f.e.NewHandle(fmt.Sprintf("hluHead(%d,%d)", i, k), nb*nb*8, f.owner(i, k))
+	hs.hHead[i] = hH
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("GETRF(%d,%d)", i, k),
+		Kernel:   "GETRF",
+		Node:     f.owner(i, k),
+		Flops:    flops.Getrf(nb, nb),
+		Priority: prioElim(k),
+		Accesses: []runtime.Access{runtime.W(f.h[i][k]), runtime.W(hH)},
+		Run: func() {
+			piv, err := lapack.Getrf(f.A.Tile(i, k))
+			f.noteBreakdown(err)
+			hs.headPiv[i] = piv
+			// Later pair merges overwrite the tile's upper triangle; the
+			// replay needs the whole factored tile, so keep a snapshot.
+			hs.headL[i] = f.A.Tile(i, k).Clone()
+		},
+	})
+	gessm := func(c *mat.Matrix) {
+		lapack.Laswp(c, hs.headPiv[i], false)
+		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, hs.headL[i], c)
+	}
+	for _, j := range f.trailingCols(k) {
+		j := j
+		f.e.Submit(runtime.TaskSpec{
+			Name:     fmt.Sprintf("GESSM(%d,%d,%d)", i, k, j),
+			Kernel:   "GESSM",
+			Node:     f.owner(i, j),
+			Flops:    flops.Trsm(nb, nb),
+			Priority: prioUpdate(k, j),
+			Accesses: []runtime.Access{runtime.R(hH), runtime.W(f.h[i][j])},
+			Run:      func() { gessm(f.A.Tile(i, j)) },
+		})
+	}
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("GESSM(%d,%d,rhs)", i, k),
+		Kernel:   "GESSM",
+		Node:     f.owner(i, k),
+		Flops:    flops.Trsm(nb, f.rhs.W),
+		Priority: prioUpdate(k, k+1),
+		Accesses: []runtime.Access{runtime.R(hH), runtime.W(f.hb[i])},
+		Run:      func() { gessm(f.rhs.Tile(i)) },
+	})
+}
+
+// submitHLUPair merges the representatives of rows piv and i: the stacked
+// pair of upper triangles is factored with partial pivoting and both rows'
+// trailing tiles receive the pair transformation.
+func (f *fact) submitHLUPair(st *stepState, i, piv int, ts bool) {
+	k := st.k
+	nb := f.nb
+	hs := st.hlu
+	hP := f.e.NewHandle(fmt.Sprintf("hluPair(%d,%d)", i, k), 2*nb*nb*8, f.owner(i, k))
+	hs.hPair[i] = hP
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("PAIRLU(%d,%d,%d)", i, piv, k),
+		Kernel:   "TSTRF",
+		Node:     f.owner(i, k),
+		Flops:    flops.Trsm(nb, nb), // structure-exploiting pairwise count
+		Priority: prioElim(k),
+		Accesses: []runtime.Access{runtime.W(f.h[piv][k]), runtime.W(f.h[i][k]), runtime.W(hP)},
+		Run: func() {
+			s := mat.New(2*nb, nb)
+			copyUpper(s.View(0, 0, nb, nb), f.A.Tile(piv, k))
+			if ts {
+				s.View(nb, 0, nb, nb).CopyFrom(f.A.Tile(i, k))
+			} else {
+				copyUpper(s.View(nb, 0, nb, nb), f.A.Tile(i, k))
+			}
+			ppiv, err := lapack.Getrf(s)
+			f.noteBreakdown(err)
+			hs.pairs[i] = &pairLU{s: s, piv: ppiv}
+			// The winner's upper triangle moves to row piv; row i's upper
+			// is dead (its storage keeps the local L for the replay).
+			writeUpper(f.A.Tile(piv, k), s.View(0, 0, nb, nb))
+		},
+	})
+	ssssmPair := func(c1, c2 *mat.Matrix) {
+		p := hs.pairs[i]
+		w := c1.Cols
+		s := mat.New(2*nb, w)
+		s.View(0, 0, nb, w).CopyFrom(c1)
+		s.View(nb, 0, nb, w).CopyFrom(c2)
+		lapack.Laswp(s, p.piv, false)
+		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, p.s.View(0, 0, nb, nb), s.View(0, 0, nb, w))
+		blas.Gemm(blas.NoTrans, blas.NoTrans, -1, p.s.View(nb, 0, nb, nb), s.View(0, 0, nb, w), 1, s.View(nb, 0, nb, w))
+		c1.CopyFrom(s.View(0, 0, nb, w))
+		c2.CopyFrom(s.View(nb, 0, nb, w))
+	}
+	for _, j := range f.trailingCols(k) {
+		j := j
+		f.e.Submit(runtime.TaskSpec{
+			Name:     fmt.Sprintf("SSSSM(%d,%d,%d)", i, piv, j),
+			Kernel:   "SSSSM",
+			Node:     f.owner(i, j),
+			Flops:    flops.Trsm(nb, nb) + flops.Gemm(nb, nb, nb),
+			Priority: prioUpdate(k, j),
+			Accesses: []runtime.Access{runtime.R(hP), runtime.W(f.h[piv][j]), runtime.W(f.h[i][j])},
+			Run:      func() { ssssmPair(f.A.Tile(piv, j), f.A.Tile(i, j)) },
+		})
+	}
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("SSSSM(%d,%d,rhs)", i, piv),
+		Kernel:   "SSSSM",
+		Node:     f.owner(i, k),
+		Flops:    flops.Trsm(nb, f.rhs.W) + flops.Gemm(nb, f.rhs.W, nb),
+		Priority: prioUpdate(k, k+1),
+		Accesses: []runtime.Access{runtime.R(hP), runtime.W(f.hb[piv]), runtime.W(f.hb[i])},
+		Run:      func() { ssssmPair(f.rhs.Tile(piv), f.rhs.Tile(i)) },
+	})
+}
+
+// writeUpper copies src's upper triangle into dst's upper triangle, leaving
+// dst's strictly lower part (the local L factors) intact.
+func writeUpper(dst, src *mat.Matrix) {
+	n := dst.Rows
+	for i := 0; i < n; i++ {
+		copy(dst.Row(i)[i:n], src.Row(i)[i:n])
+	}
+}
+
+// replayHLUStep applies an HLU step's transformations to a fresh RHS.
+func (f *fact) replayHLUStep(st *stepState, rhs interface {
+	Tile(i int) *mat.Matrix
+}) error {
+	hs := st.hlu
+	for _, op := range hs.ops {
+		switch op.Kind {
+		case tree.OpGeqrt:
+			l := hs.headL[op.I]
+			if l == nil {
+				return fmt.Errorf("core: step %d missing HLU head factors for row %d", st.k, op.I)
+			}
+			c := rhs.Tile(op.I)
+			lapack.Laswp(c, hs.headPiv[op.I], false)
+			blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l, c)
+		case tree.OpTS, tree.OpTT:
+			p := hs.pairs[op.I]
+			if p == nil {
+				return fmt.Errorf("core: step %d missing HLU pair factors for row %d", st.k, op.I)
+			}
+			c1, c2 := rhs.Tile(op.Piv), rhs.Tile(op.I)
+			nb := f.nb
+			w := c1.Cols
+			s := mat.New(2*nb, w)
+			s.View(0, 0, nb, w).CopyFrom(c1)
+			s.View(nb, 0, nb, w).CopyFrom(c2)
+			lapack.Laswp(s, p.piv, false)
+			blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, p.s.View(0, 0, nb, nb), s.View(0, 0, nb, w))
+			blas.Gemm(blas.NoTrans, blas.NoTrans, -1, p.s.View(nb, 0, nb, nb), s.View(0, 0, nb, w), 1, s.View(nb, 0, nb, w))
+			c1.CopyFrom(s.View(0, 0, nb, w))
+			c2.CopyFrom(s.View(nb, 0, nb, w))
+		}
+	}
+	return nil
+}

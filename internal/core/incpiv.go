@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"luqr/internal/blas"
+	"luqr/internal/flops"
+	"luqr/internal/lapack"
+	"luqr/internal/mat"
+	"luqr/internal/runtime"
+)
+
+// incState carries the per-panel data of an incremental-pivoting step: the
+// running U factor of the diagonal position and, per killed tile row, the
+// stacked L factors and pivots of the pairwise elimination.
+// incState carries the per-panel data of an incremental-pivoting step.
+// Per-row factors live in slices indexed by tile row (not maps): factor
+// tasks for different rows write their own slot concurrently while update
+// tasks read others'.
+type incState struct {
+	u   *mat.Matrix // current U of the diagonal tile (upper)
+	l0  *mat.Matrix // the diagonal tile's own LU factors (kept for replay)
+	hU  *runtime.Handle
+	l   []*mat.Matrix // stacked 2nb×nb LU factors of pair (k, i), by row
+	piv [][]int       // pivots, by row (index k: the diagonal GETRF's)
+	hL  []*runtime.Handle
+}
+
+// scheduleIncPiv builds the task graph of LU with incremental (pairwise)
+// pivoting across the panel tiles [2], [3] — PLASMA's communication-avoiding
+// tiled LU. At panel k:
+//
+//	GETRF(A_kk)               factor the diagonal tile (pivoting inside it)
+//	GESSM(A_kj)               apply its L/P to the k-th row tiles
+//	TSTRF(U, A_ik)            pairwise-factor [U; A_ik] with partial
+//	                          pivoting, updating U — serial in i
+//	SSSSM(A_kj, A_ij)         apply the pair transformation to the trailing
+//	                          columns — serial in i per column, parallel in j
+//
+// Stability degrades as the number of tiles grows because each pairwise
+// elimination compounds its own growth (§VI-C), which is what Figure 2
+// shows for LU IncPiv.
+func (f *fact) scheduleIncPiv() {
+	for k := 0; k < f.nt; k++ {
+		f.steps[k] = &stepState{k: k, rows: []int{k}}
+		f.report.Decisions[k] = true
+		f.scheduleIncPivStep(k)
+		f.submitGrowthProbe(k)
+	}
+}
+
+func (f *fact) scheduleIncPivStep(k int) {
+	nb := f.nb
+	is := &incState{
+		u:   mat.New(nb, nb),
+		hU:  f.e.NewHandle(fmt.Sprintf("U(%d)", k), nb*nb*8, f.owner(k, k)),
+		l:   make([]*mat.Matrix, f.nt),
+		piv: make([][]int, f.nt),
+		hL:  make([]*runtime.Handle, f.nt),
+	}
+	f.steps[k].inc = is
+	cols := f.trailingCols(k)
+
+	// GETRF on the diagonal tile; snapshot its U part as the running U.
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("GETRF(%d)", k),
+		Kernel:   "GETRF",
+		Node:     f.owner(k, k),
+		Flops:    flops.Getrf(nb, nb),
+		Priority: prioPanel(k),
+		Accesses: []runtime.Access{runtime.W(f.h[k][k]), runtime.W(is.hU)},
+		Run: func() {
+			piv, err := lapack.Getrf(f.A.Tile(k, k))
+			is.piv[k] = piv
+			f.noteBreakdown(err)
+			// Keep the diagonal tile's own factors: FlushU later overwrites
+			// the tile with the running U, but the RHS replay (Result.Solve)
+			// still needs this L0.
+			is.l0 = f.A.Tile(k, k).Clone()
+			copyUpper(is.u, f.A.Tile(k, k))
+		},
+	})
+	// GESSM: apply P/L of the diagonal factorization to row k.
+	for _, j := range cols {
+		j := j
+		f.e.Submit(runtime.TaskSpec{
+			Name:     fmt.Sprintf("GESSM(%d,%d)", k, j),
+			Kernel:   "GESSM",
+			Node:     f.owner(k, j),
+			Flops:    flops.Trsm(nb, nb),
+			Priority: prioElim(k),
+			Accesses: []runtime.Access{runtime.R(f.h[k][k]), runtime.W(f.h[k][j])},
+			Run: func() {
+				c := f.A.Tile(k, j)
+				lapack.Laswp(c, is.piv[k], false)
+				blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, f.A.Tile(k, k), c)
+			},
+		})
+	}
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("GESSM(%d,rhs)", k),
+		Kernel:   "GESSM",
+		Node:     f.owner(k, k),
+		Flops:    flops.Trsm(nb, f.rhs.W),
+		Priority: prioElim(k),
+		Accesses: []runtime.Access{runtime.R(f.h[k][k]), runtime.W(f.hb[k])},
+		Run: func() {
+			c := f.rhs.Tile(k)
+			lapack.Laswp(c, is.piv[k], false)
+			blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, f.A.Tile(k, k), c)
+		},
+	})
+
+	// Pairwise eliminations, serial in i (each updates the running U).
+	for i := k + 1; i < f.nt; i++ {
+		i := i
+		hL := f.e.NewHandle(fmt.Sprintf("L(%d,%d)", i, k), 2*nb*nb*8, f.owner(i, k))
+		is.hL[i] = hL
+		f.e.Submit(runtime.TaskSpec{
+			Name:     fmt.Sprintf("TSTRF(%d,%d)", i, k),
+			Kernel:   "TSTRF",
+			Node:     f.owner(i, k),
+			Flops:    flops.Trsm(nb, nb), // structure-exploiting count ≈ nb³
+			Priority: prioElim(k),
+			Accesses: []runtime.Access{runtime.W(is.hU), runtime.W(f.h[i][k]), runtime.W(hL)},
+			Run: func() {
+				s := mat.New(2*nb, nb)
+				s.View(0, 0, nb, nb).CopyFrom(is.u)
+				s.View(nb, 0, nb, nb).CopyFrom(f.A.Tile(i, k))
+				piv, err := lapack.Getrf(s)
+				f.noteBreakdown(err)
+				is.l[i] = s
+				is.piv[i] = piv
+				copyUpper(is.u, s.View(0, 0, nb, nb))
+				// The panel tile now holds the L₂₁ block (the tile is dead
+				// for the factorization; kept for inspection).
+				f.A.Tile(i, k).CopyFrom(s.View(nb, 0, nb, nb))
+			},
+		})
+		for _, j := range cols {
+			j := j
+			f.e.Submit(runtime.TaskSpec{
+				Name:     fmt.Sprintf("SSSSM(%d,%d,%d)", i, k, j),
+				Kernel:   "SSSSM",
+				Node:     f.owner(i, j),
+				Flops:    flops.Trsm(nb, nb) + flops.Gemm(nb, nb, nb),
+				Priority: prioUpdate(k, j),
+				Accesses: []runtime.Access{runtime.R(hL), runtime.W(f.h[k][j]), runtime.W(f.h[i][j])},
+				Run:      func() { f.ssssm(is, i, f.A.Tile(k, j), f.A.Tile(i, j)) },
+			})
+		}
+		f.e.Submit(runtime.TaskSpec{
+			Name:     fmt.Sprintf("SSSSM(%d,%d,rhs)", i, k),
+			Kernel:   "SSSSM",
+			Node:     f.owner(i, k),
+			Flops:    flops.Trsm(nb, f.rhs.W) + flops.Gemm(nb, f.rhs.W, nb),
+			Priority: prioUpdate(k, k+1),
+			Accesses: []runtime.Access{runtime.R(hL), runtime.W(f.hb[k]), runtime.W(f.hb[i])},
+			Run:      func() { f.ssssm(is, i, f.rhs.Tile(k), f.rhs.Tile(i)) },
+		})
+	}
+
+	// Publish the final U of the panel into the diagonal tile for the
+	// back-substitution.
+	f.e.Submit(runtime.TaskSpec{
+		Name:     fmt.Sprintf("FlushU(%d)", k),
+		Kernel:   "PROPAGATE",
+		Node:     f.owner(k, k),
+		Priority: prioElim(k),
+		Accesses: []runtime.Access{runtime.R(is.hU), runtime.W(f.h[k][k])},
+		Run:      func() { copyUpper(f.A.Tile(k, k), is.u) },
+	})
+}
+
+// ssssm applies the pairwise transformation of TSTRF(i) to the stacked pair
+// [c1; c2]: row swaps, unit-lower solve on the top block, Schur update of
+// the bottom block.
+func (f *fact) ssssm(is *incState, i int, c1, c2 *mat.Matrix) {
+	nb := f.nb
+	w := c1.Cols
+	s := mat.New(2*nb, w)
+	s.View(0, 0, nb, w).CopyFrom(c1)
+	s.View(nb, 0, nb, w).CopyFrom(c2)
+	lapack.Laswp(s, is.piv[i], false)
+	l := is.l[i]
+	blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l.View(0, 0, nb, nb), s.View(0, 0, nb, w))
+	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, l.View(nb, 0, nb, nb), s.View(0, 0, nb, w), 1, s.View(nb, 0, nb, w))
+	c1.CopyFrom(s.View(0, 0, nb, w))
+	c2.CopyFrom(s.View(nb, 0, nb, w))
+}
+
+// copyUpper copies the upper triangle of src into dst, zeroing dst's
+// strictly lower triangle.
+func copyUpper(dst, src *mat.Matrix) {
+	n := dst.Rows
+	for i := 0; i < n; i++ {
+		drow := dst.Row(i)
+		srow := src.Row(i)
+		for j := 0; j < i; j++ {
+			drow[j] = 0
+		}
+		for j := i; j < n; j++ {
+			drow[j] = srow[j]
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"luqr/internal/criteria"
+	"luqr/internal/matgen"
+	"luqr/internal/tile"
+)
+
+// Property tests over randomly drawn solver configurations, per the
+// testing/quick idiom: every configuration in the space must produce a
+// finite, backward-stable solve on well-conditioned inputs, and the stored
+// transformations must behave linearly.
+
+// randomConfig draws an arbitrary-but-valid solver configuration.
+func randomConfig(rng *rand.Rand) Config {
+	algs := []Algorithm{LUQR, LUNoPiv, LUIncPiv, LUPP, HQR, CALU, HLU}
+	cfg := Config{
+		Alg:  algs[rng.Intn(len(algs))],
+		NB:   []int{8, 12, 16}[rng.Intn(3)],
+		Grid: tile.NewGrid(1+rng.Intn(3), 1+rng.Intn(3)),
+		Seed: rng.Int63(),
+	}
+	if cfg.Alg == LUQR {
+		switch rng.Intn(5) {
+		case 0:
+			cfg.Criterion = criteria.Max{Alpha: math.Pow(10, float64(rng.Intn(5)))}
+		case 1:
+			cfg.Criterion = criteria.Sum{Alpha: math.Pow(10, float64(rng.Intn(6)))}
+		case 2:
+			cfg.Criterion = criteria.MUMPS{Alpha: 0.5 + rng.Float64()*4}
+		case 3:
+			cfg.Criterion = criteria.Random{Alpha: float64(rng.Intn(101))}
+		case 4:
+			cfg.Criterion = criteria.Always{}
+		}
+		cfg.Variant = []LUVariant{VarA1, VarA2, VarB1, VarB2}[rng.Intn(4)]
+		if rng.Intn(2) == 0 {
+			cfg.Scope = ScopeTile
+		}
+	}
+	return cfg
+}
+
+// TestPropertyRandomConfigsSolve: any drawn configuration solves a
+// well-conditioned random system with a sane backward error.
+func TestPropertyRandomConfigsSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		nt := 1 + rng.Intn(5)
+		n := nt * cfg.NB
+		a := matgen.Random(n, rng)
+		b := matgen.RandomVector(n, rng)
+		res, err := Run(a, b, cfg)
+		if err != nil {
+			t.Logf("seed %d cfg %+v: %v", seed, cfg, err)
+			return false
+		}
+		if math.IsNaN(res.Report.HPL3) || res.Report.HPL3 > 1e3 {
+			t.Logf("seed %d cfg alg=%v variant=%v: HPL3 = %g", seed, cfg.Alg, cfg.Variant, res.Report.HPL3)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySolveLinearity: the replayed solve is a linear operator (up
+// to rounding): Solve(b1 + b2) ≈ Solve(b1) + Solve(b2) and
+// Solve(c·b) ≈ c·Solve(b).
+func TestPropertySolveLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		nt := 2 + rng.Intn(3)
+		n := nt * cfg.NB
+		a := matgen.DiagDominant(n, rng) // keep the solve well conditioned
+		b1 := matgen.RandomVector(n, rng)
+		b2 := matgen.RandomVector(n, rng)
+		res, err := Run(a, b1, cfg)
+		if err != nil {
+			return false
+		}
+		x1, err1 := res.Solve(b1)
+		x2, err2 := res.Solve(b2)
+		sum := make([]float64, n)
+		for i := range sum {
+			sum[i] = b1[i] + b2[i]
+		}
+		x12, err3 := res.Solve(sum)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range x12 {
+			if math.Abs(x12[i]-(x1[i]+x2[i])) > 1e-8*(1+math.Abs(x12[i])) {
+				t.Logf("seed %d alg %v: additivity violated at %d", seed, cfg.Alg, i)
+				return false
+			}
+		}
+		const c = 3.0
+		scaled := make([]float64, n)
+		for i := range scaled {
+			scaled[i] = c * b1[i]
+		}
+		xc, err4 := res.Solve(scaled)
+		if err4 != nil {
+			return false
+		}
+		for i := range xc {
+			if math.Abs(xc[i]-c*x1[i]) > 1e-8*(1+math.Abs(xc[i])) {
+				t.Logf("seed %d alg %v: homogeneity violated at %d", seed, cfg.Alg, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFactorizationResidual: for every configuration, the factored
+// system reproduces A's action: solving with b = A·e_j recovers e_j (a
+// columnwise inverse check on a well-conditioned matrix).
+func TestPropertyFactorizationResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		n := (1 + rng.Intn(3)) * cfg.NB
+		a := matgen.DiagDominant(n, rng)
+		b := matgen.RandomVector(n, rng)
+		res, err := Run(a, b, cfg)
+		if err != nil {
+			return false
+		}
+		j := rng.Intn(n)
+		ej := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ej[i] = a.At(i, j)
+		}
+		x, err := res.Solve(ej)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(x[i]-want) > 1e-8 {
+				t.Logf("seed %d alg %v: A⁻¹(A·e_%d)[%d] = %g", seed, cfg.Alg, j, i, x[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDecisionsConsistent: the report's step counts always add up
+// and breakdown implies an LU-type algorithm took a bad pivot.
+func TestPropertyDecisionsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		n := (1 + rng.Intn(4)) * cfg.NB
+		a := matgen.Random(n, rng)
+		b := matgen.RandomVector(n, rng)
+		res, err := Run(a, b, cfg)
+		if err != nil {
+			return false
+		}
+		r := res.Report
+		if r.LUSteps+r.QRSteps != len(r.Decisions) || len(r.Decisions) != n/cfg.NB {
+			return false
+		}
+		if r.Alg == HQR && r.LUSteps != 0 {
+			return false
+		}
+		if (r.Alg == LUNoPiv || r.Alg == LUPP || r.Alg == CALU || r.Alg == HLU || r.Alg == LUIncPiv) && r.QRSteps != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGrowthAtLeastOne: the growth factor of any elimination is ≥
+// ~1 on matrices whose maximum entry does not shrink (the final U contains
+// at least one entry of original magnitude after pivoting).
+func TestPropertyGrowthAtLeastOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(rng)
+		cfg.TrackGrowth = true
+		n := (1 + rng.Intn(3)) * cfg.NB
+		a := matgen.Random(n, rng)
+		b := matgen.RandomVector(n, rng)
+		res, err := Run(a, b, cfg)
+		if err != nil {
+			return false
+		}
+		return res.Report.PeakGrowth > 0.5 && res.Report.PeakGrowth >= res.Report.Growth*0.999 &&
+			!math.IsNaN(res.Report.Growth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

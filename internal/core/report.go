@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"luqr/internal/flops"
+	"luqr/internal/runtime"
+)
+
+// Report summarizes one factorization+solve run.
+type Report struct {
+	Alg       Algorithm
+	N, NB, NT int
+	GridP     int
+	GridQ     int
+
+	// Decisions[k] is true when step k was an LU step (for LUQR; for the
+	// pure algorithms it reflects the algorithm's fixed nature).
+	Decisions []bool
+	LUSteps   int
+	QRSteps   int
+
+	// Breakdown reports an exactly zero pivot during an LU elimination (LU
+	// NoPiv on the Fiedler matrix, §V-C).
+	Breakdown bool
+
+	// WallTime is the measured multicore execution time of this process.
+	WallTime time.Duration
+
+	// HPL3 is the backward-error metric of §V-A; Growth the max-entry
+	// growth factor max|final| / max|A|.
+	HPL3   float64
+	Growth float64
+	// PeakGrowth is max over steps k of max|A^(k)| / max|A|, sampled when
+	// Config.TrackGrowth is set (0 otherwise) — the growth factor the §III
+	// criteria bound.
+	PeakGrowth float64
+
+	// Trace is the recorded task graph (nil unless Config.Trace).
+	Trace []*runtime.TraceTask
+}
+
+// FracLU returns the fraction of LU steps (the f_LU of Table II).
+func (r *Report) FracLU() float64 {
+	if len(r.Decisions) == 0 {
+		return 0
+	}
+	return float64(r.LUSteps) / float64(len(r.Decisions))
+}
+
+// FakeGFlops returns the paper's "fake" GFLOP/s for a given execution time:
+// 2/3·N³ operations regardless of the steps actually taken.
+func (r *Report) FakeGFlops(seconds float64) float64 {
+	return flops.GFlops(flops.LUTotal(r.N), seconds)
+}
+
+// TrueGFlops returns the paper's "true" GFLOP/s: the operation count
+// adjusted for the measured fraction of LU steps.
+func (r *Report) TrueGFlops(seconds float64) float64 {
+	return flops.GFlops(flops.TrueTotal(r.N, r.FracLU()), seconds)
+}
+
+// String renders a compact single-run summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s N=%d nb=%d grid=%dx%d: %d LU / %d QR steps (%.1f%% LU), HPL3=%.3g, growth=%.3g, wall=%v",
+		r.Alg, r.N, r.NB, r.GridP, r.GridQ, r.LUSteps, r.QRSteps, 100*r.FracLU(), r.HPL3, r.Growth, r.WallTime)
+	if r.Breakdown {
+		b.WriteString(" [BREAKDOWN: zero pivot]")
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"luqr/internal/blas"
+	"luqr/internal/lapack"
+	"luqr/internal/mat"
+	"luqr/internal/tile"
+	"luqr/internal/tree"
+)
+
+// Solve solves A·x = b2 for a new right-hand side by replaying the stored
+// per-step transformations of the factorization on b2 (the "second pass"
+// alternative of §II-D.1: "all needed information about the transformations
+// is stored in place of A, so one can apply the transformations on b during
+// a second pass") and back-substituting. The replay is serial — O(N²) — and
+// reproduces the in-flight RHS processing of the original Run bit for bit.
+func (r *Result) Solve(b2 []float64) ([]float64, error) {
+	f := r.f
+	if f == nil {
+		return nil, fmt.Errorf("core: Result does not carry factorization state")
+	}
+	n := r.Report.N
+	if len(b2) != n {
+		return nil, fmt.Errorf("core: rhs length %d for N=%d", len(b2), n)
+	}
+	// Pad to the tiled order if the original system was padded (§II-D.2).
+	bp := b2
+	if f.nt*f.nb != n {
+		bp = make([]float64, f.nt*f.nb)
+		copy(bp, b2)
+	}
+	rhs := tile.VectorFromSlice(bp, f.nb)
+	for k := 0; k < f.nt; k++ {
+		if err := f.replayStep(f.steps[k], rhs); err != nil {
+			return nil, err
+		}
+	}
+	x := backSubstitute(f.A, rhs, f.diagSolvers)
+	return x[:n], nil
+}
+
+// replayStep applies step k's transformation to a fresh RHS vector.
+func (f *fact) replayStep(st *stepState, rhs *tile.Vector) error {
+	if st == nil {
+		return fmt.Errorf("core: missing step state")
+	}
+	k := st.k
+	if f.report.Decisions[k] {
+		return f.replayLUStep(st, rhs)
+	}
+	return f.replayQRStep(st, rhs)
+}
+
+func (f *fact) replayLUStep(st *stepState, rhs *tile.Vector) error {
+	k := st.k
+	nb := f.nb
+	if st.inc != nil {
+		return f.replayIncPivStep(st, rhs)
+	}
+	if st.hlu != nil {
+		return f.replayHLUStep(st, rhs)
+	}
+	switch st.variant {
+	case VarA1:
+		// Apply: swaps + unit-lower solve on the stacked pivot rows.
+		s := rhs.StackRows(st.rows)
+		lapack.Laswp(s, st.piv, false)
+		l11 := st.stack.View(0, 0, nb, nb)
+		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, rhs.W))
+		rhs.UnstackRows(s, st.rows)
+	case VarA2:
+		lapack.Unmqr(blas.Trans, f.A.Tile(k, k), st.tGeqrt[k], rhs.Tile(k))
+	case VarB1, VarB2:
+		// Block LU: row k's RHS is untouched at step k.
+	}
+	// Update: b_i −= A_ik·b_k for every sub-diagonal row.
+	for i := k + 1; i < f.nt; i++ {
+		blas.Gemm(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), rhs.Tile(k), 1, rhs.Tile(i))
+	}
+	return nil
+}
+
+func (f *fact) replayQRStep(st *stepState, rhs *tile.Vector) error {
+	k := st.k
+	domains := f.cfg.Grid.PanelDomains(k, f.nt)
+	ops := tree.Hierarchical(domains, f.cfg.IntraTree, f.cfg.InterTree)
+	for _, op := range ops {
+		switch op.Kind {
+		case tree.OpGeqrt:
+			t := st.tGeqrt[op.I]
+			if t == nil {
+				return fmt.Errorf("core: step %d missing GEQRT factor for row %d", k, op.I)
+			}
+			lapack.Unmqr(blas.Trans, f.A.Tile(op.I, k), t, rhs.Tile(op.I))
+		case tree.OpTS:
+			t := st.tKill[op.I]
+			if t == nil {
+				return fmt.Errorf("core: step %d missing TSQRT factor for row %d", k, op.I)
+			}
+			lapack.Tsmqr(blas.Trans, f.A.Tile(op.I, k), t, rhs.Tile(op.Piv), rhs.Tile(op.I))
+		case tree.OpTT:
+			t := st.tKill[op.I]
+			if t == nil {
+				return fmt.Errorf("core: step %d missing TTQRT factor for row %d", k, op.I)
+			}
+			lapack.Ttmqr(blas.Trans, f.A.Tile(op.I, k), t, rhs.Tile(op.Piv), rhs.Tile(op.I))
+		}
+	}
+	return nil
+}
+
+func (f *fact) replayIncPivStep(st *stepState, rhs *tile.Vector) error {
+	k := st.k
+	is := st.inc
+	if is.l0 == nil {
+		return fmt.Errorf("core: step %d missing incremental-pivoting factors", k)
+	}
+	// GESSM on the diagonal row's RHS.
+	bk := rhs.Tile(k)
+	lapack.Laswp(bk, is.piv[k], false)
+	blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, is.l0, bk)
+	// Pairwise SSSSM applications, serial in i as in the factorization.
+	for i := k + 1; i < f.nt; i++ {
+		f.ssssm(is, i, rhs.Tile(k), rhs.Tile(i))
+	}
+	return nil
+}
+
+// Refine performs iterative refinement on an already computed solution:
+// r = b − A·x, dx = Solve(r), x += dx, for iters rounds. It uses the stored
+// factorization, so each round costs O(N²). Refinement recovers accuracy
+// when the factorization was fast-but-mildly-unstable (e.g. LU NoPiv on a
+// matrix with moderate growth), and is an extension beyond the paper.
+func (r *Result) Refine(a *mat.Matrix, b, x []float64, iters int) ([]float64, error) {
+	out := append([]float64(nil), x...)
+	for it := 0; it < iters; it++ {
+		res := mat.Residual(a, out, b)
+		dx, err := r.Solve(res)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] += dx[i]
+		}
+	}
+	return out, nil
+}

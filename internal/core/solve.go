@@ -1,0 +1,34 @@
+package core
+
+import (
+	"luqr/internal/blas"
+	"luqr/internal/mat"
+	"luqr/internal/tile"
+)
+
+// backSubstitute solves the (block) upper triangular system left by the
+// factorization: for each block row k (last to first),
+//
+//	x_k = A_kk⁻¹ · (b_k − Σ_{j>k} A_kj·x_j)
+//
+// where A_kk⁻¹ is the plain upper-triangular solve for the (A) variants and
+// the pure algorithms (their diagonal tiles hold R/U), or the stored
+// diagonal factorization for block-LU steps (variants (B1)/(B2), §II-C.2,
+// whose U factor is only block upper triangular). solvers[k] == nil selects
+// the default. The O(N²) solve is serial; its cost is negligible next to
+// the O(N³) factorization the paper measures (§II-D.1).
+func backSubstitute(a *tile.Matrix, rhs *tile.Vector, solvers []func(b *mat.Matrix)) []float64 {
+	nt := a.NT
+	for k := nt - 1; k >= 0; k-- {
+		bk := rhs.Tile(k)
+		for j := k + 1; j < nt; j++ {
+			blas.Gemm(blas.NoTrans, blas.NoTrans, -1, a.Tile(k, j), rhs.Tile(j), 1, bk)
+		}
+		if solvers != nil && solvers[k] != nil {
+			solvers[k](bk)
+			continue
+		}
+		blas.Trsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, a.Tile(k, k), bk)
+	}
+	return rhs.ToSlice()
+}

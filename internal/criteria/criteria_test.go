@@ -1,0 +1,237 @@
+package criteria
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxCriterionThreshold(t *testing.T) {
+	// ‖(A_kk)⁻¹‖₁ = 0.5 → ‖A_kk⁻¹‖⁻¹ = 2. With α = 1 the LU step is allowed
+	// iff the largest off-diagonal tile norm is ≤ 2.
+	in := &Input{InvDiagNorm1: 0.5, OffDiagTileNorms: []float64{1.5, 1.9}}
+	if !(Max{1}).Decide(in) {
+		t.Fatal("Max should accept: 1·2 ≥ 1.9")
+	}
+	in.OffDiagTileNorms = []float64{2.5}
+	if (Max{1}).Decide(in) {
+		t.Fatal("Max should reject: 1·2 < 2.5")
+	}
+	if !(Max{2}).Decide(in) {
+		t.Fatal("Max with α=2 should accept: 2·2 ≥ 2.5")
+	}
+}
+
+func TestSumStricterThanMax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		norms := make([]float64, n)
+		for i := range norms {
+			norms[i] = rng.Float64() * 10
+		}
+		in := &Input{
+			InvDiagNorm1:     rng.Float64() + 0.1,
+			OffDiagTileNorms: norms,
+			Alpha:            rng.Float64() * 5,
+		}
+		alpha := in.Alpha
+		// Whenever Sum accepts, Max must accept too (Σ ≥ max).
+		if (Sum{alpha}).Decide(in) && !(Max{alpha}).Decide(in) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneInAlpha(t *testing.T) {
+	// A larger α can only turn QR decisions into LU decisions.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		norms := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		in := &Input{InvDiagNorm1: rng.Float64() + 0.05, OffDiagTileNorms: norms}
+		a1 := rng.Float64() * 3
+		a2 := a1 + rng.Float64()*3
+		for _, pair := range [][2]Criterion{{Max{a1}, Max{a2}}, {Sum{a1}, Sum{a2}}} {
+			if pair[0].Decide(in) && !pair[1].Decide(in) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiagonallyDominantAlwaysLUForSum(t *testing.T) {
+	// Block diagonal dominance: ‖A_kk⁻¹‖⁻¹ ≥ Σ ‖A_ik‖ ⇒ Sum with α = 1
+	// accepts (§III-B).
+	in := &Input{InvDiagNorm1: 1.0 / 10.0, OffDiagTileNorms: []float64{3, 3, 3.5}}
+	if !(Sum{1}).Decide(in) {
+		t.Fatal("Sum α=1 must accept a block diagonally dominant panel")
+	}
+}
+
+func TestSingularDiagonalForcesQR(t *testing.T) {
+	in := &Input{InvDiagNorm1: math.Inf(1), OffDiagTileNorms: []float64{0.1}}
+	if (Max{1e9}).Decide(in) || (Sum{1e9}).Decide(in) {
+		t.Fatal("singular diagonal tile must force a QR step")
+	}
+}
+
+func TestAlphaInfinityAlwaysLU(t *testing.T) {
+	in := &Input{InvDiagNorm1: math.Inf(1), OffDiagTileNorms: []float64{1e30}}
+	if !(Max{math.Inf(1)}).Decide(in) || !(Sum{math.Inf(1)}).Decide(in) {
+		t.Fatal("α = ∞ must deactivate the criterion")
+	}
+	if !(MUMPS{math.Inf(1)}).Decide(&Input{Pivots: []float64{0}, AwayMax: []float64{1}, LocalMax: []float64{1}}) {
+		t.Fatal("MUMPS with α = ∞ must accept")
+	}
+}
+
+func TestAlphaZeroAlwaysQRWithEmptyPanel(t *testing.T) {
+	in := &Input{InvDiagNorm1: 0.1, OffDiagTileNorms: nil}
+	if (Max{0}).Decide(in) || (Sum{0}).Decide(in) {
+		t.Fatal("α = 0 must force QR even on the last panel")
+	}
+	if !(Max{1}).Decide(in) {
+		t.Fatal("a panel with no sub-diagonal tiles is safe for LU when α > 0")
+	}
+}
+
+func TestMUMPSAcceptsBenignPanel(t *testing.T) {
+	// No growth locally (pivot == local max) and away max below pivots.
+	in := &Input{
+		Pivots:   []float64{2, 2, 2},
+		LocalMax: []float64{2, 2, 2},
+		AwayMax:  []float64{1, 1, 1},
+	}
+	if !(MUMPS{1}).Decide(in) {
+		t.Fatal("MUMPS should accept a benign panel")
+	}
+}
+
+func TestMUMPSRejectsLargeAway(t *testing.T) {
+	in := &Input{
+		Pivots:   []float64{2, 2, 2},
+		LocalMax: []float64{2, 2, 2},
+		AwayMax:  []float64{1, 5, 1},
+	}
+	if (MUMPS{1}).Decide(in) {
+		t.Fatal("MUMPS must reject when an away column dominates its pivot")
+	}
+	if !(MUMPS{3}).Decide(in) {
+		t.Fatal("MUMPS with a looser α should accept")
+	}
+}
+
+func TestMUMPSGrowthScalesEstimate(t *testing.T) {
+	// Column 0 grew by 4 locally (pivot 4 vs initial local max 1): the away
+	// entry is extrapolated to away·growth = 2·4 = 8 > α·pivot = 4 → reject.
+	in := &Input{
+		Pivots:   []float64{4},
+		LocalMax: []float64{1},
+		AwayMax:  []float64{2},
+	}
+	if (MUMPS{1}).Decide(in) {
+		t.Fatal("MUMPS must scale the away estimate by the observed growth")
+	}
+	// With a smaller away entry (α·local_max ≥ away_max) it accepts.
+	in.AwayMax = []float64{1}
+	if !(MUMPS{1}).Decide(in) {
+		t.Fatal("MUMPS should accept when α·local_max ≥ away_max")
+	}
+	// Without any away mass it always accepts.
+	in.AwayMax = []float64{0}
+	if !(MUMPS{1}).Decide(in) {
+		t.Fatal("MUMPS with empty away columns must accept")
+	}
+}
+
+func TestMUMPSReducesToColumnMaxComparison(t *testing.T) {
+	// For positive pivots the test is equivalent to α·local_max(j) ≥
+	// away_max(j), independent of the pivot value.
+	for _, pivot := range []float64{0.01, 1, 100} {
+		in := &Input{
+			Pivots:   []float64{pivot},
+			LocalMax: []float64{2},
+			AwayMax:  []float64{3},
+		}
+		if (MUMPS{1}).Decide(in) {
+			t.Fatal("α·local < away must reject regardless of pivot")
+		}
+		if !(MUMPS{2}).Decide(in) {
+			t.Fatal("α·local ≥ away must accept regardless of pivot")
+		}
+	}
+}
+
+func TestMUMPSZeroLocalMaxGuard(t *testing.T) {
+	in := &Input{
+		Pivots:   []float64{1, 1},
+		LocalMax: []float64{0, 1}, // empty local column: growth undefined
+		AwayMax:  []float64{0.5, 0.5},
+	}
+	if !(MUMPS{1}).Decide(in) {
+		t.Fatal("zero local max must not poison the growth product")
+	}
+}
+
+func TestRandomCriterionRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := &Input{Rng: rng}
+	for _, alpha := range []float64{0, 25, 50, 100} {
+		c := Random{alpha}
+		hits := 0
+		const trials = 10000
+		for i := 0; i < trials; i++ {
+			if c.Decide(in) {
+				hits++
+			}
+		}
+		rate := float64(hits) / trials * 100
+		if math.Abs(rate-alpha) > 2.5 {
+			t.Fatalf("Random α=%g produced %g%% LU steps", alpha, rate)
+		}
+	}
+}
+
+func TestAlwaysNever(t *testing.T) {
+	if !(Always{}).Decide(nil) || (Never{}).Decide(nil) {
+		t.Fatal("Always/Never broken")
+	}
+}
+
+func TestGrowthBounds(t *testing.T) {
+	if MaxGrowthBound(1, 10) != 512 { // 2^9
+		t.Fatalf("MaxGrowthBound(1,10) = %g", MaxGrowthBound(1, 10))
+	}
+	if SumGrowthBound(7) != 7 {
+		t.Fatal("SumGrowthBound wrong")
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, name := range []string{"max", "sum", "mumps", "random", "alwayslu", "lu", "alwaysqr", "qr", "hqr"} {
+		c, err := Parse(name, 1)
+		if err != nil || c == nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+	}
+	if _, err := Parse("bogus", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, c := range []Criterion{Max{1}, Sum{1}, MUMPS{1}, Random{1}, Always{}, Never{}} {
+		if c.Name() == "" {
+			t.Fatal("empty criterion name")
+		}
+	}
+}

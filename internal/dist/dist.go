@@ -1,0 +1,68 @@
+// Package dist models the distributed-memory aspects of the reproduction:
+// which nodes participate in a panel, and the Bruck all-reduce schedule the
+// paper uses to exchange criterion data among the nodes hosting panel tiles
+// (§III: "collected and exchanged (using a Bruck's all-reduce algorithm)
+// between all nodes hosting at least one tile of the panel").
+//
+// The actual numerical work runs in shared memory; this package produces the
+// message schedules that the discrete-event simulator charges for, so the
+// simulated performance includes the criterion-exchange cost exactly where
+// the paper's implementation pays it.
+package dist
+
+import (
+	"sort"
+
+	"luqr/internal/runtime"
+	"luqr/internal/tile"
+)
+
+// PanelNodes returns the sorted set of node ranks hosting at least one tile
+// of panel k (rows k..mt−1 of column k) under grid g.
+func PanelNodes(g tile.Grid, k, mt int) []int {
+	seen := map[int]bool{}
+	var nodes []int
+	for i := k; i < mt; i++ {
+		r := g.Owner(i, k)
+		if !seen[r] {
+			seen[r] = true
+			nodes = append(nodes, r)
+		}
+	}
+	sort.Ints(nodes)
+	return nodes
+}
+
+// AllReduceRounds returns ⌈log₂ p⌉, the number of communication rounds of a
+// Bruck all-reduce among p participants.
+func AllReduceRounds(p int) int {
+	r := 0
+	for (1 << r) < p {
+		r++
+	}
+	return r
+}
+
+// BruckAllReduce returns the messages of a Bruck all-reduce of `bytes` bytes
+// among the given participants: in round r (r = 0, 1, …) participant i sends
+// its accumulated value to participant (i + 2^r) mod p. After ⌈log₂ p⌉
+// rounds every participant holds the reduction. The message list is ordered
+// round by round; messages within a round are concurrent.
+func BruckAllReduce(participants []int, bytes int) []runtime.Message {
+	p := len(participants)
+	if p <= 1 {
+		return nil
+	}
+	var msgs []runtime.Message
+	for r := 0; (1 << r) < p; r++ {
+		d := 1 << r
+		for i := 0; i < p; i++ {
+			msgs = append(msgs, runtime.Message{
+				From:  participants[i],
+				To:    participants[(i+d)%p],
+				Bytes: bytes,
+			})
+		}
+	}
+	return msgs
+}

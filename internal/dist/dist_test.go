@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"luqr/internal/tile"
+)
+
+func TestPanelNodes(t *testing.T) {
+	g := tile.NewGrid(4, 4)
+	// Panel 0 of a 8-tile column touches rows 0..7 → grid rows 0..3, column
+	// owner fixed by column 0 → 4 distinct ranks.
+	nodes := PanelNodes(g, 0, 8)
+	if len(nodes) != 4 {
+		t.Fatalf("panel nodes = %v", nodes)
+	}
+	// Panel mt−1 touches one row → one node.
+	if n := PanelNodes(g, 7, 8); len(n) != 1 || n[0] != g.Owner(7, 7) {
+		t.Fatalf("last panel nodes = %v", n)
+	}
+}
+
+func TestPanelNodesCoverOwners(t *testing.T) {
+	f := func(seed uint32) bool {
+		p := int(seed%4) + 1
+		q := int(seed/4%3) + 1
+		g := tile.NewGrid(p, q)
+		mt := 9
+		k := int(seed/16) % mt
+		nodes := PanelNodes(g, k, mt)
+		set := map[int]bool{}
+		for _, n := range nodes {
+			set[n] = true
+		}
+		for i := k; i < mt; i++ {
+			if !set[g.Owner(i, k)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllReduceRounds(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4}
+	for p, want := range cases {
+		if got := AllReduceRounds(p); got != want {
+			t.Fatalf("AllReduceRounds(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestBruckAllReduceMessages(t *testing.T) {
+	parts := []int{2, 5, 7, 11}
+	msgs := BruckAllReduce(parts, 64)
+	// 2 rounds × 4 participants.
+	if len(msgs) != 8 {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+	// Round 0: distance 1 ring; round 1: distance 2.
+	if msgs[0].From != 2 || msgs[0].To != 5 {
+		t.Fatalf("round 0 first message %v", msgs[0])
+	}
+	if msgs[4].From != 2 || msgs[4].To != 7 {
+		t.Fatalf("round 1 first message %v", msgs[4])
+	}
+	for _, m := range msgs {
+		if m.Bytes != 64 || m.From == m.To {
+			t.Fatalf("bad message %v", m)
+		}
+	}
+}
+
+func TestBruckAllReduceTrivial(t *testing.T) {
+	if msgs := BruckAllReduce([]int{3}, 8); msgs != nil {
+		t.Fatal("single participant needs no messages")
+	}
+	if msgs := BruckAllReduce(nil, 8); msgs != nil {
+		t.Fatal("empty participant set needs no messages")
+	}
+}
+
+// TestBruckDissemination verifies the correctness of the schedule: after the
+// rounds, every participant has received (directly or transitively) the
+// contribution of every other participant.
+func TestBruckDissemination(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 5, 7, 8, 16} {
+		parts := make([]int, p)
+		for i := range parts {
+			parts[i] = i * 10
+		}
+		msgs := BruckAllReduce(parts, 1)
+		// know[x] = set of contributions node x holds.
+		know := map[int]map[int]bool{}
+		for _, x := range parts {
+			know[x] = map[int]bool{x: true}
+		}
+		// Process round by round: messages in a round carry the knowledge
+		// held at the START of the round (classic Bruck semantics).
+		perRound := p
+		for r := 0; r*perRound < len(msgs); r++ {
+			snapshot := map[int]map[int]bool{}
+			for x, s := range know {
+				c := map[int]bool{}
+				for k := range s {
+					c[k] = true
+				}
+				snapshot[x] = c
+			}
+			for _, m := range msgs[r*perRound : (r+1)*perRound] {
+				for k := range snapshot[m.From] {
+					know[m.To][k] = true
+				}
+			}
+		}
+		for _, x := range parts {
+			if len(know[x]) != p {
+				t.Fatalf("p=%d: node %d holds %d/%d contributions", p, x, len(know[x]), p)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"luqr/internal/core"
+	"luqr/internal/criteria"
+	"luqr/internal/tree"
+)
+
+// AblationRow is one configuration of the design-choice study.
+type AblationRow struct {
+	Group   string // which knob is being varied
+	Label   string
+	HPL3    float64
+	Growth  float64
+	PctLU   float64
+	SimTime float64
+	SimGF   float64
+	WallSec float64
+}
+
+// Ablation measures the design choices DESIGN.md calls out, on seeded
+// random matrices:
+//
+//   - QR reduction-tree family (intra/inter), on pure HQR — trades kernel
+//     count (TS trees) against critical path (TT trees), §II-B;
+//   - LU pivot scope (diagonal tile vs diagonal domain) at α = ∞ — the
+//     §V-B stability discussion;
+//   - LU-step variant (A1/A2/B1/B2) under the Max criterion — §II-C.
+func Ablation(o Options, out io.Writer) ([]AblationRow, error) {
+	o = o.withDefaults()
+	mats := randomSystems(o)
+	var rows []AblationRow
+
+	measure := func(group, label string, cfg core.Config) error {
+		row := AblationRow{Group: group, Label: label}
+		for i, m := range mats {
+			cfg.NB, cfg.Grid, cfg.Workers = o.NB, o.Grid, o.Workers
+			cfg.Seed = o.Seed + int64(i)
+			rep, simT, err := run(m, cfg, o.Machine)
+			if err != nil {
+				return err
+			}
+			row.HPL3 += rep.HPL3
+			row.Growth += rep.Growth
+			row.PctLU += 100 * rep.FracLU()
+			row.SimTime += simT
+			row.SimGF += rep.FakeGFlops(simT)
+			row.WallSec += rep.WallTime.Seconds()
+		}
+		f := 1 / float64(len(mats))
+		row.HPL3 *= f
+		row.Growth *= f
+		row.PctLU *= f
+		row.SimTime *= f
+		row.SimGF *= f
+		row.WallSec *= f
+		rows = append(rows, row)
+		return nil
+	}
+
+	// 1. Reduction trees.
+	for _, tr := range []struct {
+		label        string
+		intra, inter tree.Tree
+	}{
+		{"flatts/flattt", tree.FlatTS, tree.FlatTT},
+		{"binary/binary", tree.Binary, tree.Binary},
+		{"greedy/fibonacci", tree.Greedy, tree.Fibonacci},
+		{"fibonacci/fibonacci", tree.Fibonacci, tree.Fibonacci},
+	} {
+		if err := measure("tree", tr.label, core.Config{Alg: core.HQR, IntraTree: tr.intra, InterTree: tr.inter}); err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Pivot scope at α = ∞ (the §V-B diagonal-tile vs domain comparison).
+	for _, sc := range []struct {
+		label string
+		scope core.Scope
+	}{{"tile", core.ScopeTile}, {"domain", core.ScopeDomain}} {
+		if err := measure("scope", sc.label, core.Config{Alg: core.LUQR, Scope: sc.scope, Criterion: criteria.Always{}}); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. LU-step variants under the same criterion.
+	for _, v := range []core.LUVariant{core.VarA1, core.VarA2, core.VarB1, core.VarB2} {
+		if err := measure("variant", v.String(), core.Config{
+			Alg: core.LUQR, Variant: v, Criterion: criteria.Max{Alpha: 500},
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// 4. Panel-elimination family: flat pairwise (IncPiv), tree pairwise
+	// (HLU, the §VII prototype), tournament (CALU).
+	for _, pe := range []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"incpiv-flat", core.Config{Alg: core.LUIncPiv}},
+		{"hlu-greedy", core.Config{Alg: core.HLU, IntraTree: tree.Greedy, InterTree: tree.Fibonacci}},
+		{"calu-tournament", core.Config{Alg: core.CALU}},
+	} {
+		if err := measure("panel", pe.label, pe.cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	if !o.Quiet {
+		fmt.Fprintf(out, "# Ablations — N=%d nb=%d grid=%dx%d, %d rep(s), simulated on %s\n",
+			o.N, o.NB, o.Grid.P, o.Grid.Q, o.Reps, o.Machine.Name)
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "group\tconfig\tHPL3\tgrowth\t%LU\tsim time\tGFLOP/s\twall(s)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%.3g\t%.3g\t%.1f\t%.4f\t%.1f\t%.3f\n",
+				r.Group, r.Label, r.HPL3, r.Growth, r.PctLU, r.SimTime, r.SimGF, r.WallSec)
+		}
+		w.Flush()
+	}
+	return rows, nil
+}
+
+// TuneAlpha implements the auto-tuning the paper leaves as future work
+// (§VII): find, by bisection on log α, the largest threshold whose mean
+// HPL3 over sample random matrices stays within budget × the LUPP
+// reference. Returns the tuned α and its measured %LU and relative HPL3.
+func TuneAlpha(o Options, criterion string, budget float64, out io.Writer) (alpha, pctLU, relHPL3 float64, err error) {
+	o = o.withDefaults()
+	if budget <= 0 {
+		budget = 2
+	}
+	mats := randomSystems(o)
+
+	ref := 0.0
+	for i, m := range mats {
+		rep, _, e := run(m, core.Config{Alg: core.LUPP, NB: o.NB, Grid: o.Grid, Workers: o.Workers, Seed: o.Seed + int64(i)}, o.Machine)
+		if e != nil {
+			return 0, 0, 0, e
+		}
+		ref += rep.HPL3
+	}
+	ref /= float64(len(mats))
+
+	eval := func(a float64) (rel, pct float64, err error) {
+		var hpl, lu float64
+		for i, m := range mats {
+			rep, _, e := run(m, core.Config{
+				Alg: core.LUQR, NB: o.NB, Grid: o.Grid, Workers: o.Workers,
+				Criterion: makeCriterion(criterion, a), Seed: o.Seed + int64(i),
+			}, o.Machine)
+			if e != nil {
+				return 0, 0, e
+			}
+			hpl += rep.HPL3
+			lu += 100 * rep.FracLU()
+		}
+		n := float64(len(mats))
+		return hpl / n / ref, lu / n, nil
+	}
+
+	// Bracket: grow α by decades until the budget is violated (or α is
+	// effectively ∞).
+	lo, hi := 0.0, math.NaN()
+	a := 1e-2
+	for ; a <= 1e9; a *= 10 {
+		rel, pct, e := eval(a)
+		if e != nil {
+			return 0, 0, 0, e
+		}
+		if rel <= budget {
+			lo, pctLU, relHPL3 = a, pct, rel
+			if pct >= 100 {
+				break // already all-LU within budget: done
+			}
+		} else {
+			hi = a
+			break
+		}
+	}
+	if math.IsNaN(hi) {
+		// Never violated: α = the last probed value (all LU within budget).
+		if out != nil && !o.Quiet {
+			fmt.Fprintf(out, "tuned %s: alpha=%g (budget never violated), %%LU=%.1f, relHPL3=%.3g\n", criterion, lo, pctLU, relHPL3)
+		}
+		return lo, pctLU, relHPL3, nil
+	}
+	if lo == 0 {
+		return 0, 0, 0, fmt.Errorf("experiments: no α within stability budget %g for %s", budget, criterion)
+	}
+	// Bisect on log α.
+	for iter := 0; iter < 8; iter++ {
+		mid := math.Sqrt(lo * hi)
+		rel, pct, e := eval(mid)
+		if e != nil {
+			return 0, 0, 0, e
+		}
+		if rel <= budget {
+			lo, pctLU, relHPL3 = mid, pct, rel
+		} else {
+			hi = mid
+		}
+	}
+	if out != nil && !o.Quiet {
+		fmt.Fprintf(out, "tuned %s: alpha=%.4g, %%LU=%.1f, relHPL3=%.3g (budget %g× LUPP)\n", criterion, lo, pctLU, relHPL3, budget)
+	}
+	return lo, pctLU, relHPL3, nil
+}

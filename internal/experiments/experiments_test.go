@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"luqr/internal/tile"
+)
+
+// smallOpts keeps the experiment tests fast while exercising a real 2-D
+// grid and several panel steps.
+func smallOpts() Options {
+	return Options{N: 128, NB: 16, Grid: tile.NewGrid(2, 2), Reps: 1, Quiet: true}
+}
+
+func findRow(rows []Row, label string, alpha float64) *Row {
+	for i := range rows {
+		if rows[i].Label != label {
+			continue
+		}
+		if math.IsNaN(alpha) && math.IsNaN(rows[i].Alpha) {
+			return &rows[i]
+		}
+		if rows[i].Alpha == alpha {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+func TestFig2Structure(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOpts()
+	o.Quiet = false
+	rows, err := Fig2(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 2") || !strings.Contains(buf.String(), "relHPL3") {
+		t.Fatal("Fig2 table output missing")
+	}
+	// 4 baselines + 9 (max) + 9 (sum) + 8 (mumps) + 7 (random).
+	if len(rows) != 4+9+9+8+7 {
+		t.Fatalf("fig2 produced %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SimGF <= 0 || r.SimTime <= 0 {
+			t.Fatalf("row %s alpha=%g has no performance data", r.Label, r.Alpha)
+		}
+		if r.PctLU < 0 || r.PctLU > 100 {
+			t.Fatalf("row %s: %%LU = %g", r.Label, r.PctLU)
+		}
+	}
+	// α endpoints.
+	if r := findRow(rows, "max", math.Inf(1)); r.PctLU != 100 {
+		t.Fatalf("max α=∞ took %.1f%% LU steps", r.PctLU)
+	}
+	if r := findRow(rows, "max", 0); r.PctLU != 0 {
+		t.Fatalf("max α=0 took %.1f%% LU steps", r.PctLU)
+	}
+	// %LU must be monotone non-decreasing in α for the norm criteria.
+	for _, crit := range []string{"max", "sum", "random"} {
+		prev := -1.0
+		for _, alpha := range sweepAlphas(crit) {
+			r := findRow(rows, crit, alpha)
+			if r.PctLU < prev-1e-9 {
+				t.Fatalf("%s: %%LU not monotone in α (%.1f after %.1f at α=%g)", crit, r.PctLU, prev, alpha)
+			}
+			prev = r.PctLU
+		}
+	}
+	// Stability: the all-QR hybrid must match HQR's error level and be
+	// comparable to LUPP on random matrices.
+	hqr := findRow(rows, "hqr", math.NaN())
+	alpha0 := findRow(rows, "max", 0)
+	if math.Abs(alpha0.HPL3-hqr.HPL3) > 0.5*hqr.HPL3+1e-12 {
+		t.Fatalf("α=0 HPL3 %g far from HQR %g", alpha0.HPL3, hqr.HPL3)
+	}
+	if hqr.RelHPL3 > 10 {
+		t.Fatalf("HQR relative stability %g on random matrices", hqr.RelHPL3)
+	}
+}
+
+func TestFig2PerformanceShape(t *testing.T) {
+	rows, err := Fig2(smallOpts(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline shape: the all-LU hybrid outperforms the all-QR
+	// hybrid (fake GFLOP/s), and LUPP does not beat the all-LU hybrid.
+	luAll := findRow(rows, "max", math.Inf(1))
+	qrAll := findRow(rows, "max", 0)
+	lupp := findRow(rows, "lupp", math.NaN())
+	if !(luAll.SimGF > qrAll.SimGF) {
+		t.Fatalf("α=∞ (%.2f GF) not faster than α=0 (%.2f GF)", luAll.SimGF, qrAll.SimGF)
+	}
+	if !(luAll.SimGF > lupp.SimGF) {
+		t.Fatalf("α=∞ (%.2f GF) not faster than LUPP (%.2f GF)", luAll.SimGF, lupp.SimGF)
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOpts()
+	o.Quiet = false
+	rows, err := Table2(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // NoPiv, IncPiv, 8 alphas, HQR, LUPP
+		t.Fatalf("table2 has %d rows", len(rows))
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Fatal("missing header")
+	}
+	// The α ladder must interpolate between the two endpoints in %LU.
+	var pct []float64
+	for _, r := range rows {
+		if r.Label == "LUQR (MAX)" {
+			pct = append(pct, r.PctLU)
+		}
+	}
+	if pct[0] != 100 || pct[len(pct)-1] != 0 {
+		t.Fatalf("α ladder endpoints: %v", pct)
+	}
+	for i := 1; i < len(pct); i++ {
+		if pct[i] > pct[i-1]+1e-9 {
+			t.Fatalf("%%LU must decrease along the α ladder: %v", pct)
+		}
+	}
+	// True GFLOP/s never below fake GFLOP/s (equality when all LU).
+	for _, r := range rows {
+		if r.TrueGF < r.SimGF-1e-9 {
+			t.Fatalf("%s: true GF %.2f below fake %.2f", r.Label, r.TrueGF, r.SimGF)
+		}
+	}
+}
+
+func TestFig3Structure(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOpts()
+	o.Grid = tile.NewGrid(4, 1) // a 16×1-style tall grid, scaled down
+	o.Quiet = false
+	rows, err := Fig3(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Fatal("Fig3 table output missing")
+	}
+	if len(rows) != 23 { // random + 21 Table III matrices + fiedler
+		t.Fatalf("fig3 has %d rows", len(rows))
+	}
+	byName := map[string]Fig3Row{}
+	for _, r := range rows {
+		byName[r.Matrix] = r
+		for _, a := range Fig3Algs {
+			if _, ok := r.Rel[a]; !ok {
+				t.Fatalf("%s missing algorithm %s", r.Matrix, a)
+			}
+		}
+	}
+	// HQR must be stable (relative HPL3 within a couple orders of LUPP)
+	// on every matrix where LUPP itself produced a finite error.
+	for _, r := range rows {
+		if r.Failed["hqr"] {
+			t.Fatalf("HQR failed on %s", r.Matrix)
+		}
+	}
+	// The §V-C contrast: on the GEPP-growth matrices, LU NoPiv is orders of
+	// magnitude less stable than HQR (or fails outright).
+	for _, m := range []string{"foster", "wilkinson"} {
+		r := byName[m]
+		if !r.Failed["lunopiv"] && r.Rel["lunopiv"] < 1e3*r.Rel["hqr"] {
+			t.Fatalf("%s: LU NoPiv rel %g vs HQR %g — expected instability", m, r.Rel["lunopiv"], r.Rel["hqr"])
+		}
+		if r.Failed["max"] {
+			t.Fatalf("%s: Max criterion failed", m)
+		}
+	}
+	// The Max criterion must contain the damage: within a few orders of
+	// LUPP on every special matrix (the paper reports ratios from 0.03 to
+	// 58).
+	for _, r := range rows {
+		if r.Failed["max"] {
+			t.Fatalf("Max criterion failed on %s", r.Matrix)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	var buf bytes.Buffer
+	costs := Table1(48, 2, &buf)
+	want := map[string]float64{
+		"GETRF": 2.0 / 3, "TRSM": 1, "GEMM": 2, "GEQRT": 4.0 / 3,
+		"TSQRT": 2, "TSMQR": 4, "UNMQR": 2, "TTQRT": 2.0 / 3, "TTMQR": 2,
+	}
+	if len(costs) != len(want) {
+		t.Fatalf("table1 has %d kernels", len(costs))
+	}
+	for _, c := range costs {
+		if math.Abs(c.ModelUnits-want[c.Kernel]) > 1e-12 {
+			t.Errorf("%s: model units %.4f, want %.4f", c.Kernel, c.ModelUnits, want[c.Kernel])
+		}
+		if c.MeasuredMs <= 0 {
+			t.Errorf("%s: no measurement", c.Kernel)
+		}
+	}
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestOverheadPositive(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOpts()
+	o.Quiet = false
+	res, err := Overhead(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decision path (backup, trial LU, criterion, restore) can only add
+	// time to the all-QR execution.
+	if res.QROverheadPct < 0 {
+		t.Fatalf("decision-path overhead %.1f%% is negative", res.QROverheadPct)
+	}
+	if res.Alpha0Time <= res.HQRTime {
+		t.Fatalf("α=0 (%.6fs) not slower than HQR (%.6fs)", res.Alpha0Time, res.HQRTime)
+	}
+	if res.NoPivTime <= 0 || res.AlwaysLUTime <= 0 {
+		t.Fatal("missing LU timings")
+	}
+	if !strings.Contains(buf.String(), "overhead") {
+		t.Fatal("overhead output missing")
+	}
+}
+
+func TestAblationStructure(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOpts()
+	o.Quiet = false
+	rows, err := Ablation(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Ablations") {
+		t.Fatal("ablation table output missing")
+	}
+	if len(rows) != 4+2+4+3 {
+		t.Fatalf("ablation produced %d rows", len(rows))
+	}
+	groups := map[string]int{}
+	for _, r := range rows {
+		groups[r.Group]++
+		if r.SimTime <= 0 || r.SimGF <= 0 {
+			t.Fatalf("row %s/%s missing performance data", r.Group, r.Label)
+		}
+	}
+	if groups["tree"] != 4 || groups["scope"] != 2 || groups["variant"] != 4 || groups["panel"] != 3 {
+		t.Fatalf("group counts: %v", groups)
+	}
+	// Scope ablation: both all-LU; tree ablation: all all-QR.
+	for _, r := range rows {
+		switch r.Group {
+		case "scope":
+			if r.PctLU != 100 {
+				t.Fatalf("scope row %s: %%LU = %g", r.Label, r.PctLU)
+			}
+		case "tree":
+			if r.PctLU != 0 {
+				t.Fatalf("tree row %s: %%LU = %g", r.Label, r.PctLU)
+			}
+		}
+	}
+}
+
+func TestTuneAlphaFindsOperatingPoint(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOpts()
+	o.Quiet = false
+	alpha, pctLU, rel, err := TuneAlpha(o, "max", 2.0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 0 {
+		t.Fatalf("tuned alpha = %g", alpha)
+	}
+	if rel > 2.0 {
+		t.Fatalf("tuned point violates the budget: rel = %g", rel)
+	}
+	if pctLU < 0 || pctLU > 100 {
+		t.Fatalf("pctLU = %g", pctLU)
+	}
+}
+
+func TestCALUCompareStructure(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOpts()
+	o.Quiet = false
+	rows, err := CALUCompare(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CALU") {
+		t.Fatal("calu output missing")
+	}
+	if len(rows) != 5 {
+		t.Fatalf("calu compare produced %d rows", len(rows))
+	}
+	byLabel := map[string]Row{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+		if r.SimGF <= 0 {
+			t.Fatalf("%s missing performance data", r.Label)
+		}
+	}
+	// CALU must be much more stable than LU NoPiv and faster than LUPP.
+	if byLabel["CALU"].RelHPL3 > byLabel["LU NoPiv"].RelHPL3/2 {
+		t.Fatalf("CALU rel %g vs NoPiv %g", byLabel["CALU"].RelHPL3, byLabel["LU NoPiv"].RelHPL3)
+	}
+	if byLabel["CALU"].SimGF <= byLabel["LUPP"].SimGF {
+		t.Fatalf("CALU %g GF not faster than LUPP %g GF", byLabel["CALU"].SimGF, byLabel["LUPP"].SimGF)
+	}
+}
+
+func TestKappaSweepShape(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOpts()
+	o.Quiet = false
+	rows, err := Kappa(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Conditioning sweep") {
+		t.Fatal("kappa output missing")
+	}
+	if len(rows) != 5 {
+		t.Fatalf("kappa sweep produced %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Backward stability is κ-independent for the stable algorithms.
+		for _, alg := range []string{"lupp", "hqr", "luqr"} {
+			if r.HPL3[alg] > 100 || math.IsNaN(r.HPL3[alg]) {
+				t.Errorf("κ=%g %s: HPL3 = %g", r.Kappa, alg, r.HPL3[alg])
+			}
+		}
+	}
+	// Forward error must grow with κ (compare the endpoints, stable algs).
+	first, last := rows[0], rows[len(rows)-1]
+	if !(last.ForwErr["hqr"] > 100*first.ForwErr["hqr"]) {
+		t.Errorf("forward error did not grow with κ: %g → %g", first.ForwErr["hqr"], last.ForwErr["hqr"])
+	}
+}
+
+func TestMachineSweepShape(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOpts()
+	o.Quiet = false
+	rows, err := MachineSweep(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Platform sensitivity") {
+		t.Fatal("machine sweep output missing")
+	}
+	if len(rows) != 5*4 {
+		t.Fatalf("machine sweep produced %d rows", len(rows))
+	}
+	perf := map[string]map[string]float64{}
+	for _, r := range rows {
+		if perf[r.Alg] == nil {
+			perf[r.Alg] = map[string]float64{}
+		}
+		perf[r.Alg][r.Machine] = r.SimGF
+		if r.SimGF <= 0 {
+			t.Fatalf("%s/%s: no performance", r.Machine, r.Alg)
+		}
+	}
+	// A faster network can only help; a slower one can only hurt.
+	for alg, m := range perf {
+		if m["fast-net"] < m["dancer"]*0.99 {
+			t.Errorf("%s: fast-net %.2f below dancer %.2f", alg, m["fast-net"], m["dancer"])
+		}
+		if m["slow-net"] > m["dancer"]*1.01 {
+			t.Errorf("%s: slow-net %.2f above dancer %.2f", alg, m["slow-net"], m["dancer"])
+		}
+		if m["dancer-nic"] > m["dancer"]*1.01 {
+			t.Errorf("%s: NIC contention sped things up (%.2f vs %.2f)", alg, m["dancer-nic"], m["dancer"])
+		}
+	}
+	// LUPP is the most latency-sensitive algorithm (per-column exchanges).
+	luppDrop := perf["lupp"]["dancer"] / perf["lupp"]["high-lat"]
+	luqrDrop := perf["luqr"]["dancer"] / perf["luqr"]["high-lat"]
+	if luppDrop < luqrDrop {
+		t.Errorf("LUPP should suffer more from latency: drop %.2fx vs hybrid %.2fx", luppDrop, luqrDrop)
+	}
+}

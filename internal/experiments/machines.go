@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"luqr/internal/core"
+	"luqr/internal/criteria"
+	"luqr/internal/runtime"
+	"luqr/internal/sim"
+)
+
+// MachineRow records one algorithm's simulated performance on one platform
+// variant.
+type MachineRow struct {
+	Machine string
+	Alg     string
+	SimGF   float64
+	Msgs    int
+	MB      float64
+}
+
+// MachineSweep replays the same recorded task graphs on platform variants —
+// slower/faster interconnects, higher latency, serialized NICs — to expose
+// which algorithm is latency-bound (LUPP's per-column pivot exchanges),
+// bandwidth-bound (the full-panel swaps of LUPP/CALU), or compute-bound
+// (the hybrid and HQR). The factorizations run once; only the simulation is
+// repeated, so the sweep is cheap.
+func MachineSweep(o Options, out io.Writer) ([]MachineRow, error) {
+	o = o.withDefaults()
+	mats := randomSystems(o)
+
+	base := sim.Dancer()
+	variants := []sim.Machine{
+		base,
+		func() sim.Machine { m := base; m.Name = "dancer-nic"; m.NICSerial = true; return m }(),
+		func() sim.Machine { m := base; m.Name = "slow-net"; m.BandwidthBps /= 10; return m }(),
+		func() sim.Machine { m := base; m.Name = "high-lat"; m.LatencySec *= 20; return m }(),
+		func() sim.Machine { m := base; m.Name = "fast-net"; m.BandwidthBps *= 10; m.LatencySec /= 10; return m }(),
+	}
+	algs := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"luqr", core.Config{Alg: core.LUQR, Criterion: criteria.Max{Alpha: 500}}},
+		{"hqr", core.Config{Alg: core.HQR}},
+		{"lupp", core.Config{Alg: core.LUPP}},
+		{"calu", core.Config{Alg: core.CALU}},
+	}
+
+	// Record each algorithm's traces once.
+	traces := map[string][][]*runtime.TraceTask{}
+	reports := map[string][]*core.Report{}
+	for _, a := range algs {
+		for i, m := range mats {
+			cfg := a.cfg
+			cfg.NB, cfg.Grid, cfg.Workers, cfg.Seed, cfg.Trace = o.NB, o.Grid, o.Workers, o.Seed+int64(i), true
+			res, err := core.Run(m.a, m.b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			traces[a.label] = append(traces[a.label], res.Report.Trace)
+			res.Report.Trace = nil
+			reports[a.label] = append(reports[a.label], res.Report)
+		}
+	}
+
+	var rows []MachineRow
+	for _, machine := range variants {
+		for _, a := range algs {
+			row := MachineRow{Machine: machine.Name, Alg: a.label}
+			for i, tr := range traces[a.label] {
+				s := sim.Simulate(tr, machine, nil)
+				row.SimGF += reports[a.label][i].FakeGFlops(s.Makespan) / float64(len(mats))
+				row.Msgs += s.Messages / len(mats)
+				row.MB += float64(s.CommBytes) / 1e6 / float64(len(mats))
+			}
+			rows = append(rows, row)
+		}
+	}
+	if !o.Quiet {
+		fmt.Fprintf(out, "# Platform sensitivity — N=%d nb=%d grid=%dx%d (fake GFLOP/s per machine variant)\n", o.N, o.NB, o.Grid.P, o.Grid.Q)
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprint(w, "machine")
+		for _, a := range algs {
+			fmt.Fprintf(w, "\t%s", a.label)
+		}
+		fmt.Fprintln(w, "\tmsgs(luqr)\tMB(luqr)")
+		for i := 0; i < len(variants); i++ {
+			fmt.Fprint(w, variants[i].Name)
+			var luqrRow MachineRow
+			for _, r := range rows[i*len(algs) : (i+1)*len(algs)] {
+				fmt.Fprintf(w, "\t%.1f", r.SimGF)
+				if r.Alg == "luqr" {
+					luqrRow = r
+				}
+			}
+			fmt.Fprintf(w, "\t%d\t%.1f\n", luqrRow.Msgs, luqrRow.MB)
+		}
+		w.Flush()
+	}
+	return rows, nil
+}

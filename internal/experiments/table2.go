@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"luqr/internal/core"
+)
+
+// Table2 reproduces Table II: the detailed performance ladder at one fixed
+// N for the Max criterion — LU NoPiv, LU IncPiv, LUQR(Max) from α = ∞ down
+// to α = 0, HQR, and LUPP — reporting simulated time, %LU steps, fake and
+// true GFLOP/s and the corresponding fractions of the machine peak.
+func Table2(o Options, out io.Writer) ([]Row, error) {
+	o = o.withDefaults()
+	mats := randomSystems(o)
+
+	type entry struct {
+		label string
+		alg   core.Algorithm
+		alpha float64
+	}
+	entries := []entry{
+		{"LU NoPiv", core.LUNoPiv, math.NaN()},
+		{"LU IncPiv", core.LUIncPiv, math.NaN()},
+	}
+	for _, alpha := range []float64{math.Inf(1), 2000, 1000, 500, 300, 100, 10, 0} {
+		entries = append(entries, entry{"LUQR (MAX)", core.LUQR, alpha})
+	}
+	entries = append(entries, entry{"HQR", core.HQR, math.NaN()}, entry{"LUPP", core.LUPP, math.NaN()})
+
+	var rows []Row
+	for _, e := range entries {
+		row := Row{Label: e.label, Alpha: e.alpha, N: o.N}
+		for i, m := range mats {
+			cfg := core.Config{Alg: e.alg, NB: o.NB, Grid: o.Grid, Workers: o.Workers, Seed: o.Seed + int64(i)}
+			if e.alg == core.LUQR {
+				cfg.Criterion = makeCriterion("max", e.alpha)
+			}
+			rep, simT, err := run(m, cfg, o.Machine)
+			if err != nil {
+				return nil, err
+			}
+			accumulate(&row, rep, simT)
+		}
+		finish(&row, len(mats), 0, o.Machine)
+		rows = append(rows, row)
+	}
+	if !o.Quiet {
+		printTable2(out, o, rows)
+	}
+	return rows, nil
+}
+
+func printTable2(out io.Writer, o Options, rows []Row) {
+	fmt.Fprintf(out, "# Table II — N=%d nb=%d grid=%dx%d, Max criterion, machine=%s (peak %.0f GFLOP/s)\n",
+		o.N, o.NB, o.Grid.P, o.Grid.Q, o.Machine.Name, o.Machine.PeakGFlops())
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Algorithm\talpha\tTime(sim s)\t%LU steps\tFake GF/s\tTrue GF/s\tFake %Peak\tTrue %Peak")
+	for _, r := range rows {
+		alpha := ""
+		if !math.IsNaN(r.Alpha) {
+			alpha = trimFloat(r.Alpha)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.4f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			r.Label, alpha, r.SimTime, r.PctLU, r.SimGF, r.TrueGF, r.PctPeak, r.TruePeak)
+	}
+	w.Flush()
+}

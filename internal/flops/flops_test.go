@@ -1,0 +1,78 @@
+package flops
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableIUnits checks that the per-kernel costs in units of nb³ match
+// Table I of the paper.
+func TestTableIUnits(t *testing.T) {
+	const nb = 240 // the paper's tile size
+	unit := float64(nb) * float64(nb) * float64(nb)
+	cases := []struct {
+		name  string
+		flops float64
+		units float64
+	}{
+		{"GETRF", Getrf(nb, nb), 2.0 / 3},
+		{"TRSM", Trsm(nb, nb), 1},
+		{"GEMM", Gemm(nb, nb, nb), 2},
+		{"GEQRT", Geqrt(nb, nb), 4.0 / 3},
+		{"TSQRT", Tsqrt(nb), 2},
+		{"TSMQR", Tsmqr(nb, nb), 4},
+		{"UNMQR", Unmqr(nb, nb), 2},
+		{"TTQRT", Ttqrt(nb), 2.0 / 3},
+		{"TTMQR", Ttmqr(nb, nb), 2},
+	}
+	for _, c := range cases {
+		if got := c.flops / unit; math.Abs(got-c.units) > 1e-12 {
+			t.Errorf("%s: %.4f units of nb³, want %.4f", c.name, got, c.units)
+		}
+	}
+}
+
+func TestQRIsTwiceLU(t *testing.T) {
+	for _, n := range []int{100, 1000, 20000} {
+		if math.Abs(QRTotal(n)/LUTotal(n)-2) > 1e-12 {
+			t.Fatal("QR total must be twice LU total")
+		}
+	}
+}
+
+func TestTrueTotalEndpoints(t *testing.T) {
+	n := 20000
+	if TrueTotal(n, 1) != LUTotal(n) {
+		t.Fatal("fLU=1 must give the LU count")
+	}
+	if TrueTotal(n, 0) != QRTotal(n) {
+		t.Fatal("fLU=0 must give the QR count")
+	}
+	mid := TrueTotal(n, 0.5)
+	if mid <= LUTotal(n) || mid >= QRTotal(n) {
+		t.Fatal("fLU=0.5 must be between the two totals")
+	}
+}
+
+func TestTallPanelCounts(t *testing.T) {
+	// A 4nb×nb LU panel: mn² − n³/3 with m = 4n.
+	nb := 100
+	want := float64(4*nb)*float64(nb)*float64(nb) - math.Pow(float64(nb), 3)/3
+	if got := Getrf(4*nb, nb); got != want {
+		t.Fatalf("Getrf tall = %g, want %g", got, want)
+	}
+	// GEQRT of the same panel: 2n²(m − n/3).
+	wantQ := 2 * float64(nb) * float64(nb) * (4*float64(nb) - float64(nb)/3)
+	if got := Geqrt(4*nb, nb); got != wantQ {
+		t.Fatalf("Geqrt tall = %g, want %g", got, wantQ)
+	}
+}
+
+func TestGFlops(t *testing.T) {
+	if GFlops(2e9, 1) != 2 {
+		t.Fatal("GFlops arithmetic wrong")
+	}
+	if GFlops(1, 0) != 0 {
+		t.Fatal("GFlops must guard zero duration")
+	}
+}

@@ -1,0 +1,157 @@
+package lapack
+
+import (
+	"fmt"
+
+	"luqr/internal/blas"
+	"luqr/internal/mat"
+)
+
+// Geqrt computes the QR factorization of an m×n tile (m ≥ n) in compact WY
+// form: A = Q·R with Q = I − V·T·Vᵀ. On return the upper triangle of a holds
+// R, the strictly lower trapezoid holds the Householder vectors V (unit
+// diagonal implicit), and t (n×n) holds the upper triangular block reflector
+// factor T. This is the PLASMA GEQRT kernel with inner block size ib = n.
+//
+// The trailing updates and the T-factor construction are organized row-wise
+// (rank-1 updates over contiguous rows) to match the row-major layout.
+func Geqrt(a, t *mat.Matrix) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("lapack: Geqrt requires m >= n, got %dx%d", m, n))
+	}
+	if t.Rows < n || t.Cols < n {
+		panic(fmt.Sprintf("lapack: Geqrt T too small: %dx%d for n=%d", t.Rows, t.Cols, n))
+	}
+	t.Zero()
+	x := make([]float64, m)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		// Generate the reflector annihilating A[j+1:m, j].
+		for i := j + 1; i < m; i++ {
+			x[i-j-1] = a.At(i, j)
+		}
+		beta, tau := Larfg(a.At(j, j), x[:m-j-1])
+		a.Set(j, j, beta)
+		for i := j + 1; i < m; i++ {
+			a.Set(i, j, x[i-j-1])
+		}
+		// Apply H = I − tau·v·vᵀ to A[j:m, j+1:n], row-wise:
+		//   w = vᵀ·A (row j plus v-weighted rows below), then
+		//   row_i −= tau·v_i·w.
+		if tau != 0 && j+1 < n {
+			wj := w[:n-j-1]
+			copy(wj, a.Row(j)[j+1:n])
+			for i := j + 1; i < m; i++ {
+				vi := a.At(i, j)
+				if vi == 0 {
+					continue
+				}
+				row := a.Row(i)[j+1 : n]
+				for c, rv := range row {
+					wj[c] += vi * rv
+				}
+			}
+			rowj := a.Row(j)[j+1 : n]
+			for c := range wj {
+				rowj[c] -= tau * wj[c]
+			}
+			for i := j + 1; i < m; i++ {
+				vi := tau * a.At(i, j)
+				if vi == 0 {
+					continue
+				}
+				row := a.Row(i)[j+1 : n]
+				for c := range row {
+					row[c] -= vi * wj[c]
+				}
+			}
+		}
+		// Extend T: w[i] = V[:, i]ᵀ · v_j for i < j, with V unit lower
+		// trapezoidal and v_j's implicit 1 in row j. Accumulated row-wise.
+		wt := w[:j]
+		copy(wt, a.Row(j)[:j])
+		for r := j + 1; r < m; r++ {
+			vr := a.At(r, j)
+			if vr == 0 {
+				continue
+			}
+			row := a.Row(r)[:j]
+			for i, rv := range row {
+				wt[i] += rv * vr
+			}
+		}
+		larftColumn(t, j, tau, wt)
+	}
+}
+
+// Unmqr applies Q or Qᵀ (from a Geqrt factorization held in v's lower
+// trapezoid and t) to the m×k matrix c from the left:
+//
+//	c ← Q·c   (trans == NoTrans)   c ← Qᵀ·c   (trans == Trans)
+//
+// with Q = I − V·T·Vᵀ. c must have v.Rows rows.
+func Unmqr(trans blas.Transpose, v, t, c *mat.Matrix) {
+	m, n := v.Rows, v.Cols
+	if c.Rows != m {
+		panic(fmt.Sprintf("lapack: Unmqr shape mismatch V=%dx%d C=%dx%d", m, n, c.Rows, c.Cols))
+	}
+	k := c.Cols
+	// W = Vᵀ·C, exploiting V's unit lower trapezoidal structure.
+	w := mat.New(n, k)
+	for i := 0; i < n; i++ {
+		wrow := w.Row(i)
+		copy(wrow, c.Row(i)) // the implicit 1 at row i of column i
+		for r := i + 1; r < m; r++ {
+			vri := v.At(r, i)
+			if vri == 0 {
+				continue
+			}
+			crow := c.Row(r)
+			for q := 0; q < k; q++ {
+				wrow[q] += vri * crow[q]
+			}
+		}
+	}
+	// W ← op(T)·W with T upper triangular.
+	tview := t.View(0, 0, n, n)
+	if trans == blas.Trans {
+		blas.Trmm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, 1, tview, w)
+	} else {
+		blas.Trmm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, tview, w)
+	}
+	// C ← C − V·W.
+	for i := 0; i < n; i++ {
+		// Row i of V has entries v(i, 0..i−1) plus the implicit 1 at col i.
+		crow := c.Row(i)
+		vrow := v.Row(i)
+		for j := 0; j < i; j++ {
+			vij := vrow[j]
+			if vij == 0 {
+				continue
+			}
+			wrow := w.Row(j)
+			for q := 0; q < k; q++ {
+				crow[q] -= vij * wrow[q]
+			}
+		}
+		wrow := w.Row(i)
+		for q := 0; q < k; q++ {
+			crow[q] -= wrow[q]
+		}
+	}
+	for i := n; i < m; i++ {
+		crow := c.Row(i)
+		vrow := v.Row(i)
+		for j := 0; j < n; j++ {
+			vij := vrow[j]
+			if vij == 0 {
+				continue
+			}
+			wrow := w.Row(j)
+			for q := 0; q < k; q++ {
+				crow[q] -= vij * wrow[q]
+			}
+		}
+	}
+}

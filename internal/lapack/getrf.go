@@ -1,0 +1,263 @@
+// Package lapack implements the LAPACK-style computational kernels the tiled
+// LU-QR solver is built from: LU with partial pivoting (GETRF/LASWP/GETRS),
+// the blocked-Householder QR tile kernels of the tiled-QR literature
+// (GEQRT, UNMQR, TSQRT, TSMQR, TTQRT, TTMQR), triangular solves, and the
+// Hager–Higham 1-norm inverse estimator used by the robustness criteria.
+//
+// All kernels operate on row-major mat.Matrix values and are pure Go; they
+// mirror the reference LAPACK/PLASMA semantics (including in-place factor
+// storage) so that the algorithm layer reads like the paper's pseudo-code.
+package lapack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"luqr/internal/blas"
+	"luqr/internal/mat"
+)
+
+// ErrSingular is returned when an exactly zero pivot makes an LU
+// factorization break down. Mirrors LAPACK's info > 0 convention.
+var ErrSingular = errors.New("lapack: exactly singular matrix (zero pivot)")
+
+// getrfBlock is the panel width of the blocked Getrf: narrow enough to keep
+// the rank-1 panel updates in cache, wide enough that the trailing GEMM
+// dominates.
+const getrfBlock = 32
+
+// Getrf computes an LU factorization with partial (row) pivoting of an m×n
+// matrix (m ≥ n): P·A = L·U. On return, the strictly lower trapezoid of a
+// holds the multipliers of L (unit diagonal implicit) and the upper triangle
+// holds U. piv[k] = r records that rows k and r were swapped at step k
+// (LAPACK ipiv convention, 0-based). The returned error is ErrSingular when
+// a zero pivot was hit; the factorization still completes with the zero
+// pivot left in place, as in LAPACK.
+//
+// The factorization is blocked (LAPACK dgetrf style): unblocked panels of
+// width getrfBlock, row interchanges applied across the matrix, then a TRSM
+// + GEMM trailing update, so most of the work runs at GEMM speed.
+func Getrf(a *mat.Matrix) (piv []int, err error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("lapack: Getrf requires m >= n, got %dx%d", m, n))
+	}
+	piv = make([]int, n)
+	if n <= getrfBlock {
+		return piv, getrfUnblocked(a, piv)
+	}
+	for k := 0; k < n; k += getrfBlock {
+		jb := getrfBlock
+		if k+jb > n {
+			jb = n - k
+		}
+		panel := a.View(k, k, m-k, jb)
+		ppiv := make([]int, jb)
+		if perr := getrfUnblocked(panel, ppiv); perr != nil {
+			err = perr
+		}
+		// Translate the panel's local pivots to global row indices and
+		// apply the interchanges to the columns outside the panel.
+		for j := 0; j < jb; j++ {
+			piv[k+j] = ppiv[j] + k
+			if ppiv[j] == j {
+				continue
+			}
+			r1 := a.Row(k + j)
+			r2 := a.Row(k + ppiv[j])
+			for c := 0; c < k; c++ {
+				r1[c], r2[c] = r2[c], r1[c]
+			}
+			for c := k + jb; c < n; c++ {
+				r1[c], r2[c] = r2[c], r1[c]
+			}
+		}
+		if k+jb < n {
+			l11 := a.View(k, k, jb, jb)
+			u12 := a.View(k, k+jb, jb, n-k-jb)
+			blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, u12)
+			if k+jb < m {
+				l21 := a.View(k+jb, k, m-k-jb, jb)
+				a22 := a.View(k+jb, k+jb, m-k-jb, n-k-jb)
+				blas.Gemm(blas.NoTrans, blas.NoTrans, -1, l21, u12, 1, a22)
+			}
+		}
+	}
+	return piv, err
+}
+
+// getrfUnblocked is the classical right-looking elimination with partial
+// pivoting, writing local (0-based within a) pivot indices into piv.
+func getrfUnblocked(a *mat.Matrix, piv []int) (err error) {
+	m, n := a.Rows, a.Cols
+	for k := 0; k < n; k++ {
+		// Pivot search in column k, rows k..m−1.
+		p, pv := k, math.Abs(a.At(k, k))
+		for i := k + 1; i < m; i++ {
+			if v := math.Abs(a.At(i, k)); v > pv {
+				p, pv = i, v
+			}
+		}
+		piv[k] = p
+		if p != k {
+			a.SwapRows(k, p)
+		}
+		akk := a.At(k, k)
+		if akk == 0 {
+			err = ErrSingular
+			continue
+		}
+		inv := 1 / akk
+		// Scale multipliers and update the trailing submatrix row-wise.
+		for i := k + 1; i < m; i++ {
+			lik := a.At(i, k) * inv
+			a.Set(i, k, lik)
+			if lik == 0 {
+				continue
+			}
+			rowi := a.Row(i)
+			rowk := a.Row(k)
+			for j := k + 1; j < n; j++ {
+				rowi[j] -= lik * rowk[j]
+			}
+		}
+	}
+	return err
+}
+
+// GetrfNoPiv computes A = L·U without any pivoting (the LU NoPiv baseline's
+// elimination). It breaks down (ErrSingular) on a zero diagonal element;
+// the factorization continues past the breakdown exactly as Getrf does.
+func GetrfNoPiv(a *mat.Matrix) error {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("lapack: GetrfNoPiv requires m >= n, got %dx%d", m, n))
+	}
+	var err error
+	for k := 0; k < n; k++ {
+		akk := a.At(k, k)
+		if akk == 0 {
+			err = ErrSingular
+			continue
+		}
+		inv := 1 / akk
+		for i := k + 1; i < m; i++ {
+			lik := a.At(i, k) * inv
+			a.Set(i, k, lik)
+			if lik == 0 {
+				continue
+			}
+			rowi := a.Row(i)
+			rowk := a.Row(k)
+			for j := k + 1; j < n; j++ {
+				rowi[j] -= lik * rowk[j]
+			}
+		}
+	}
+	return err
+}
+
+// Laswp applies the row interchanges recorded by Getrf to a, forward
+// (inverse == false: b := P·b, the order Getrf performed them) or backward
+// (inverse == true: b := Pᵀ·b).
+func Laswp(a *mat.Matrix, piv []int, inverse bool) {
+	if !inverse {
+		for k := 0; k < len(piv); k++ {
+			if piv[k] != k {
+				a.SwapRows(k, piv[k])
+			}
+		}
+		return
+	}
+	for k := len(piv) - 1; k >= 0; k-- {
+		if piv[k] != k {
+			a.SwapRows(k, piv[k])
+		}
+	}
+}
+
+// LaswpCols applies the row interchanges recorded by Getrf to the columns
+// of a: forward computes a := a·Pᵀ and inverse computes a := a·P, where P is
+// the permutation with P·x = Laswp-forward(x). Used by the block-LU variant
+// (B1), whose Eliminate step is A_ik ← A_ik·A_kk⁻¹ = A_ik·U⁻¹·L⁻¹·P.
+func LaswpCols(a *mat.Matrix, piv []int, inverse bool) {
+	swapCols := func(c1, c2 int) {
+		if c1 == c2 {
+			return
+		}
+		for i := 0; i < a.Rows; i++ {
+			row := a.Row(i)
+			row[c1], row[c2] = row[c2], row[c1]
+		}
+	}
+	// P = T_{n−1}···T_0 (Laswp applies T_0 first). Then a·P applies the
+	// column transpositions from T_{n−1} down to T_0, and a·Pᵀ = a·T_0···
+	// from T_0 up.
+	if inverse {
+		for k := len(piv) - 1; k >= 0; k-- {
+			swapCols(k, piv[k])
+		}
+		return
+	}
+	for k := 0; k < len(piv); k++ {
+		swapCols(k, piv[k])
+	}
+}
+
+// LaswpVec applies the interchanges to a vector.
+func LaswpVec(x []float64, piv []int, inverse bool) {
+	swap := func(i, j int) { x[i], x[j] = x[j], x[i] }
+	if !inverse {
+		for k := 0; k < len(piv); k++ {
+			if piv[k] != k {
+				swap(k, piv[k])
+			}
+		}
+		return
+	}
+	for k := len(piv) - 1; k >= 0; k-- {
+		if piv[k] != k {
+			swap(k, piv[k])
+		}
+	}
+}
+
+// Getrs solves op(A)·X = B for a square A previously factored by Getrf,
+// overwriting b with the solution. For trans == NoTrans it performs
+// B ← U⁻¹·L⁻¹·P·B; for Trans, B ← Pᵀ·L⁻ᵀ·U⁻ᵀ·B.
+func Getrs(trans blas.Transpose, lu *mat.Matrix, piv []int, b *mat.Matrix) {
+	if lu.Rows != lu.Cols {
+		panic(fmt.Sprintf("lapack: Getrs needs square LU, got %dx%d", lu.Rows, lu.Cols))
+	}
+	if b.Rows != lu.Rows {
+		panic(fmt.Sprintf("lapack: Getrs shape mismatch LU=%d B=%dx%d", lu.Rows, b.Rows, b.Cols))
+	}
+	if trans == blas.NoTrans {
+		Laswp(b, piv, false)
+		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, lu, b)
+		blas.Trsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, lu, b)
+		return
+	}
+	blas.Trsm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, 1, lu, b)
+	blas.Trsm(blas.Left, blas.Lower, blas.Trans, blas.Unit, 1, lu, b)
+	Laswp(b, piv, true)
+}
+
+// GetrsVec is Getrs for a single right-hand side held in a slice.
+func GetrsVec(trans blas.Transpose, lu *mat.Matrix, piv []int, x []float64) {
+	b := &mat.Matrix{Rows: len(x), Cols: 1, Stride: 1, Data: x}
+	Getrs(trans, lu, piv, b)
+}
+
+// LUPivotGrowth returns, for a factorization produced by Getrf on a panel
+// whose column maxima before factorization were colMax0, the per-column
+// pivot magnitudes |U_jj|. It is the raw material of the MUMPS criterion.
+func LUPivotGrowth(lu *mat.Matrix) []float64 {
+	n := lu.Cols
+	p := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p[j] = math.Abs(lu.At(j, j))
+	}
+	return p
+}

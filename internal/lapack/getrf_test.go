@@ -1,0 +1,264 @@
+package lapack
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"luqr/internal/blas"
+	"luqr/internal/mat"
+)
+
+func randMat(rng *rand.Rand, r, c int) *mat.Matrix {
+	m := mat.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// reconstructLU forms P⁻¹·L·U from a Getrf output to compare against A.
+func reconstructLU(lu *mat.Matrix, piv []int) *mat.Matrix {
+	m, n := lu.Rows, lu.Cols
+	l := mat.New(m, n)
+	u := mat.New(n, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i > j:
+				l.Set(i, j, lu.At(i, j))
+			case i == j:
+				l.Set(i, j, 1)
+				u.Set(i, j, lu.At(i, j))
+			default:
+				if i < n {
+					u.Set(i, j, lu.At(i, j))
+				}
+			}
+		}
+	}
+	prod := mat.New(m, n)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, l, u, 0, prod)
+	Laswp(prod, piv, true) // undo the pivoting: P⁻¹·L·U
+	return prod
+}
+
+func TestGetrfReconstructsSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 8, 17, 40} {
+		a := randMat(rng, n, n)
+		lu := a.Clone()
+		piv, err := Getrf(lu)
+		if err != nil {
+			t.Fatalf("n=%d: unexpected error %v", n, err)
+		}
+		back := reconstructLU(lu, piv)
+		if d := mat.MaxDiff(back, a); d > 1e-12*float64(n)*a.NormMax() {
+			t.Fatalf("n=%d: P⁻¹LU differs from A by %g", n, d)
+		}
+	}
+}
+
+func TestGetrfReconstructsTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][2]int{{5, 3}, {12, 4}, {40, 10}, {7, 7}} {
+		a := randMat(rng, dims[0], dims[1])
+		lu := a.Clone()
+		piv, err := Getrf(lu)
+		if err != nil {
+			t.Fatalf("%v: unexpected error %v", dims, err)
+		}
+		back := reconstructLU(lu, piv)
+		if d := mat.MaxDiff(back, a); d > 1e-12*float64(dims[0]) {
+			t.Fatalf("%v: reconstruction error %g", dims, d)
+		}
+	}
+}
+
+func TestGetrfMultipliersBounded(t *testing.T) {
+	// Partial pivoting guarantees |L_ij| ≤ 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		lu := randMat(rng, n+rng.Intn(5), n)
+		if _, err := Getrf(lu); err != nil {
+			return true // singular random matrix: vanishingly unlikely, skip
+		}
+		for i := 0; i < lu.Rows; i++ {
+			for j := 0; j < n && j < i; j++ {
+				if math.Abs(lu.At(i, j)) > 1+1e-14 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetrfSingular(t *testing.T) {
+	a := mat.New(3, 3) // all zeros
+	_, err := Getrf(a)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestGetrfNoPivOnDiagonallyDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 20
+	a := randMat(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 2*float64(n)) // strong diagonal dominance
+	}
+	want := a.Clone()
+	if err := GetrfNoPiv(a); err != nil {
+		t.Fatalf("GetrfNoPiv failed on diagonally dominant matrix: %v", err)
+	}
+	back := reconstructLU(a, nil)
+	if d := mat.MaxDiff(back, want); d > 1e-10*float64(n)*want.NormMax() {
+		t.Fatalf("LU reconstruction error %g", d)
+	}
+}
+
+func TestGetrfNoPivBreaksDownOnZeroPivot(t *testing.T) {
+	a := mat.FromSlice(2, 2, []float64{0, 1, 1, 0})
+	if err := GetrfNoPiv(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected breakdown, got %v", err)
+	}
+}
+
+func TestLaswpRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randMat(rng, n, 3)
+		orig := a.Clone()
+		piv := make([]int, n)
+		for k := range piv {
+			piv[k] = k + rng.Intn(n-k)
+		}
+		Laswp(a, piv, false)
+		Laswp(a, piv, true)
+		return mat.Equal(a, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaswpVecMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 9
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	m := &mat.Matrix{Rows: n, Cols: 1, Stride: 1, Data: append([]float64(nil), x...)}
+	piv := []int{3, 1, 5, 3, 8, 5, 6, 7, 8}
+	LaswpVec(x, piv, false)
+	Laswp(m, piv, false)
+	for i := range x {
+		if x[i] != m.Data[i] {
+			t.Fatal("LaswpVec disagrees with Laswp")
+		}
+	}
+}
+
+func TestGetrsSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 4, 16, 33} {
+		a := randMat(rng, n, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := mat.MulVec(a, xTrue)
+		lu := a.Clone()
+		piv, err := Getrf(lu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := append([]float64(nil), b...)
+		GetrsVec(blas.NoTrans, lu, piv, x)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-9*(1+mat.VecNormInf(xTrue)) {
+				t.Fatalf("n=%d: solve error at %d: %g vs %g", n, i, x[i], xTrue[i])
+			}
+		}
+		// Transposed solve.
+		bt := mat.MulVec(a.T(), xTrue)
+		xt := append([]float64(nil), bt...)
+		GetrsVec(blas.Trans, lu, piv, xt)
+		for i := range xt {
+			if math.Abs(xt[i]-xTrue[i]) > 1e-8*(1+mat.VecNormInf(xTrue)) {
+				t.Fatalf("n=%d: transposed solve error at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestLUPivotGrowthReturnsDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randMat(rng, 6, 6)
+	lu := a.Clone()
+	if _, err := Getrf(lu); err != nil {
+		t.Fatal(err)
+	}
+	p := LUPivotGrowth(lu)
+	for j := range p {
+		if p[j] != math.Abs(lu.At(j, j)) {
+			t.Fatal("LUPivotGrowth must return |U_jj|")
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 12, 12)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := mat.New(12, 12)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, a, inv, 0, prod)
+	if d := mat.MaxDiff(prod, mat.Identity(12)); d > 1e-10 {
+		t.Fatalf("A·A⁻¹ deviates from I by %g", d)
+	}
+}
+
+// TestLaswpColsB1Identity verifies the (B1) Eliminate route:
+// A·U⁻¹·L⁻¹·P == A·Akk⁻¹, exercised as Akk·Akk⁻¹ == I.
+func TestLaswpColsB1Identity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 9
+	akk := randMat(rng, n, n)
+	lu := akk.Clone()
+	piv, err := Getrf(lu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := akk.Clone()
+	blas.Trsm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, lu, x)
+	blas.Trsm(blas.Right, blas.Lower, blas.NoTrans, blas.Unit, 1, lu, x)
+	LaswpCols(x, piv, true) // x := x·P
+	if d := mat.MaxDiff(x, mat.Identity(n)); d > 1e-10 {
+		t.Fatalf("Akk·Akk⁻¹ deviates from I by %g", d)
+	}
+}
+
+func TestLaswpColsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randMat(rng, 4, 7)
+	orig := a.Clone()
+	piv := []int{2, 5, 2, 3, 6, 5, 6}
+	LaswpCols(a, piv, false)
+	LaswpCols(a, piv, true)
+	if !mat.Equal(a, orig) {
+		t.Fatal("LaswpCols forward+inverse is not the identity")
+	}
+}

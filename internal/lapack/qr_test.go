@@ -1,0 +1,415 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"luqr/internal/blas"
+	"luqr/internal/mat"
+)
+
+func TestLarfgAnnihilates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		alpha := rng.NormFloat64()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		orig := append([]float64{alpha}, x...)
+		beta, tau := Larfg(alpha, x)
+		// Apply H = I − tau·v·vᵀ to the original vector: must give (beta, 0).
+		v := append([]float64{1}, x...)
+		s := 0.0
+		for i := range v {
+			s += v[i] * orig[i]
+		}
+		got := make([]float64, len(orig))
+		for i := range orig {
+			got[i] = orig[i] - tau*s*v[i]
+		}
+		if math.Abs(got[0]-beta) > 1e-12*(1+math.Abs(beta)) {
+			t.Fatalf("H·x head = %g, want beta = %g", got[0], beta)
+		}
+		for i := 1; i < len(got); i++ {
+			if math.Abs(got[i]) > 1e-12*(1+math.Abs(beta)) {
+				t.Fatalf("H·x tail not annihilated: %g at %d", got[i], i)
+			}
+		}
+		// Norm preservation: |beta| = ‖(alpha, x)‖₂.
+		if tau != 0 {
+			if d := math.Abs(math.Abs(beta) - mat.VecNorm2(orig)); d > 1e-12*(1+math.Abs(beta)) {
+				t.Fatalf("beta magnitude off by %g", d)
+			}
+		}
+	}
+}
+
+func TestLarfgZeroTail(t *testing.T) {
+	beta, tau := Larfg(3.5, []float64{0, 0, 0})
+	if tau != 0 || beta != 3.5 {
+		t.Fatalf("Larfg with zero tail: beta=%g tau=%g", beta, tau)
+	}
+}
+
+// explicitQ builds the dense Q = I − V·T·Vᵀ of a Geqrt factorization by
+// applying Unmqr(NoTrans) to the identity.
+func explicitQ(v, t *mat.Matrix) *mat.Matrix {
+	q := mat.Identity(v.Rows)
+	Unmqr(blas.NoTrans, v, t, q)
+	return q
+}
+
+func orthoError(q *mat.Matrix) float64 {
+	n := q.Rows
+	qtq := mat.New(n, n)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, q, q, 0, qtq)
+	return mat.MaxDiff(qtq, mat.Identity(n))
+}
+
+func TestGeqrtFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][2]int{{1, 1}, {3, 3}, {8, 8}, {16, 16}, {20, 12}, {40, 40}} {
+		m, n := dims[0], dims[1]
+		a0 := randMat(rng, m, n)
+		a := a0.Clone()
+		tt := mat.New(n, n)
+		Geqrt(a, tt)
+		// R upper triangular is in the upper triangle of a.
+		r := mat.New(m, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				r.Set(i, j, a.At(i, j))
+			}
+		}
+		q := explicitQ(a, tt)
+		if e := orthoError(q); e > 1e-12*float64(m) {
+			t.Fatalf("%v: Q not orthogonal: %g", dims, e)
+		}
+		qr := mat.New(m, n)
+		blas.Gemm(blas.NoTrans, blas.NoTrans, 1, q, r, 0, qr)
+		if d := mat.MaxDiff(qr, a0); d > 1e-11*float64(m) {
+			t.Fatalf("%v: Q·R differs from A by %g", dims, d)
+		}
+	}
+}
+
+func TestUnmqrTransUndoesNoTrans(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(12)
+		n := 1 + rng.Intn(m)
+		a := randMat(rng, m, n)
+		tt := mat.New(n, n)
+		Geqrt(a, tt)
+		c0 := randMat(rng, m, 1+rng.Intn(6))
+		c := c0.Clone()
+		Unmqr(blas.Trans, a, tt, c)
+		Unmqr(blas.NoTrans, a, tt, c)
+		return mat.MaxDiff(c, c0) < 1e-10*float64(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmqrTransTriangularizesA(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 14, 9
+	a0 := randMat(rng, m, n)
+	a := a0.Clone()
+	tt := mat.New(n, n)
+	Geqrt(a, tt)
+	c := a0.Clone()
+	Unmqr(blas.Trans, a, tt, c) // Qᵀ·A must equal [R; 0]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if i <= j && i < n {
+				if math.Abs(c.At(i, j)-a.At(i, j)) > 1e-11*float64(m) {
+					t.Fatalf("R mismatch at (%d,%d)", i, j)
+				}
+			} else if math.Abs(c.At(i, j)) > 1e-11*float64(m) {
+				t.Fatalf("Qᵀ·A not zero below diagonal at (%d,%d): %g", i, j, c.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTsqrtFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, nb := range []int{1, 2, 5, 8, 16} {
+		m := nb // square lower tile, as in the tiled algorithm
+		// Top tile: R from a previous Geqrt — only upper triangle valid;
+		// fill the strictly lower part with junk that must be preserved.
+		rTile := mat.New(nb, nb)
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				if j >= i {
+					rTile.Set(i, j, rng.NormFloat64())
+				} else {
+					rTile.Set(i, j, 777) // sentinel junk
+				}
+			}
+		}
+		aTile := randMat(rng, m, nb)
+		r0 := rTile.Clone()
+		a0 := aTile.Clone()
+		tt := mat.New(nb, nb)
+		Tsqrt(rTile, aTile, tt)
+		// Junk below R's diagonal must be untouched.
+		for i := 0; i < nb; i++ {
+			for j := 0; j < i; j++ {
+				if rTile.At(i, j) != 777 {
+					t.Fatalf("nb=%d: Tsqrt touched lower part of R at (%d,%d)", nb, i, j)
+				}
+			}
+		}
+		// Qᵀ·[R0; A0] must equal [R1; 0]. Apply via Tsmqr column block.
+		c1 := mat.New(nb, nb)
+		for i := 0; i < nb; i++ {
+			for j := i; j < nb; j++ {
+				c1.Set(i, j, r0.At(i, j))
+			}
+		}
+		c2 := a0.Clone()
+		Tsmqr(blas.Trans, aTile, tt, c1, c2)
+		for i := 0; i < nb; i++ {
+			for j := i; j < nb; j++ {
+				if math.Abs(c1.At(i, j)-rTile.At(i, j)) > 1e-11*float64(nb) {
+					t.Fatalf("nb=%d: R1 mismatch at (%d,%d)", nb, i, j)
+				}
+			}
+		}
+		if c2.NormMax() > 1e-11*float64(nb)*(1+a0.NormMax()) {
+			t.Fatalf("nb=%d: lower tile not annihilated: %g", nb, c2.NormMax())
+		}
+	}
+}
+
+func TestTsmqrOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(10)
+		rTile := mat.New(nb, nb)
+		for i := 0; i < nb; i++ {
+			for j := i; j < nb; j++ {
+				rTile.Set(i, j, rng.NormFloat64())
+			}
+		}
+		aTile := randMat(rng, m, nb)
+		tt := mat.New(nb, nb)
+		Tsqrt(rTile, aTile, tt)
+		k := 1 + rng.Intn(5)
+		c1 := randMat(rng, nb, k)
+		c2 := randMat(rng, m, k)
+		c1o, c2o := c1.Clone(), c2.Clone()
+		// Norm preservation of the stacked vector under Q, and round trip.
+		before := math.Hypot(c1.NormFro(), c2.NormFro())
+		Tsmqr(blas.Trans, aTile, tt, c1, c2)
+		after := math.Hypot(c1.NormFro(), c2.NormFro())
+		if math.Abs(before-after) > 1e-10*(1+before) {
+			return false
+		}
+		Tsmqr(blas.NoTrans, aTile, tt, c1, c2)
+		return mat.MaxDiff(c1, c1o) < 1e-10*(1+before) && mat.MaxDiff(c2, c2o) < 1e-10*(1+before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTtqrtFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, nb := range []int{1, 2, 4, 9, 16} {
+		mkTri := func() *mat.Matrix {
+			m := mat.New(nb, nb)
+			for i := 0; i < nb; i++ {
+				for j := 0; j < nb; j++ {
+					if j >= i {
+						m.Set(i, j, rng.NormFloat64())
+					} else {
+						m.Set(i, j, 555) // junk that must survive
+					}
+				}
+			}
+			return m
+		}
+		r1, r2 := mkTri(), mkTri()
+		r1o, r2o := r1.Clone(), r2.Clone()
+		tt := mat.New(nb, nb)
+		Ttqrt(r1, r2, tt)
+		for i := 0; i < nb; i++ {
+			for j := 0; j < i; j++ {
+				if r1.At(i, j) != 555 || r2.At(i, j) != 555 {
+					t.Fatalf("nb=%d: Ttqrt touched a lower triangle", nb)
+				}
+			}
+		}
+		// Qᵀ·[R1o; R2o] = [R1new; 0] (upper triangles only).
+		c1, c2 := mat.New(nb, nb), mat.New(nb, nb)
+		for i := 0; i < nb; i++ {
+			for j := i; j < nb; j++ {
+				c1.Set(i, j, r1o.At(i, j))
+				c2.Set(i, j, r2o.At(i, j))
+			}
+		}
+		Ttmqr(blas.Trans, r2, tt, c1, c2)
+		for i := 0; i < nb; i++ {
+			for j := i; j < nb; j++ {
+				if math.Abs(c1.At(i, j)-r1.At(i, j)) > 1e-11*float64(nb) {
+					t.Fatalf("nb=%d: merged R mismatch at (%d,%d)", nb, i, j)
+				}
+			}
+		}
+		if c2.NormMax() > 1e-11*float64(nb)*(1+r2o.NormMax()) {
+			t.Fatalf("nb=%d: second triangle not annihilated: %g", nb, c2.NormMax())
+		}
+	}
+}
+
+func TestTtmqrRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := 1 + rng.Intn(10)
+		mkTri := func() *mat.Matrix {
+			m := mat.New(nb, nb)
+			for i := 0; i < nb; i++ {
+				for j := i; j < nb; j++ {
+					m.Set(i, j, rng.NormFloat64())
+				}
+			}
+			return m
+		}
+		r1, r2 := mkTri(), mkTri()
+		tt := mat.New(nb, nb)
+		Ttqrt(r1, r2, tt)
+		k := 1 + rng.Intn(5)
+		c1, c2 := randMat(rng, nb, k), randMat(rng, nb, k)
+		c1o, c2o := c1.Clone(), c2.Clone()
+		Ttmqr(blas.Trans, r2, tt, c1, c2)
+		Ttmqr(blas.NoTrans, r2, tt, c1, c2)
+		scale := 1 + c1o.NormMax() + c2o.NormMax()
+		return mat.MaxDiff(c1, c1o) < 1e-10*scale && mat.MaxDiff(c2, c2o) < 1e-10*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTtmqrIgnoresLowerJunkInV(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	nb := 6
+	mkTri := func() *mat.Matrix {
+		m := mat.New(nb, nb)
+		for i := 0; i < nb; i++ {
+			for j := i; j < nb; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		return m
+	}
+	r1, r2 := mkTri(), mkTri()
+	tt := mat.New(nb, nb)
+	Ttqrt(r1, r2, tt)
+	c1, c2 := randMat(rng, nb, 3), randMat(rng, nb, 3)
+	c1a, c2a := c1.Clone(), c2.Clone()
+	Ttmqr(blas.Trans, r2, tt, c1a, c2a)
+	// Poison the lower triangle of the V tile; results must not change.
+	v2junk := r2.Clone()
+	for i := 0; i < nb; i++ {
+		for j := 0; j < i; j++ {
+			v2junk.Set(i, j, 1e30)
+		}
+	}
+	c1b, c2b := c1.Clone(), c2.Clone()
+	Ttmqr(blas.Trans, v2junk, tt, c1b, c2b)
+	if !mat.Equal(c1a, c1b) || !mat.Equal(c2a, c2b) {
+		t.Fatal("Ttmqr read the lower triangle of its V operand")
+	}
+}
+
+func TestOneNormEstOnRandomInverses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	good := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(30)
+		a := randMat(rng, n, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			continue
+		}
+		exact := inv.Norm1()
+		lu := a.Clone()
+		piv, err := Getrf(lu)
+		if err != nil {
+			continue
+		}
+		est := InvNorm1EstLU(lu, piv)
+		if est > exact*(1+1e-10) {
+			t.Fatalf("estimate %g exceeds exact norm %g", est, exact)
+		}
+		if est >= exact/3 {
+			good++
+		}
+	}
+	if good < trials*8/10 {
+		t.Fatalf("estimator within 3x of exact in only %d/%d trials", good, trials)
+	}
+}
+
+func TestOneNormEstExactOperator(t *testing.T) {
+	// For the identity, the estimate must be exactly 1.
+	id := func(x []float64) {}
+	if got := OneNormEst(7, id, id); math.Abs(got-1) > 1e-14 {
+		t.Fatalf("‖I‖₁ estimate = %g", got)
+	}
+	// For a diagonal operator the 1-norm is the largest |d_i|.
+	d := []float64{1, -9, 2.5, 4}
+	apply := func(x []float64) {
+		for i := range x {
+			x[i] *= d[i]
+		}
+	}
+	if got := OneNormEst(4, apply, apply); math.Abs(got-9) > 1e-12 {
+		t.Fatalf("diag norm estimate = %g, want 9", got)
+	}
+}
+
+func TestGeconEst(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Well-conditioned: rcond within a factor ~3 of the exact value.
+	a := randMat(rng, 20, 20)
+	anorm := a.Norm1()
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 1 / (anorm * inv.Norm1())
+	lu := a.Clone()
+	piv, _ := Getrf(lu)
+	got := GeconEst(lu, piv, anorm)
+	if got < exact/1.01 || got > 3.5*exact {
+		t.Fatalf("rcond estimate %g, exact %g", got, exact)
+	}
+	// Degenerate inputs.
+	if GeconEst(lu, piv, 0) != 0 {
+		t.Fatal("zero norm must give rcond 0")
+	}
+	// An ill-conditioned matrix must report a tiny rcond.
+	h := mat.New(12, 12)
+	for i := 1; i <= 12; i++ {
+		for j := 1; j <= 12; j++ {
+			h.Set(i-1, j-1, 1/float64(i+j-1))
+		}
+	}
+	lh := h.Clone()
+	ph, _ := Getrf(lh)
+	if rc := GeconEst(lh, ph, h.Norm1()); rc > 1e-10 {
+		t.Fatalf("hilbert rcond = %g, expected ≪ 1e-10", rc)
+	}
+}

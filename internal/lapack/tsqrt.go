@@ -1,0 +1,135 @@
+package lapack
+
+import (
+	"fmt"
+
+	"luqr/internal/blas"
+	"luqr/internal/mat"
+)
+
+// Tsqrt (Triangle on top of Square QR) factors the stacked matrix
+//
+//	[ R ]        R: n×n upper triangular (only its upper triangle is read
+//	[ A ]           and written — the strictly lower part may hold V data
+//	                from an earlier Geqrt and is preserved)
+//	             A: m×n full tile, overwritten with the square block V2 of
+//	                the Householder vectors
+//
+// producing an updated upper triangular R and the block reflector
+// Q = I − V·T·Vᵀ with V = [I; V2]. t (n×n) receives T. This is the PLASMA
+// TSQRT kernel with ib = n. Updates run row-wise over A for the row-major
+// layout.
+func Tsqrt(r, a, t *mat.Matrix) {
+	n := r.Cols
+	m := a.Rows
+	if r.Rows != n {
+		panic(fmt.Sprintf("lapack: Tsqrt needs square R, got %dx%d", r.Rows, r.Cols))
+	}
+	if a.Cols != n {
+		panic(fmt.Sprintf("lapack: Tsqrt A cols %d != R order %d", a.Cols, n))
+	}
+	if t.Rows < n || t.Cols < n {
+		panic(fmt.Sprintf("lapack: Tsqrt T too small: %dx%d", t.Rows, t.Cols))
+	}
+	t.Zero()
+	x := make([]float64, m)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		// Reflector from (R[j,j]; A[:, j]): the rows of R below j are
+		// structurally zero in the stacked panel, so the vector part lives
+		// entirely in A's column j.
+		for i := 0; i < m; i++ {
+			x[i] = a.At(i, j)
+		}
+		beta, tau := Larfg(r.At(j, j), x)
+		r.Set(j, j, beta)
+		for i := 0; i < m; i++ {
+			a.Set(i, j, x[i])
+		}
+		// Apply H to the trailing stacked columns (row j of R, all of A):
+		//   w = R[j, j+1:] + V2ᵀ·A[:, j+1:], then subtract tau·v·w.
+		if tau != 0 && j+1 < n {
+			rrow := r.Row(j)[j+1 : n]
+			wj := w[:n-j-1]
+			copy(wj, rrow)
+			for i := 0; i < m; i++ {
+				arow := a.Row(i)
+				vij := arow[j]
+				if vij == 0 {
+					continue
+				}
+				tail := arow[j+1 : n]
+				for c, av := range tail {
+					wj[c] += vij * av
+				}
+			}
+			for c := range wj {
+				rrow[c] -= tau * wj[c]
+			}
+			for i := 0; i < m; i++ {
+				arow := a.Row(i)
+				vij := tau * arow[j]
+				if vij == 0 {
+					continue
+				}
+				tail := arow[j+1 : n]
+				for c := range tail {
+					tail[c] -= vij * wj[c]
+				}
+			}
+		}
+		// T column: the identity blocks of V contribute nothing across
+		// distinct columns, so w[i] = V2[:, i]ᵀ · v2_j, accumulated row-wise.
+		wt := w[:j]
+		for i := range wt {
+			wt[i] = 0
+		}
+		for q := 0; q < m; q++ {
+			arow := a.Row(q)
+			vqj := arow[j]
+			if vqj == 0 {
+				continue
+			}
+			head := arow[:j]
+			for i, av := range head {
+				wt[i] += av * vqj
+			}
+		}
+		larftColumn(t, j, tau, wt)
+	}
+}
+
+// Tsmqr applies the block reflector produced by Tsqrt to the stacked pair
+//
+//	[ C1 ]   C1: n×k (a row-k tile; fully read/written)
+//	[ C2 ]   C2: m×k
+//
+// computing [C1; C2] ← op(Q)·[C1; C2] with Q = I − V·T·Vᵀ, V = [I; V2].
+// v2 is the A output of Tsqrt, t its T factor.
+func Tsmqr(trans blas.Transpose, v2, t, c1, c2 *mat.Matrix) {
+	m, n := v2.Rows, v2.Cols
+	if c1.Rows != n || c2.Rows != m || c1.Cols != c2.Cols {
+		panic(fmt.Sprintf("lapack: Tsmqr shape mismatch V2=%dx%d C1=%dx%d C2=%dx%d",
+			m, n, c1.Rows, c1.Cols, c2.Rows, c2.Cols))
+	}
+	k := c1.Cols
+	// W = C1 + V2ᵀ·C2.
+	w := mat.New(n, k)
+	w.CopyFrom(c1)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, v2, c2, 1, w)
+	// W ← op(T)·W.
+	tview := t.View(0, 0, n, n)
+	if trans == blas.Trans {
+		blas.Trmm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, 1, tview, w)
+	} else {
+		blas.Trmm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, tview, w)
+	}
+	// C1 −= W;  C2 −= V2·W.
+	for i := 0; i < n; i++ {
+		c1r, wr := c1.Row(i), w.Row(i)
+		for q := 0; q < k; q++ {
+			c1r[q] -= wr[q]
+		}
+	}
+	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, v2, w, 1, c2)
+}

@@ -1,0 +1,155 @@
+package lapack
+
+import (
+	"fmt"
+
+	"luqr/internal/blas"
+	"luqr/internal/mat"
+)
+
+// Ttqrt (Triangle on top of Triangle QR) factors the stacked matrix
+//
+//	[ R1 ]    R1: n×n upper triangular, updated in place (upper part only)
+//	[ R2 ]    R2: n×n upper triangular, overwritten (upper part only) with
+//	              the upper triangular block V2 of the Householder vectors
+//
+// producing Q = I − V·T·Vᵀ with V = [I; V2]. Strictly lower parts of both
+// tiles are never touched: they may carry V data from earlier kernels, as in
+// PLASMA. t (n×n) receives T. Used by the reduction trees of the HQR step to
+// merge two domain-local R factors.
+func Ttqrt(r1, r2, t *mat.Matrix) {
+	n := r1.Cols
+	if r1.Rows != n || r2.Rows != n || r2.Cols != n {
+		panic(fmt.Sprintf("lapack: Ttqrt needs square tiles, got %dx%d and %dx%d",
+			r1.Rows, r1.Cols, r2.Rows, r2.Cols))
+	}
+	if t.Rows < n || t.Cols < n {
+		panic(fmt.Sprintf("lapack: Ttqrt T too small: %dx%d", t.Rows, t.Cols))
+	}
+	t.Zero()
+	x := make([]float64, n)
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		// Column j of the stacked panel has nonzeros at R1[j,j] and
+		// R2[0..j, j] only (R2 upper triangular).
+		for i := 0; i <= j; i++ {
+			x[i] = r2.At(i, j)
+		}
+		beta, tau := Larfg(r1.At(j, j), x[:j+1])
+		r1.Set(j, j, beta)
+		for i := 0; i <= j; i++ {
+			r2.Set(i, j, x[i])
+		}
+		// Apply H to trailing columns (row j of R1, rows 0..j of R2),
+		// row-wise: w = R1[j, j+1:] + V2[0..j, j]ᵀ·R2[0..j, j+1:].
+		if tau != 0 && j+1 < n {
+			r1row := r1.Row(j)[j+1 : n]
+			wj := w[:n-j-1]
+			copy(wj, r1row)
+			for i := 0; i <= j; i++ {
+				r2row := r2.Row(i)
+				vij := r2row[j]
+				if vij == 0 {
+					continue
+				}
+				tail := r2row[j+1 : n]
+				for c, rv := range tail {
+					wj[c] += vij * rv
+				}
+			}
+			for c := range wj {
+				r1row[c] -= tau * wj[c]
+			}
+			for i := 0; i <= j; i++ {
+				r2row := r2.Row(i)
+				vij := tau * r2row[j]
+				if vij == 0 {
+					continue
+				}
+				tail := r2row[j+1 : n]
+				for c := range tail {
+					tail[c] -= vij * wj[c]
+				}
+			}
+		}
+		// T column: w[i] = V2[:, i]ᵀ · v2_j over the overlap rows 0..i,
+		// accumulated row-wise over R2's upper triangle.
+		wt := w[:j]
+		for i := range wt {
+			wt[i] = 0
+		}
+		for q := 0; q <= j; q++ {
+			r2row := r2.Row(q)
+			vqj := r2row[j]
+			if vqj == 0 {
+				continue
+			}
+			// Row q contributes to columns i ≥ q (upper triangle), i < j.
+			for i := q; i < j; i++ {
+				wt[i] += r2row[i] * vqj
+			}
+		}
+		larftColumn(t, j, tau, wt)
+	}
+}
+
+// Ttmqr applies the block reflector produced by Ttqrt to the stacked pair
+// [C1; C2] (both n-row tiles of width k, fully read/written):
+//
+//	[C1; C2] ← op(Q)·[C1; C2],  Q = I − [I; V2]·T·[I; V2]ᵀ
+//
+// v2 holds V2 in its upper triangle (lower part ignored), t the T factor.
+func Ttmqr(trans blas.Transpose, v2, t, c1, c2 *mat.Matrix) {
+	n := v2.Rows
+	if v2.Cols != n || c1.Rows != n || c2.Rows != n || c1.Cols != c2.Cols {
+		panic(fmt.Sprintf("lapack: Ttmqr shape mismatch V2=%dx%d C1=%dx%d C2=%dx%d",
+			v2.Rows, v2.Cols, c1.Rows, c1.Cols, c2.Rows, c2.Cols))
+	}
+	k := c1.Cols
+	// W = C1 + V2ᵀ·C2, reading only V2's upper triangle.
+	w := mat.New(n, k)
+	w.CopyFrom(c1)
+	for q := 0; q < n; q++ {
+		// Row q of V2 contributes v2(q, j) for j ≥ q.
+		c2row := c2.Row(q)
+		v2row := v2.Row(q)
+		for j := q; j < n; j++ {
+			vqj := v2row[j]
+			if vqj == 0 {
+				continue
+			}
+			wrow := w.Row(j)
+			for c := 0; c < k; c++ {
+				wrow[c] += vqj * c2row[c]
+			}
+		}
+	}
+	// W ← op(T)·W.
+	tview := t.View(0, 0, n, n)
+	if trans == blas.Trans {
+		blas.Trmm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, 1, tview, w)
+	} else {
+		blas.Trmm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, tview, w)
+	}
+	// C1 −= W;  C2 −= V2·W (upper triangle of V2 only).
+	for i := 0; i < n; i++ {
+		c1r, wr := c1.Row(i), w.Row(i)
+		for q := 0; q < k; q++ {
+			c1r[q] -= wr[q]
+		}
+	}
+	for i := 0; i < n; i++ {
+		c2row := c2.Row(i)
+		v2row := v2.Row(i)
+		for j := i; j < n; j++ {
+			vij := v2row[j]
+			if vij == 0 {
+				continue
+			}
+			wrow := w.Row(j)
+			for c := 0; c < k; c++ {
+				c2row[c] -= vij * wrow[c]
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package mat provides the dense matrix core used by every other package in
+// the solver: a row-major float64 matrix type with views, copies, norms and
+// residual helpers.
+//
+// The representation is deliberately minimal — a (rows, cols, stride, data)
+// quadruple — so that tiles, panels and stacked panels can all alias the same
+// backing storage without copies. All numerical kernels live in the blas and
+// lapack packages; this package only carries data and cheap O(rows·cols)
+// reductions.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix view. Element (i, j) lives at
+// Data[i*Stride+j]. A Matrix may be a view into a larger allocation, so
+// len(Data) can exceed Rows*Stride; mutating a view mutates the parent.
+type Matrix struct {
+	Rows   int
+	Cols   int
+	Stride int
+	Data   []float64
+}
+
+// New allocates a zeroed rows×cols matrix with a tight stride.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Stride: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice builds a rows×cols matrix backed by a copy of data, which must
+// hold exactly rows*cols elements in row-major order.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice got %d elements for %dx%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Stride+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j). Bounds are checked by the slice access in the
+// common case; explicit checks are reserved for Set/At in debug helpers.
+func (m *Matrix) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: At(%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	return m.Data[i*m.Stride+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: Set(%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	m.Data[i*m.Stride+j] = v
+}
+
+// View returns a sub-matrix view of size rows×cols starting at (i, j). The
+// view shares storage with m.
+func (m *Matrix) View(i, j, rows, cols int) *Matrix {
+	if i < 0 || j < 0 || rows < 0 || cols < 0 || i+rows > m.Rows || j+cols > m.Cols {
+		panic(fmt.Sprintf("mat: View(%d,%d,%d,%d) out of range %dx%d", i, j, rows, cols, m.Rows, m.Cols))
+	}
+	return &Matrix{
+		Rows:   rows,
+		Cols:   cols,
+		Stride: m.Stride,
+		Data:   m.Data[i*m.Stride+j:],
+	}
+}
+
+// Row returns row i as a length-Cols slice aliasing m's storage.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("mat: Row(%d) out of range %d", i, m.Rows))
+	}
+	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
+}
+
+// Clone returns a deep copy of m with a tight stride.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(c.Row(i), m.Row(i))
+	}
+	return c
+}
+
+// CopyFrom overwrites m with src. Shapes must match exactly.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("mat: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// Zero clears every element of m (only the viewed region).
+func (m *Matrix) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Stride+i] = v
+		}
+	}
+	return t
+}
+
+// Equal reports whether a and b have the same shape and identical elements.
+func Equal(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] && !(math.IsNaN(ra[j]) && math.IsNaN(rb[j])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxDiff returns max_{i,j} |a(i,j) − b(i,j)|. Shapes must match.
+func MaxDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MaxDiff shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	d := 0.0
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if v := math.Abs(ra[j] - rb[j]); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// Norm1 returns the induced 1-norm (maximum absolute column sum).
+func (m *Matrix) Norm1() float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += math.Abs(v)
+		}
+	}
+	max := 0.0
+	for _, s := range sums {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormInf returns the induced ∞-norm (maximum absolute row sum).
+func (m *Matrix) NormInf() float64 {
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for _, v := range m.Row(i) {
+			s += math.Abs(v)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormFro returns the Frobenius norm.
+func (m *Matrix) NormFro() float64 {
+	// Two-pass scaling is unnecessary at the magnitudes used here; keep the
+	// straightforward accumulation.
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// NormMax returns max |a_ij| (not an induced norm).
+func (m *Matrix) NormMax() float64 {
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			if a := math.Abs(v); a > max {
+				max = a
+			}
+		}
+	}
+	return max
+}
+
+// ColAbsMax returns max_i |a(i,j)| for column j.
+func (m *Matrix) ColAbsMax(j int) float64 {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: ColAbsMax(%d) out of range %d", j, m.Cols))
+	}
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		if a := math.Abs(m.Data[i*m.Stride+j]); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// SwapRows exchanges rows i and j in place.
+func (m *Matrix) SwapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// IsFinite reports whether every element is finite (no NaN or ±Inf).
+func (m *Matrix) IsFinite() bool {
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Matrix) String() string {
+	const maxShow = 8
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix %dx%d", m.Rows, m.Cols)
+	if m.Rows > maxShow || m.Cols > maxShow {
+		return b.String()
+	}
+	b.WriteString("\n")
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&b, "% 12.5g", m.At(i, j))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector helpers. Vectors are plain []float64; these functions implement the
+// handful of reductions the solver needs outside of BLAS.
+
+// VecNormInf returns max_i |x_i|.
+func VecNormInf(x []float64) float64 {
+	max := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// VecNorm1 returns Σ|x_i|.
+func VecNorm1(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// VecNorm2 returns the Euclidean norm.
+func VecNorm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MulVec computes y = A·x for a dense A. len(x) must equal A.Cols; the result
+// has length A.Rows.
+func MulVec(a *Matrix, x []float64) []float64 {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch: %dx%d by %d", a.Rows, a.Cols, len(x)))
+	}
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Residual returns r = b − A·x.
+func Residual(a *Matrix, x, b []float64) []float64 {
+	ax := MulVec(a, x)
+	r := make([]float64, len(b))
+	for i := range b {
+		r[i] = b[i] - ax[i]
+	}
+	return r
+}
+
+// HPL3 computes the High-Performance Linpack backward-error metric used
+// throughout the paper's evaluation (§V-A):
+//
+//	HPL3 = ‖Ax − b‖∞ / (‖A‖∞ · ‖x‖∞ · ε · N)
+//
+// where ε is the double-precision machine epsilon and N the matrix order. A
+// result of order 1 or below indicates a backward-stable solve.
+func HPL3(a *Matrix, x, b []float64) float64 {
+	n := float64(a.Rows)
+	eps := math.Nextafter(1, 2) - 1
+	// A non-finite solution (breakdown, overflow) is an unconditional
+	// failure, not a zero residual.
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return math.Inf(1)
+		}
+	}
+	r := VecNormInf(Residual(a, x, b))
+	if math.IsNaN(r) {
+		return math.Inf(1)
+	}
+	den := a.NormInf() * VecNormInf(x) * eps * n
+	if den == 0 {
+		if r == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return r / den
+}

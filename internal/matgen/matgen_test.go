@@ -1,0 +1,417 @@
+package matgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"luqr/internal/blas"
+	"luqr/internal/lapack"
+	"luqr/internal/mat"
+)
+
+func orthoError(q *mat.Matrix) float64 {
+	n := q.Rows
+	qtq := mat.New(n, n)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, q, q, 0, qtq)
+	return mat.MaxDiff(qtq, mat.Identity(n))
+}
+
+func isSymmetric(a *mat.Matrix, tol float64) bool {
+	for i := 0; i < a.Rows; i++ {
+		for j := i + 1; j < a.Cols; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// geppGrowth returns max|U| / max|A| for LU with partial pivoting.
+func geppGrowth(a *mat.Matrix) float64 {
+	lu := a.Clone()
+	if _, err := lapack.Getrf(lu); err != nil {
+		return math.Inf(1)
+	}
+	maxU := 0.0
+	for i := 0; i < lu.Rows; i++ {
+		for j := i; j < lu.Cols; j++ {
+			if v := math.Abs(lu.At(i, j)); v > maxU {
+				maxU = v
+			}
+		}
+	}
+	return maxU / a.NormMax()
+}
+
+func TestHouseOrthogonalSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := House(20, rng)
+	if e := orthoError(a); e > 1e-12 {
+		t.Fatalf("house not orthogonal: %g", e)
+	}
+	if !isSymmetric(a, 1e-14) {
+		t.Fatal("house not symmetric")
+	}
+}
+
+func TestParterValues(t *testing.T) {
+	a := Parter(5)
+	if a.At(0, 0) != 2 { // 1/0.5
+		t.Fatalf("parter(0,0) = %g", a.At(0, 0))
+	}
+	if a.At(2, 0) != 1/2.5 {
+		t.Fatalf("parter(2,0) = %g", a.At(2, 0))
+	}
+	// Toeplitz: constant diagonals.
+	for i := 1; i < 5; i++ {
+		if a.At(i, i) != a.At(0, 0) {
+			t.Fatal("parter not Toeplitz")
+		}
+	}
+}
+
+func TestRisSymmetryStructure(t *testing.T) {
+	a := Ris(6)
+	// Ris is persymmetric Hankel-like: constant along anti-diagonals.
+	for i := 0; i < 5; i++ {
+		if a.At(i, 3) != a.At(i+1, 2) {
+			t.Fatal("ris not constant on anti-diagonals")
+		}
+	}
+}
+
+func TestCondexEmbedsBlock(t *testing.T) {
+	a := Condex(8)
+	if a.At(0, 2) != -200 || a.At(3, 3) != 100 {
+		t.Fatal("condex block wrong")
+	}
+	for i := 4; i < 8; i++ {
+		if a.At(i, i) != 1 {
+			t.Fatal("condex identity tail wrong")
+		}
+	}
+}
+
+func TestCirculStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Circul(7, rng)
+	for i := 1; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			if a.At(i, j) != a.At(i-1, ((j-1)%7+7)%7) {
+				t.Fatal("circul rows are not cyclic shifts")
+			}
+		}
+	}
+}
+
+func TestHankelAntiDiagonals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Hankel(6, rng)
+	for i := 0; i < 5; i++ {
+		for j := 1; j < 6; j++ {
+			if a.At(i, j) != a.At(i+1, j-1) {
+				t.Fatal("hankel not constant on anti-diagonals")
+			}
+		}
+	}
+}
+
+func TestCompanStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := Compan(6, rng)
+	for i := 1; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := 0.0
+			if j == i-1 {
+				want = 1
+			}
+			if a.At(i, j) != want {
+				t.Fatal("compan sub-identity structure wrong")
+			}
+		}
+	}
+}
+
+func TestLehmerSPDAndInverseTridiagonal(t *testing.T) {
+	a := Lehmer(10)
+	if !isSymmetric(a, 0) {
+		t.Fatal("lehmer not symmetric")
+	}
+	if a.At(2, 6) != 3.0/7.0 {
+		t.Fatalf("lehmer value wrong: %g", a.At(2, 6))
+	}
+	inv, err := lapack.Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if j > i+1 || j < i-1 {
+				if math.Abs(inv.At(i, j)) > 1e-10 {
+					t.Fatalf("lehmer inverse not tridiagonal at (%d,%d): %g", i, j, inv.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestDorrTridiagonalDominant(t *testing.T) {
+	a := Dorr(20)
+	for i := 0; i < 20; i++ {
+		off := 0.0
+		for j := 0; j < 20; j++ {
+			if j > i+1 || j < i-1 {
+				if a.At(i, j) != 0 {
+					t.Fatal("dorr not tridiagonal")
+				}
+			} else if j != i {
+				off += math.Abs(a.At(i, j))
+			}
+		}
+		if math.Abs(a.At(i, i)) < off-1e-9 {
+			t.Fatalf("dorr row %d not diagonally dominant", i)
+		}
+	}
+}
+
+func TestDemmelGraded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Demmel(10, rng)
+	if math.Abs(a.At(0, 0)-1) > 1e-5 {
+		t.Fatalf("demmel(0,0) = %g", a.At(0, 0))
+	}
+	if a.At(9, 9) < 1e12 {
+		t.Fatalf("demmel last diagonal too small: %g", a.At(9, 9))
+	}
+}
+
+func TestChebvandRecurrence(t *testing.T) {
+	a := Chebvand(8)
+	for j := 0; j < 8; j++ {
+		x := float64(j) / 7
+		if a.At(0, j) != 1 {
+			t.Fatal("chebvand row 0 must be ones")
+		}
+		if math.Abs(a.At(1, j)-x) > 1e-15 {
+			t.Fatal("chebvand row 1 must be x")
+		}
+		for i := 2; i < 8; i++ {
+			if math.Abs(a.At(i, j)-(2*x*a.At(i-1, j)-a.At(i-2, j))) > 1e-12 {
+				t.Fatal("chebvand recurrence violated")
+			}
+		}
+	}
+}
+
+func TestInvhessInverseIsHessenberg(t *testing.T) {
+	a := Invhess(9)
+	inv, err := lapack.Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := inv.NormMax()
+	for i := 0; i < 9; i++ {
+		for j := 0; j < i-1; j++ {
+			if math.Abs(inv.At(i, j)) > 1e-12*scale {
+				t.Fatalf("inverse not upper Hessenberg at (%d,%d): %g", i, j, inv.At(i, j))
+			}
+		}
+	}
+}
+
+func TestProlateSymmetricToeplitz(t *testing.T) {
+	a := Prolate(12)
+	if !isSymmetric(a, 0) {
+		t.Fatal("prolate not symmetric")
+	}
+	if a.At(0, 0) != 0.5 {
+		t.Fatalf("prolate diagonal = %g, want 2w = 0.5", a.At(0, 0))
+	}
+	for i := 1; i < 12; i++ {
+		if a.At(i, i) != a.At(0, 0) || a.At(i, i-1) != a.At(1, 0) {
+			t.Fatal("prolate not Toeplitz")
+		}
+	}
+}
+
+func TestCauchyHilbLotkinValues(t *testing.T) {
+	c := Cauchy(4)
+	if c.At(0, 0) != 0.5 || c.At(3, 3) != 1.0/8 {
+		t.Fatal("cauchy values wrong")
+	}
+	h := Hilb(4)
+	if h.At(0, 0) != 1 || h.At(3, 3) != 1.0/7 || h.At(1, 2) != 0.25 {
+		t.Fatal("hilb values wrong")
+	}
+	l := Lotkin(4)
+	for j := 0; j < 4; j++ {
+		if l.At(0, j) != 1 {
+			t.Fatal("lotkin first row must be ones")
+		}
+	}
+	if l.At(1, 1) != h.At(1, 1) {
+		t.Fatal("lotkin body must match hilb")
+	}
+}
+
+func TestKahanUpperTriangular(t *testing.T) {
+	a := Kahan(10)
+	s := math.Sin(1.2)
+	for i := 0; i < 10; i++ {
+		if math.Abs(a.At(i, i)-math.Pow(s, float64(i))) > 1e-14 {
+			t.Fatal("kahan diagonal wrong")
+		}
+		for j := 0; j < i; j++ {
+			if a.At(i, j) != 0 {
+				t.Fatal("kahan not upper triangular")
+			}
+		}
+	}
+}
+
+func TestOrthogoOrthogonal(t *testing.T) {
+	a := Orthogo(16)
+	if e := orthoError(a); e > 1e-12 {
+		t.Fatalf("orthogo not orthogonal: %g", e)
+	}
+	if !isSymmetric(a, 1e-14) {
+		t.Fatal("orthogo not symmetric")
+	}
+}
+
+func TestWilkinsonAttainsGrowthBound(t *testing.T) {
+	n := 24
+	a := Wilkinson(n)
+	g := geppGrowth(a)
+	want := math.Pow(2, float64(n-1))
+	if math.Abs(g-want)/want > 1e-9 {
+		t.Fatalf("wilkinson growth = %g, want 2^%d = %g", g, n-1, want)
+	}
+}
+
+func TestFosterTriggersLargeGrowth(t *testing.T) {
+	a := Foster(40)
+	// Lower triangular apart from the terminal coupling column.
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 39; j++ {
+			if a.At(i, j) != 0 {
+				t.Fatal("foster interior not lower triangular")
+			}
+		}
+		if a.At(i, 39) != 1 {
+			t.Fatal("foster terminal column must be ones")
+		}
+	}
+	if g := geppGrowth(a); g < 1e6 {
+		t.Fatalf("foster GEPP growth only %g; want exponential", g)
+	}
+	// The growth mechanism requires that GEPP performs no interchanges.
+	lu := a.Clone()
+	piv, err := lapack.Getrf(lu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, p := range piv {
+		if p != k {
+			t.Fatalf("foster: GEPP swapped rows at step %d", k)
+		}
+	}
+}
+
+func TestWrightGrowthAndStructure(t *testing.T) {
+	a := Wright(80)
+	// Subdiagonal blocks are −e^{Mh} with h = 0.3: check one entry.
+	ea := math.Exp(-0.05) * math.Cosh(0.3)
+	if math.Abs(a.At(2, 0)-(-ea)) > 1e-12 {
+		t.Fatalf("wright subdiagonal block wrong: %g", a.At(2, 0))
+	}
+	if g := geppGrowth(a); g < 1e3 {
+		t.Fatalf("wright GEPP growth only %g; want exponential", g)
+	}
+	// Growth must be exponential in n: n=80 much larger than n=40.
+	if g40, g80 := geppGrowth(Wright(40)), geppGrowth(Wright(80)); g80 < 10*g40 {
+		t.Fatalf("wright growth not exponential: g(40)=%g g(80)=%g", g40, g80)
+	}
+}
+
+func TestFiedlerZeroDiagonalNonsingular(t *testing.T) {
+	a := Fiedler(12)
+	for i := 0; i < 12; i++ {
+		if a.At(i, i) != 0 {
+			t.Fatal("fiedler diagonal must be zero")
+		}
+	}
+	if !isSymmetric(a, 0) {
+		t.Fatal("fiedler not symmetric")
+	}
+	if _, err := lapack.Inverse(a); err != nil {
+		t.Fatalf("fiedler should be nonsingular: %v", err)
+	}
+	// LU without pivoting must break down instantly (§V-C).
+	lu := a.Clone()
+	if err := lapack.GetrfNoPiv(lu); err == nil {
+		t.Fatal("GetrfNoPiv on fiedler should report a zero pivot")
+	}
+}
+
+func TestDiagDominantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := DiagDominant(30, rng)
+	for i := 0; i < 30; i++ {
+		s := 0.0
+		for j := 0; j < 30; j++ {
+			if j != i {
+				s += math.Abs(a.At(i, j))
+			}
+		}
+		if a.At(i, i) <= s {
+			t.Fatalf("row %d not strictly dominant", i)
+		}
+	}
+}
+
+func TestRandomSeeded(t *testing.T) {
+	a := Random(10, rand.New(rand.NewSource(42)))
+	b := Random(10, rand.New(rand.NewSource(42)))
+	if !mat.Equal(a, b) {
+		t.Fatal("Random not reproducible for equal seeds")
+	}
+	c := Random(10, rand.New(rand.NewSource(43)))
+	if mat.Equal(a, c) {
+		t.Fatal("Random identical across different seeds")
+	}
+}
+
+func TestSpecialSetComplete(t *testing.T) {
+	set := SpecialSet()
+	if len(set) != 22 { // Table III's 21 + fiedler
+		t.Fatalf("special set has %d entries, want 22", len(set))
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, e := range set {
+		a := e.Gen(16, rng)
+		if a.Rows != 16 || a.Cols != 16 {
+			t.Fatalf("%s: wrong shape %dx%d", e.Name, a.Rows, a.Cols)
+		}
+		if !a.IsFinite() {
+			t.Fatalf("%s: non-finite entries", e.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("hilb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("random"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("diagdom"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}

@@ -1,0 +1,99 @@
+package matgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"luqr/internal/blas"
+	"luqr/internal/lapack"
+	"luqr/internal/mat"
+)
+
+// SigmaMode selects the singular-value distribution of RandSVD, following
+// LAPACK's DLATMS conventions.
+type SigmaMode int
+
+const (
+	// SigmaOneLarge: σ₁ = 1, σ₂ = … = σ_n = 1/κ.
+	SigmaOneLarge SigmaMode = iota + 1
+	// SigmaOneSmall: σ₁ = … = σ_{n−1} = 1, σ_n = 1/κ.
+	SigmaOneSmall
+	// SigmaGeometric: σ_i = κ^{−(i−1)/(n−1)}.
+	SigmaGeometric
+	// SigmaArithmetic: σ_i = 1 − (i−1)/(n−1)·(1 − 1/κ).
+	SigmaArithmetic
+)
+
+// HaarOrthogonal returns an n×n orthogonal matrix drawn from the Haar
+// distribution: the Q of a QR factorization of a Gaussian matrix, with the
+// sign convention R_ii > 0 (Stewart's method).
+func HaarOrthogonal(n int, rng *rand.Rand) *mat.Matrix {
+	g := Random(n, rng)
+	t := mat.New(n, n)
+	lapack.Geqrt(g, t)
+	q := mat.Identity(n)
+	lapack.Unmqr(blas.NoTrans, g, t, q)
+	// Fix the distribution: multiply column i by sign(R_ii).
+	for i := 0; i < n; i++ {
+		if g.At(i, i) < 0 {
+			for r := 0; r < n; r++ {
+				q.Set(r, i, -q.At(r, i))
+			}
+		}
+	}
+	return q
+}
+
+// RandSVD returns an n×n matrix A = U·Σ·Vᵀ with Haar-random orthogonal U
+// and V and a prescribed 2-norm condition number κ via the chosen
+// singular-value mode — the standard generator for conditioning sweeps
+// (LAPACK DLATMS / MATLAB gallery('randsvd')).
+func RandSVD(n int, kappa float64, mode SigmaMode, rng *rand.Rand) *mat.Matrix {
+	if kappa < 1 {
+		panic(fmt.Sprintf("matgen: RandSVD needs kappa >= 1, got %g", kappa))
+	}
+	sigma := make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch mode {
+		case SigmaOneLarge:
+			if i == 0 {
+				sigma[i] = 1
+			} else {
+				sigma[i] = 1 / kappa
+			}
+		case SigmaOneSmall:
+			if i == n-1 {
+				sigma[i] = 1 / kappa
+			} else {
+				sigma[i] = 1
+			}
+		case SigmaGeometric:
+			if n == 1 {
+				sigma[i] = 1
+			} else {
+				sigma[i] = math.Pow(kappa, -float64(i)/float64(n-1))
+			}
+		case SigmaArithmetic:
+			if n == 1 {
+				sigma[i] = 1
+			} else {
+				sigma[i] = 1 - float64(i)/float64(n-1)*(1-1/kappa)
+			}
+		default:
+			panic(fmt.Sprintf("matgen: unknown sigma mode %d", mode))
+		}
+	}
+	u := HaarOrthogonal(n, rng)
+	v := HaarOrthogonal(n, rng)
+	// A = U·diag(σ)·Vᵀ: scale U's columns, then multiply by Vᵀ.
+	for i := 0; i < n; i++ {
+		row := u.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] *= sigma[j]
+		}
+	}
+	a := mat.New(n, n)
+	blas.Gemm(blas.NoTrans, blas.Trans, 1, u, v, 0, a)
+	return a
+}

@@ -1,0 +1,96 @@
+package matgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"luqr/internal/blas"
+	"luqr/internal/lapack"
+	"luqr/internal/mat"
+)
+
+func TestHaarOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := HaarOrthogonal(24, rng)
+	qtq := mat.New(24, 24)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, q, q, 0, qtq)
+	if d := mat.MaxDiff(qtq, mat.Identity(24)); d > 1e-12 {
+		t.Fatalf("QᵀQ deviates from I by %g", d)
+	}
+	// Haar invariance sanity: two draws differ.
+	q2 := HaarOrthogonal(24, rng)
+	if mat.Equal(q, q2) {
+		t.Fatal("two Haar draws identical")
+	}
+}
+
+// spectralNorms estimates σ_max and σ_min by power iteration on A·Aᵀ and on
+// (A·Aᵀ)⁻¹ through LU solves.
+func spectralNorms(t *testing.T, a *mat.Matrix) (smax, smin float64) {
+	t.Helper()
+	n := a.Rows
+	rng := rand.New(rand.NewSource(99))
+	mul := func(x []float64) []float64 {
+		return mat.MulVec(a, x)
+	}
+	mulT := func(x []float64) []float64 {
+		return mat.MulVec(a.T(), x)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for it := 0; it < 200; it++ {
+		x = mulT(mul(x))
+		s := 1 / mat.VecNorm2(x)
+		blas.Scal(s, x)
+	}
+	smax = mat.VecNorm2(mul(x))
+
+	lu := a.Clone()
+	piv, err := lapack.Getrf(lu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	for it := 0; it < 200; it++ {
+		lapack.GetrsVec(blas.NoTrans, lu, piv, y)
+		lapack.GetrsVec(blas.Trans, lu, piv, y)
+		s := 1 / mat.VecNorm2(y)
+		blas.Scal(s, y)
+	}
+	z := append([]float64(nil), y...)
+	lapack.GetrsVec(blas.NoTrans, lu, piv, z)
+	smin = 1 / mat.VecNorm2(z)
+	return smax, smin
+}
+
+func TestRandSVDConditionNumber(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, mode := range []SigmaMode{SigmaOneLarge, SigmaOneSmall, SigmaGeometric, SigmaArithmetic} {
+		for _, kappa := range []float64{1, 100, 1e6} {
+			a := RandSVD(32, kappa, mode, rng)
+			smax, smin := spectralNorms(t, a)
+			got := smax / smin
+			if math.Abs(math.Log10(got)-math.Log10(kappa)) > 0.3 {
+				t.Errorf("mode %d kappa %g: measured κ₂ = %g", mode, kappa, got)
+			}
+			if math.Abs(smax-1) > 0.05 {
+				t.Errorf("mode %d kappa %g: σ_max = %g, want 1", mode, kappa, smax)
+			}
+		}
+	}
+}
+
+func TestRandSVDPanicsOnBadKappa(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandSVD(8, 0.5, SigmaGeometric, rand.New(rand.NewSource(1)))
+}

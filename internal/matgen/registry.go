@@ -1,0 +1,66 @@
+package matgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"luqr/internal/mat"
+)
+
+// Generator produces an n×n matrix. Deterministic generators ignore rng.
+type Generator func(n int, rng *rand.Rand) *mat.Matrix
+
+// Entry describes one matrix of the experiment set.
+type Entry struct {
+	Name string
+	Desc string
+	Gen  Generator
+}
+
+// SpecialSet returns the special matrices of Table III in the paper's order,
+// followed by the Fiedler matrix of §V-C.
+func SpecialSet() []Entry {
+	wrap := func(f func(int) *mat.Matrix) Generator {
+		return func(n int, _ *rand.Rand) *mat.Matrix { return f(n) }
+	}
+	return []Entry{
+		{"house", "Householder matrix, A = I − β·v·vᵀ", House},
+		{"parter", "Parter Toeplitz matrix, A(i,j) = 1/(i−j+0.5)", wrap(Parter)},
+		{"ris", "Ris matrix, A(i,j) = 0.5/(n−i−j+1.5)", wrap(Ris)},
+		{"condex", "counter-example to condition estimators", wrap(Condex)},
+		{"circul", "circulant matrix", Circul},
+		{"hankel", "random Hankel matrix", Hankel},
+		{"compan", "companion matrix of a random polynomial (sparse)", Compan},
+		{"lehmer", "Lehmer SPD matrix, A(i,j) = i/j for j ≥ i", wrap(Lehmer)},
+		{"dorr", "Dorr diagonally dominant ill-conditioned tridiagonal (sparse)", wrap(Dorr)},
+		{"demmel", "D·(I + 1e−7·rand), D = diag(10^{14(i−1)/n})", Demmel},
+		{"chebvand", "Chebyshev Vandermonde on equispaced points of [0,1]", wrap(Chebvand)},
+		{"invhess", "inverse is upper Hessenberg", wrap(Invhess)},
+		{"prolate", "ill-conditioned Toeplitz prolate matrix", wrap(Prolate)},
+		{"cauchy", "Cauchy matrix", wrap(Cauchy)},
+		{"hilb", "Hilbert matrix, A(i,j) = 1/(i+j−1)", wrap(Hilb)},
+		{"lotkin", "Hilbert matrix with first row set to ones", wrap(Lotkin)},
+		{"kahan", "Kahan upper trapezoidal matrix", wrap(Kahan)},
+		{"orthogo", "symmetric orthogonal eigenvector matrix", wrap(Orthogo)},
+		{"wilkinson", "attains the 2^{n−1} GEPP growth bound", wrap(Wilkinson)},
+		{"foster", "Volterra quadrature matrix of Foster (1994)", wrap(Foster)},
+		{"wright", "multiple-shooting BVP matrix of Wright (1993)", wrap(Wright)},
+		{"fiedler", "Fiedler matrix |i−j| (zero diagonal; §V-C)", wrap(Fiedler)},
+	}
+}
+
+// ByName returns the special-set generator with the given name.
+func ByName(name string) (Entry, error) {
+	for _, e := range SpecialSet() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	if name == "random" {
+		return Entry{"random", "i.i.d. N(0,1) entries", Random}, nil
+	}
+	if name == "diagdom" {
+		return Entry{"diagdom", "strictly diagonally dominant random", DiagDominant}, nil
+	}
+	return Entry{}, fmt.Errorf("matgen: unknown matrix %q", name)
+}

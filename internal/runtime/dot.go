@@ -1,0 +1,58 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders a recorded trace as a Graphviz digraph, one node per task,
+// one edge per dependency — the reproduction of the paper's Figure 1
+// dataflow diagram. Tasks are colored by kernel family and clustered by
+// node rank when clusterByNode is set.
+func DOT(trace []*TraceTask, clusterByNode bool) string {
+	var b strings.Builder
+	b.WriteString("digraph luqr {\n  rankdir=TB;\n  node [shape=box, style=filled, fontname=\"Helvetica\"];\n")
+	color := func(kernel string) string {
+		switch {
+		case strings.HasPrefix(kernel, "GETRF"), kernel == "TRSM", kernel == "GEMM", kernel == "SWPTRSM":
+			return "#c6dbef" // LU path: blue family
+		case strings.HasPrefix(kernel, "GEQRT"), strings.HasPrefix(kernel, "TS"), strings.HasPrefix(kernel, "TT"), strings.HasPrefix(kernel, "UNMQR"):
+			return "#c7e9c0" // QR path: green family
+		case kernel == "BACKUP", kernel == "RESTORE", kernel == "PROPAGATE", kernel == "DECIDE":
+			return "#fdd0a2" // control path: orange family
+		}
+		return "#eeeeee"
+	}
+	writeNode := func(t *TraceTask) {
+		fmt.Fprintf(&b, "  t%d [label=\"%s\", fillcolor=\"%s\"];\n", t.ID, t.Name, color(t.Kernel))
+	}
+	if clusterByNode {
+		byNode := map[int][]*TraceTask{}
+		order := []int{}
+		for _, t := range trace {
+			if _, ok := byNode[t.Node]; !ok {
+				order = append(order, t.Node)
+			}
+			byNode[t.Node] = append(byNode[t.Node], t)
+		}
+		for _, n := range order {
+			fmt.Fprintf(&b, "  subgraph cluster_node%d {\n    label=\"node %d\";\n", n, n)
+			for _, t := range byNode[n] {
+				b.WriteString("  ")
+				writeNode(t)
+			}
+			b.WriteString("  }\n")
+		}
+	} else {
+		for _, t := range trace {
+			writeNode(t)
+		}
+	}
+	for _, t := range trace {
+		for _, d := range t.Deps {
+			fmt.Fprintf(&b, "  t%d -> t%d;\n", d, t.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

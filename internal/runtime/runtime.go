@@ -1,0 +1,344 @@
+// Package runtime is the dataflow task engine the hybrid solver runs on — a
+// pure-Go stand-in for the PaRSEC runtime of the paper (§IV).
+//
+// Tasks declare the data handles they read and write; the engine derives the
+// read-after-write, write-after-read and write-after-write dependencies
+// automatically from the submission order, exactly as a sequential-task-flow
+// runtime does, and executes ready tasks on a pool of workers with
+// priority-ordered scheduling.
+//
+// The paper extends PaRSEC's static parameterized task graphs with dynamic
+// selection tasks (Backup Panel / Propagate, Fig. 1) so the LU and QR
+// subgraphs of a step can be chosen at run time. This engine supports the
+// same pattern through dynamic unfolding: a task's Then callback runs after
+// its kernel and may submit further tasks — the hybrid algorithm's decision
+// task evaluates the robustness criterion there and materializes either the
+// LU or the QR subgraph of the step. Because submission order is
+// deterministic, the task graph and every numerical result are independent
+// of the number of workers and of scheduling; only timing varies.
+//
+// For the distributed-memory reproduction the engine also performs
+// owner-computes accounting: each task carries the rank of the node it would
+// run on, and the engine records, per dependency edge that crosses nodes,
+// one message per (version, destination-node) pair — the same dedup a
+// runtime's broadcast tree gives. The recorded trace feeds the sim package's
+// discrete-event replay.
+package runtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// Handle identifies one datum (typically a tile) tracked by the engine.
+type Handle struct {
+	id    int
+	name  string
+	bytes int
+
+	// Dependency state, guarded by the engine mutex.
+	lastWriter *task
+	readers    []*task
+	writerNode int // node holding the current version (−1: home)
+	home       int // node owning the datum (block-cyclic owner)
+	sentTo     map[int]bool
+	version    int
+}
+
+// Name returns the debug name given at creation.
+func (h *Handle) Name() string { return h.name }
+
+// Access describes one handle access of a task.
+type Access struct {
+	H     *Handle
+	Write bool
+}
+
+// R declares a read access.
+func R(h *Handle) Access { return Access{H: h} }
+
+// W declares a write (or read-write — in-place kernels are writes) access.
+func W(h *Handle) Access { return Access{H: h, Write: true} }
+
+// Message records one inter-node transfer implied by a dependency edge.
+type Message struct {
+	From, To int
+	Bytes    int
+}
+
+// TraceTask is the execution-trace record of one task, consumed by the
+// discrete-event simulator.
+type TraceTask struct {
+	ID       int
+	Name     string
+	Kernel   string
+	Node     int
+	Flops    float64
+	Priority int
+	Deps     []int
+	Recv     []Message
+	// ExtraComm records communication the task performs internally as a
+	// synchronous phase (pivot-search exchanges, criterion all-reduces):
+	// the simulator charges latency + bytes for each, serially.
+	ExtraComm []Message
+}
+
+// TaskSpec describes a task to submit.
+type TaskSpec struct {
+	Name     string  // debug / DOT label
+	Kernel   string  // kernel family, e.g. "GEMM" (for the trace)
+	Node     int     // owner-computes placement rank
+	Flops    float64 // operation count (for the trace / simulator)
+	Priority int     // higher runs earlier among ready tasks
+	Accesses []Access
+	// ExtraComm declares internal synchronous communication phases (see
+	// TraceTask.ExtraComm); only meaningful when tracing.
+	ExtraComm []Message
+	Run       func() // the kernel body (may be nil for pure control tasks)
+	// Then runs on the worker right after Run, while the task is still
+	// considered pending, and may submit further tasks: this is the dynamic
+	// unfolding hook. It must not block on the engine.
+	Then func(e *Engine)
+}
+
+type task struct {
+	id      int
+	spec    TaskSpec
+	nDeps   int // unresolved dependency count
+	succs   []*task
+	done    bool
+	trace   *TraceTask
+	heapIdx int
+	seq     int
+}
+
+// Engine executes a dynamically unfolding task graph.
+type Engine struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   readyQueue
+	pending int // submitted but not finished
+	nextID  int // task ids, in submission order
+	nextHdl int // handle ids
+	closed  bool
+	workers int
+	trace   []*TraceTask
+	tracing bool
+	wg      sync.WaitGroup
+}
+
+// Config configures a new engine.
+type Config struct {
+	Workers int  // number of worker goroutines (≥ 1)
+	Trace   bool // record a TraceTask per task
+}
+
+// NewEngine starts an engine with the given number of workers. Callers must
+// Close it when done.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Workers < 1 {
+		panic(fmt.Sprintf("runtime: need at least one worker, got %d", cfg.Workers))
+	}
+	e := &Engine{workers: cfg.Workers, tracing: cfg.Trace}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// NewHandle registers a datum of the given size owned by node home.
+func (e *Engine) NewHandle(name string, bytes, home int) *Handle {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := &Handle{id: e.nextHdl, name: name, bytes: bytes, home: home, writerNode: home}
+	e.nextHdl++
+	return h
+}
+
+// Submit adds a task. Dependencies on previously submitted tasks are derived
+// from the declared accesses. Submit may be called from Then callbacks.
+func (e *Engine) Submit(spec TaskSpec) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		panic("runtime: Submit after Close")
+	}
+	t := &task{id: e.nextID, spec: spec, seq: e.nextID}
+	e.nextID++
+	e.pending++
+
+	var tr *TraceTask
+	if e.tracing {
+		tr = &TraceTask{ID: t.id, Name: spec.Name, Kernel: spec.Kernel, Node: spec.Node, Flops: spec.Flops, Priority: spec.Priority, ExtraComm: spec.ExtraComm}
+		t.trace = tr
+		e.trace = append(e.trace, tr)
+	}
+
+	dep := func(p *task) {
+		if p == nil {
+			return
+		}
+		// Record the edge in the trace even when the predecessor has
+		// already finished: dynamically unfolded subgraphs submit after
+		// their predecessors ran, but the logical dependency still holds
+		// and the simulator must see it.
+		if tr != nil {
+			tr.Deps = append(tr.Deps, p.id)
+		}
+		if p.done {
+			return
+		}
+		p.succs = append(p.succs, t)
+		t.nDeps++
+	}
+
+	seen := map[*Handle]bool{}
+	for _, a := range spec.Accesses {
+		h := a.H
+		// RAW (and WAW for writes): depend on the last writer.
+		dep(h.lastWriter)
+		if tr != nil && h.lastWriter != nil && !seen[h] {
+			// Record data movement for this version once per destination.
+			if h.writerNode != spec.Node && h.sentTo != nil && !h.sentTo[spec.Node] {
+				tr.Recv = append(tr.Recv, Message{From: h.writerNode, To: spec.Node, Bytes: h.bytes})
+				h.sentTo[spec.Node] = true
+			}
+		} else if tr != nil && h.lastWriter == nil && !seen[h] {
+			// Initial version lives at the home node.
+			if h.home != spec.Node {
+				if h.sentTo == nil {
+					h.sentTo = map[int]bool{}
+				}
+				if !h.sentTo[spec.Node] {
+					tr.Recv = append(tr.Recv, Message{From: h.home, To: spec.Node, Bytes: h.bytes})
+					h.sentTo[spec.Node] = true
+				}
+			}
+		}
+		if a.Write {
+			// WAR: depend on every reader of the current version.
+			for _, r := range h.readers {
+				if r != t {
+					dep(r)
+				}
+			}
+		}
+		seen[h] = true
+	}
+	// Second pass: update handle states (kept separate so a task that
+	// accesses a handle twice does not depend on itself).
+	for _, a := range spec.Accesses {
+		h := a.H
+		if a.Write {
+			h.lastWriter = t
+			h.readers = h.readers[:0]
+			h.version++
+			h.writerNode = spec.Node
+			h.sentTo = map[int]bool{spec.Node: true}
+		} else {
+			h.readers = append(h.readers, t)
+		}
+	}
+
+	if t.nDeps == 0 {
+		heap.Push(&e.ready, t)
+		e.cond.Broadcast()
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	e.mu.Lock()
+	for {
+		for e.ready.Len() == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed && e.ready.Len() == 0 {
+			e.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&e.ready).(*task)
+		e.mu.Unlock()
+
+		if t.spec.Run != nil {
+			t.spec.Run()
+		}
+		if t.spec.Then != nil {
+			t.spec.Then(e)
+		}
+
+		e.mu.Lock()
+		t.done = true
+		for _, s := range t.succs {
+			s.nDeps--
+			if s.nDeps == 0 {
+				heap.Push(&e.ready, s)
+			}
+		}
+		e.pending--
+		e.cond.Broadcast()
+	}
+}
+
+// Wait blocks until every submitted task (including tasks submitted from
+// Then callbacks) has finished.
+func (e *Engine) Wait() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.pending > 0 {
+		e.cond.Wait()
+	}
+}
+
+// Close shuts the workers down. Pending tasks are drained first.
+func (e *Engine) Close() {
+	e.Wait()
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Trace returns the recorded execution trace (submission order). Only valid
+// after Wait, and only when tracing was enabled.
+func (e *Engine) Trace() []*TraceTask {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*TraceTask, len(e.trace))
+	copy(out, e.trace)
+	return out
+}
+
+// readyQueue is a max-heap on (Priority, −seq): higher priority first, FIFO
+// among equals.
+type readyQueue []*task
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].spec.Priority != q[j].spec.Priority {
+		return q[i].spec.Priority > q[j].spec.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q readyQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIdx = i
+	q[j].heapIdx = j
+}
+func (q *readyQueue) Push(x any) {
+	t := x.(*task)
+	t.heapIdx = len(*q)
+	*q = append(*q, t)
+}
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}

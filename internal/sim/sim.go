@@ -1,0 +1,294 @@
+// Package sim replays a recorded task trace on a machine model by
+// discrete-event simulation — the substitute for the paper's 16-node Dancer
+// cluster (§V-A), which is not available to this reproduction.
+//
+// The simulator is deliberately simple and transparent: each node has a
+// fixed number of cores; a task occupies one core of its owner node for
+// flops / (core GFLOP/s) seconds plus a fixed scheduling overhead; a
+// dependency edge that crosses nodes delays the successor by
+// latency + bytes/bandwidth. The simulated makespan therefore reflects the
+// structural properties the paper's performance figures measure — critical
+// path, kernel cost ratios (Table I), update parallelism, communication on
+// the panel path — while absolute speeds come from the machine preset.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"luqr/internal/runtime"
+)
+
+// Machine is the platform model.
+type Machine struct {
+	Name         string
+	Nodes        int
+	CoresPerNode int
+	CoreGFlops   float64 // sustained per-core DGEMM rate
+	LatencySec   float64 // per-message latency
+	BandwidthBps float64 // per-link bandwidth, bytes/second
+	OverheadSec  float64 // fixed per-task runtime overhead
+	// NICSerial serializes each node's incoming transfers on a single NIC
+	// (a contention model): concurrent receives queue instead of sharing
+	// unlimited bandwidth.
+	NICSerial bool
+}
+
+// PeakGFlops returns the aggregate sustained rate of the machine, the
+// normalization of the paper's "% of peak" columns.
+func (m Machine) PeakGFlops() float64 {
+	return float64(m.Nodes) * float64(m.CoresPerNode) * m.CoreGFlops
+}
+
+// Dancer returns the model of the paper's platform: 16 nodes × 8 Westmere
+// cores at 2.13 GHz (theoretical peak 1091 GFLOP/s ⇒ 8.52 GFLOP/s per
+// core), Infiniband 10G (≈1.25 GB/s, ≈5 µs latency).
+func Dancer() Machine {
+	return Machine{
+		Name:         "dancer",
+		Nodes:        16,
+		CoresPerNode: 8,
+		CoreGFlops:   1091.0 / 128.0,
+		LatencySec:   5e-6,
+		BandwidthBps: 1.25e9,
+		OverheadSec:  2e-6,
+	}
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	Makespan     float64 // seconds
+	ComputeTime  float64 // Σ task durations (core-seconds)
+	TotalFlops   float64
+	Messages     int
+	CommBytes    int
+	KernelTime   map[string]float64 // core-seconds per kernel family
+	TasksPerNode []int
+}
+
+// ExtraMessages lets callers charge communication that is not derivable
+// from tile dependencies (e.g. the Bruck all-reduce of the criterion): the
+// messages of group i delay every task whose ID ≥ After by the group's
+// completion, modeled as rounds of concurrent messages.
+type ExtraMessages struct {
+	After    int // the first task ID that must wait for these messages
+	Rounds   int
+	PerRound int
+	Bytes    int
+}
+
+// Simulate replays the trace on the machine with event-driven list
+// scheduling: a task becomes ready when its dependencies finish (plus
+// cross-node transfer delays); ready tasks are dispatched
+// earliest-ready-first (priority, then submission order break ties) onto
+// the earliest-available core of their owner node. Tasks with Node ≥
+// m.Nodes are folded onto Node mod m.Nodes.
+func Simulate(trace []*runtime.TraceTask, m Machine, extra []ExtraMessages) Result {
+	if m.Nodes < 1 || m.CoresPerNode < 1 || m.CoreGFlops <= 0 {
+		panic(fmt.Sprintf("sim: invalid machine %+v", m))
+	}
+	res := Result{KernelTime: map[string]float64{}, TasksPerNode: make([]int, m.Nodes)}
+	msgRate := 1.0 / m.BandwidthBps
+
+	// Index tasks and build successor lists.
+	idx := make(map[int]int, len(trace)) // task ID → position
+	for pos, t := range trace {
+		idx[t.ID] = pos
+	}
+	nDeps := make([]int, len(trace))
+	succs := make([][]int, len(trace))
+	node := make([]int, len(trace))
+	readyAt := make([]float64, len(trace)) // max dep finish + comm delays
+	for pos, t := range trace {
+		n := t.Node % m.Nodes
+		if n < 0 {
+			n = 0
+		}
+		node[pos] = n
+		nDeps[pos] = len(t.Deps)
+		for _, d := range t.Deps {
+			dp, ok := idx[d]
+			if !ok {
+				nDeps[pos]-- // dependency outside the trace slice
+				continue
+			}
+			succs[dp] = append(succs[dp], pos)
+		}
+		for _, msg := range t.Recv {
+			res.Messages++
+			res.CommBytes += msg.Bytes
+		}
+		for _, msg := range t.ExtraComm {
+			res.Messages++
+			res.CommBytes += msg.Bytes
+		}
+	}
+
+	// Extra message groups (criterion all-reduces): a floor on the ready
+	// time of every task with ID ≥ After, anchored at the group's
+	// activation.
+	extraIdx := 0
+	extraFloor := 0.0
+	extraActive := func(id int) bool {
+		return extraIdx > 0 && extra[extraIdx-1].After <= id
+	}
+
+	// Per-node pools of core availability times (min-heaps), plus one
+	// receive-NIC clock per node for the contention model.
+	cores := make([]coreHeap, m.Nodes)
+	for n := range cores {
+		cores[n] = make(coreHeap, m.CoresPerNode)
+		heap.Init(&cores[n])
+	}
+	nicFree := make([]float64, m.Nodes)
+
+	// Event queue of ready tasks, ordered by (readyAt, −priority, seq).
+	rq := &simReadyQueue{trace: trace, ready: readyAt}
+	for pos := range trace {
+		if nDeps[pos] == 0 {
+			heap.Push(rq, pos)
+		}
+	}
+
+	finish := make([]float64, len(trace))
+	scheduled := 0
+	for rq.Len() > 0 {
+		pos := heap.Pop(rq).(int)
+		t := trace[pos]
+		n := node[pos]
+		ready := readyAt[pos]
+		// Receiver-side serialization of the incoming payloads, plus the
+		// internal synchronous phases (pivot exchanges, criterion
+		// all-reduces), which cost a full latency each.
+		commDur := 0.0
+		for _, msg := range t.Recv {
+			commDur += float64(msg.Bytes) * msgRate
+		}
+		for _, msg := range t.ExtraComm {
+			commDur += m.LatencySec + float64(msg.Bytes)*msgRate
+		}
+		if commDur > 0 {
+			if m.NICSerial {
+				start := ready
+				if nicFree[n] > start {
+					start = nicFree[n]
+				}
+				nicFree[n] = start + commDur
+				ready = nicFree[n]
+			} else {
+				ready += commDur
+			}
+		}
+		// Activate any all-reduce groups triggered at or before this task.
+		for extraIdx < len(extra) && extra[extraIdx].After <= t.ID {
+			g := extra[extraIdx]
+			dur := float64(g.Rounds) * (m.LatencySec + float64(g.Bytes)*msgRate)
+			res.Messages += g.Rounds * g.PerRound
+			res.CommBytes += g.Rounds * g.PerRound * g.Bytes
+			if f := ready + dur; f > extraFloor {
+				extraFloor = f
+			}
+			extraIdx++
+		}
+		if extraActive(t.ID) && extraFloor > ready {
+			ready = extraFloor
+		}
+
+		c := &cores[n]
+		start := (*c)[0]
+		if ready > start {
+			start = ready
+		}
+		dur := t.Flops/(m.CoreGFlops*1e9) + m.OverheadSec
+		end := start + dur
+		(*c)[0] = end
+		heap.Fix(c, 0)
+		finish[pos] = end
+		scheduled++
+
+		res.ComputeTime += dur
+		res.TotalFlops += t.Flops
+		res.KernelTime[t.Kernel] += dur
+		res.TasksPerNode[n]++
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+
+		for _, sp := range succs[pos] {
+			df := end
+			if node[sp] != n {
+				df += m.LatencySec
+			}
+			if df > readyAt[sp] {
+				readyAt[sp] = df
+			}
+			nDeps[sp]--
+			if nDeps[sp] == 0 {
+				heap.Push(rq, sp)
+			}
+		}
+	}
+	if scheduled != len(trace) {
+		panic(fmt.Sprintf("sim: trace has a dependency cycle or missing tasks (%d/%d scheduled)", scheduled, len(trace)))
+	}
+	return res
+}
+
+// simReadyQueue orders ready task positions by (readyAt, −priority, ID).
+type simReadyQueue struct {
+	trace []*runtime.TraceTask
+	ready []float64
+	items []int
+}
+
+func (q *simReadyQueue) Len() int { return len(q.items) }
+func (q *simReadyQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if q.ready[a] != q.ready[b] {
+		return q.ready[a] < q.ready[b]
+	}
+	ta, tb := q.trace[a], q.trace[b]
+	if ta.Priority != tb.Priority {
+		return ta.Priority > tb.Priority
+	}
+	return ta.ID < tb.ID
+}
+func (q *simReadyQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *simReadyQueue) Push(x any)    { q.items = append(q.items, x.(int)) }
+func (q *simReadyQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	v := old[n-1]
+	q.items = old[:n-1]
+	return v
+}
+
+// CriticalPath returns the makespan on an idealized machine with unbounded
+// cores per node and zero communication cost — the pure dependency length of
+// the trace in seconds.
+func CriticalPath(trace []*runtime.TraceTask, coreGFlops float64) float64 {
+	finish := map[int]float64{}
+	maxT := 0.0
+	for _, t := range trace {
+		ready := 0.0
+		for _, d := range t.Deps {
+			if f := finish[d]; f > ready {
+				ready = f
+			}
+		}
+		end := ready + t.Flops/(coreGFlops*1e9)
+		finish[t.ID] = end
+		if end > maxT {
+			maxT = end
+		}
+	}
+	return maxT
+}
+
+type coreHeap []float64
+
+func (h coreHeap) Len() int           { return len(h) }
+func (h coreHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h coreHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *coreHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }

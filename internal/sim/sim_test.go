@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"luqr/internal/runtime"
+)
+
+// mkTask builds a trace record directly (the simulator only reads the
+// exported fields).
+func mkTask(id int, node int, flops float64, deps []int, recv []runtime.Message) *runtime.TraceTask {
+	return &runtime.TraceTask{ID: id, Name: "t", Kernel: "K", Node: node, Flops: flops, Deps: deps, Recv: recv}
+}
+
+// testMachine: 1 GFLOP/s cores so that flops = nanoseconds·1e9, no overhead.
+func testMachine(nodes, cores int) Machine {
+	return Machine{Name: "test", Nodes: nodes, CoresPerNode: cores, CoreGFlops: 1, LatencySec: 0, BandwidthBps: 1e30}
+}
+
+func TestSerialChainMakespan(t *testing.T) {
+	trace := []*runtime.TraceTask{
+		mkTask(0, 0, 1e9, nil, nil),
+		mkTask(1, 0, 1e9, []int{0}, nil),
+		mkTask(2, 0, 1e9, []int{1}, nil),
+	}
+	r := Simulate(trace, testMachine(1, 4), nil)
+	if math.Abs(r.Makespan-3) > 1e-9 {
+		t.Fatalf("chain makespan = %g, want 3", r.Makespan)
+	}
+}
+
+func TestParallelTasksUseCores(t *testing.T) {
+	var trace []*runtime.TraceTask
+	for i := 0; i < 8; i++ {
+		trace = append(trace, mkTask(i, 0, 1e9, nil, nil))
+	}
+	// 4 cores → 8 unit tasks take 2 time units.
+	r := Simulate(trace, testMachine(1, 4), nil)
+	if math.Abs(r.Makespan-2) > 1e-9 {
+		t.Fatalf("parallel makespan = %g, want 2", r.Makespan)
+	}
+	// 1 core → 8 units.
+	r = Simulate(trace, testMachine(1, 1), nil)
+	if math.Abs(r.Makespan-8) > 1e-9 {
+		t.Fatalf("serialized makespan = %g, want 8", r.Makespan)
+	}
+}
+
+func TestCommunicationDelay(t *testing.T) {
+	m := testMachine(2, 1)
+	m.LatencySec = 0.5
+	m.BandwidthBps = 100 // bytes per second
+	trace := []*runtime.TraceTask{
+		mkTask(0, 0, 1e9, nil, nil),
+		mkTask(1, 1, 1e9, []int{0}, []runtime.Message{{From: 0, To: 1, Bytes: 50}}),
+	}
+	r := Simulate(trace, m, nil)
+	// 1 (producer) + 0.5 latency + 0.5 transfer + 1 (consumer) = 3.
+	if math.Abs(r.Makespan-3) > 1e-9 {
+		t.Fatalf("comm makespan = %g, want 3", r.Makespan)
+	}
+	if r.Messages != 1 || r.CommBytes != 50 {
+		t.Fatalf("comm accounting: %d msgs %d bytes", r.Messages, r.CommBytes)
+	}
+	// Same-node dependency: no delay.
+	trace[1] = mkTask(1, 0, 1e9, []int{0}, nil)
+	r = Simulate(trace, m, nil)
+	if math.Abs(r.Makespan-2) > 1e-9 {
+		t.Fatalf("local makespan = %g, want 2", r.Makespan)
+	}
+}
+
+func TestExtraMessagesStallLaterTasks(t *testing.T) {
+	m := testMachine(1, 4)
+	m.LatencySec = 1
+	trace := []*runtime.TraceTask{
+		mkTask(0, 0, 1e9, nil, nil),
+		mkTask(1, 0, 1e9, []int{0}, nil),
+	}
+	// An all-reduce of 2 rounds × latency 1 activates before task 1.
+	extra := []ExtraMessages{{After: 1, Rounds: 2, PerRound: 4, Bytes: 0}}
+	r := Simulate(trace, m, extra)
+	// Task 0 ends at 1; all-reduce floor = 1 + 2·1 = 3; task 1 runs 3→4.
+	if math.Abs(r.Makespan-4) > 1e-9 {
+		t.Fatalf("stalled makespan = %g, want 4", r.Makespan)
+	}
+	if r.Messages != 8 {
+		t.Fatalf("extra messages not counted: %d", r.Messages)
+	}
+}
+
+func TestKernelTimeBreakdown(t *testing.T) {
+	trace := []*runtime.TraceTask{
+		{ID: 0, Kernel: "GEMM", Node: 0, Flops: 2e9},
+		{ID: 1, Kernel: "GETRF", Node: 0, Flops: 1e9},
+	}
+	r := Simulate(trace, testMachine(1, 2), nil)
+	if math.Abs(r.KernelTime["GEMM"]-2) > 1e-9 || math.Abs(r.KernelTime["GETRF"]-1) > 1e-9 {
+		t.Fatalf("kernel breakdown %v", r.KernelTime)
+	}
+	if r.TotalFlops != 3e9 {
+		t.Fatalf("total flops %g", r.TotalFlops)
+	}
+}
+
+func TestCriticalPathIgnoresResources(t *testing.T) {
+	// Two independent unit tasks then a join: CP = 2 regardless of cores.
+	trace := []*runtime.TraceTask{
+		mkTask(0, 0, 1e9, nil, nil),
+		mkTask(1, 0, 1e9, nil, nil),
+		mkTask(2, 0, 1e9, []int{0, 1}, nil),
+	}
+	if cp := CriticalPath(trace, 1); math.Abs(cp-2) > 1e-9 {
+		t.Fatalf("critical path = %g, want 2", cp)
+	}
+}
+
+func TestDancerPreset(t *testing.T) {
+	d := Dancer()
+	if d.Nodes != 16 || d.CoresPerNode != 8 {
+		t.Fatal("Dancer shape wrong")
+	}
+	if math.Abs(d.PeakGFlops()-1091) > 0.5 {
+		t.Fatalf("Dancer peak = %g, want ≈1091 (paper §V-A)", d.PeakGFlops())
+	}
+}
+
+func TestNodeFolding(t *testing.T) {
+	// A task placed on node 5 of a 2-node machine folds onto node 1.
+	trace := []*runtime.TraceTask{mkTask(0, 5, 1e9, nil, nil)}
+	r := Simulate(trace, testMachine(2, 1), nil)
+	if r.TasksPerNode[1] != 1 {
+		t.Fatalf("folding wrong: %v", r.TasksPerNode)
+	}
+}
+
+func TestOverheadCharged(t *testing.T) {
+	m := testMachine(1, 1)
+	m.OverheadSec = 0.25
+	trace := []*runtime.TraceTask{mkTask(0, 0, 1e9, nil, nil), mkTask(1, 0, 0, []int{0}, nil)}
+	r := Simulate(trace, m, nil)
+	if math.Abs(r.Makespan-1.5) > 1e-9 {
+		t.Fatalf("overhead makespan = %g, want 1.5", r.Makespan)
+	}
+}
+
+func TestNICSerialContention(t *testing.T) {
+	// Two producers on nodes 1 and 2 feed two consumers on node 0; with a
+	// serial NIC the second consumer's transfer queues behind the first.
+	m := testMachine(3, 4)
+	m.BandwidthBps = 100 // 1 byte = 0.01s
+	mkrecv := func(id, from int, deps []int) *runtime.TraceTask {
+		return &runtime.TraceTask{ID: id, Kernel: "K", Node: 0, Deps: deps,
+			Recv: []runtime.Message{{From: from, To: 0, Bytes: 100}}}
+	}
+	trace := []*runtime.TraceTask{
+		mkTask(0, 1, 0, nil, nil),
+		mkTask(1, 2, 0, nil, nil),
+		mkrecv(2, 1, []int{0}),
+		mkrecv(3, 2, []int{1}),
+	}
+	shared := Simulate(trace, m, nil)
+	m.NICSerial = true
+	serial := Simulate(trace, m, nil)
+	// Shared: both 1-second transfers overlap → makespan ≈ 1s.
+	// Serial: they queue → makespan ≈ 2s.
+	if !(serial.Makespan > shared.Makespan*1.5) {
+		t.Fatalf("NIC contention not modeled: shared %.3f vs serial %.3f", shared.Makespan, serial.Makespan)
+	}
+}
+
+func TestReadyQueueOrdering(t *testing.T) {
+	// Equal ready times: higher priority first, then lower ID.
+	trace := []*runtime.TraceTask{
+		{ID: 0, Kernel: "A", Node: 0, Flops: 1e9, Priority: 1},
+		{ID: 1, Kernel: "B", Node: 0, Flops: 1e9, Priority: 5},
+		{ID: 2, Kernel: "C", Node: 0, Flops: 1e9, Priority: 5},
+	}
+	m := testMachine(1, 1)
+	r := Simulate(trace, m, nil)
+	if math.Abs(r.Makespan-3) > 1e-9 {
+		t.Fatalf("makespan %g", r.Makespan)
+	}
+	// Kernel B (priority 5, lower ID among equals) must start first; we
+	// can't observe order directly, but the simulation must schedule all
+	// three tasks exactly once.
+	total := 0
+	for _, n := range r.TasksPerNode {
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("scheduled %d tasks", total)
+	}
+}
+
+func TestSimulatePanicsOnCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cyclic trace")
+		}
+	}()
+	trace := []*runtime.TraceTask{
+		{ID: 0, Node: 0, Deps: []int{1}},
+		{ID: 1, Node: 0, Deps: []int{0}},
+	}
+	Simulate(trace, testMachine(1, 1), nil)
+}
+
+func TestSimulateInvalidMachine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid machine")
+		}
+	}()
+	Simulate(nil, Machine{}, nil)
+}
+
+func TestExtraCommCharged(t *testing.T) {
+	m := testMachine(1, 1)
+	m.LatencySec = 0.5
+	m.BandwidthBps = 100
+	trace := []*runtime.TraceTask{
+		{ID: 0, Node: 0, Flops: 1e9,
+			ExtraComm: []runtime.Message{{From: 1, To: 0, Bytes: 50}, {From: 2, To: 0, Bytes: 50}}},
+	}
+	r := Simulate(trace, m, nil)
+	// Two serial phases of 0.5 + 0.5 each, then 1s of compute.
+	if math.Abs(r.Makespan-3) > 1e-9 {
+		t.Fatalf("ExtraComm makespan = %g, want 3", r.Makespan)
+	}
+	if r.Messages != 2 || r.CommBytes != 100 {
+		t.Fatalf("ExtraComm accounting: %d msgs %d bytes", r.Messages, r.CommBytes)
+	}
+}

@@ -1,0 +1,251 @@
+// Package tile provides the tiled-matrix representation used by all the
+// factorization algorithms: an n×n grid of nb×nb dense tiles, together with
+// the standard 2-D block-cyclic distribution of tiles onto a virtual p×q
+// process grid (§II of the paper).
+package tile
+
+import (
+	"fmt"
+
+	"luqr/internal/mat"
+)
+
+// Grid is a virtual p×q process grid. Tile (i, j) is owned by process
+// (i mod p, j mod q), the classical 2-D block-cyclic distribution that
+// balances load for both the LU and the QR steps.
+type Grid struct {
+	P int // process rows
+	Q int // process columns
+}
+
+// NewGrid validates and returns a p×q grid.
+func NewGrid(p, q int) Grid {
+	if p < 1 || q < 1 {
+		panic(fmt.Sprintf("tile: invalid grid %dx%d", p, q))
+	}
+	return Grid{P: p, Q: q}
+}
+
+// Nodes returns the number of processes in the grid.
+func (g Grid) Nodes() int { return g.P * g.Q }
+
+// Owner returns the rank (0..P·Q−1) owning tile (i, j).
+func (g Grid) Owner(i, j int) int {
+	return (i%g.P)*g.Q + j%g.Q
+}
+
+// OwnerRow returns the grid row of the process owning tile row i.
+func (g Grid) OwnerRow(i int) int { return i % g.P }
+
+// DiagonalDomain returns the rows of panel k that live on the node owning
+// the diagonal tile (k, k): all i in [k, mt) with owner(i, k) == owner(k, k).
+// These are the rows among which the LU step may pivot without inter-node
+// communication.
+func (g Grid) DiagonalDomain(k, mt int) []int {
+	var rows []int
+	for i := k; i < mt; i += 1 {
+		if i%g.P == k%g.P {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// PanelDomains groups the rows i in [k, mt) of panel k by owning grid row,
+// in order of first appearance (the diagonal domain first). Each group is
+// one "domain" in the paper's sense: the set of panel tiles local to one
+// node row.
+func (g Grid) PanelDomains(k, mt int) [][]int {
+	order := make([]int, 0, g.P)
+	byRow := make(map[int][]int)
+	for i := k; i < mt; i++ {
+		r := i % g.P
+		if _, seen := byRow[r]; !seen {
+			order = append(order, r)
+		}
+		byRow[r] = append(byRow[r], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, byRow[r])
+	}
+	return out
+}
+
+// Matrix is a tiled matrix: MT×NT tiles, each NB×NB. Tiles are individually
+// allocated so that a task runtime can treat each as an independent datum.
+type Matrix struct {
+	MT, NT int // tiles per column / per row
+	NB     int // tile order
+	Tiles  [][]*mat.Matrix
+}
+
+// New allocates a zeroed tiled matrix.
+func New(mt, nt, nb int) *Matrix {
+	if mt < 0 || nt < 0 || nb < 1 {
+		panic(fmt.Sprintf("tile: invalid tiled shape %dx%d nb=%d", mt, nt, nb))
+	}
+	t := &Matrix{MT: mt, NT: nt, NB: nb, Tiles: make([][]*mat.Matrix, mt)}
+	for i := range t.Tiles {
+		t.Tiles[i] = make([]*mat.Matrix, nt)
+		for j := range t.Tiles[i] {
+			t.Tiles[i][j] = mat.New(nb, nb)
+		}
+	}
+	return t
+}
+
+// FromDense tiles an N×N dense matrix with tile order nb. N must be a
+// multiple of nb (the paper makes the same simplifying assumption, §II-D.2).
+func FromDense(a *mat.Matrix, nb int) *Matrix {
+	if a.Rows%nb != 0 || a.Cols%nb != 0 {
+		panic(fmt.Sprintf("tile: %dx%d not tileable by nb=%d", a.Rows, a.Cols, nb))
+	}
+	t := New(a.Rows/nb, a.Cols/nb, nb)
+	for i := 0; i < t.MT; i++ {
+		for j := 0; j < t.NT; j++ {
+			t.Tiles[i][j].CopyFrom(a.View(i*nb, j*nb, nb, nb))
+		}
+	}
+	return t
+}
+
+// ToDense reassembles the dense matrix.
+func (t *Matrix) ToDense() *mat.Matrix {
+	a := mat.New(t.MT*t.NB, t.NT*t.NB)
+	for i := 0; i < t.MT; i++ {
+		for j := 0; j < t.NT; j++ {
+			a.View(i*t.NB, j*t.NB, t.NB, t.NB).CopyFrom(t.Tiles[i][j])
+		}
+	}
+	return a
+}
+
+// Tile returns tile (i, j).
+func (t *Matrix) Tile(i, j int) *mat.Matrix {
+	if i < 0 || i >= t.MT || j < 0 || j >= t.NT {
+		panic(fmt.Sprintf("tile: Tile(%d,%d) out of range %dx%d", i, j, t.MT, t.NT))
+	}
+	return t.Tiles[i][j]
+}
+
+// N returns the dense order of a square tiled matrix.
+func (t *Matrix) N() int { return t.NT * t.NB }
+
+// Clone deep-copies the tiled matrix.
+func (t *Matrix) Clone() *Matrix {
+	c := New(t.MT, t.NT, t.NB)
+	for i := 0; i < t.MT; i++ {
+		for j := 0; j < t.NT; j++ {
+			c.Tiles[i][j].CopyFrom(t.Tiles[i][j])
+		}
+	}
+	return c
+}
+
+// Norm1 returns the induced 1-norm of the full matrix.
+func (t *Matrix) Norm1() float64 { return t.ToDense().Norm1() }
+
+// TileNorm1 returns ‖A_ij‖₁ of a single tile — the quantity exchanged by the
+// Max and Sum criteria.
+func (t *Matrix) TileNorm1(i, j int) float64 { return t.Tile(i, j).Norm1() }
+
+// StackRows copies the tiles (rows[0], j), (rows[1], j), … into a newly
+// allocated (len(rows)·NB)×NB matrix — the "stacked domain panel" that the
+// LU step factors with partial pivoting.
+func (t *Matrix) StackRows(rows []int, j int) *mat.Matrix {
+	s := mat.New(len(rows)*t.NB, t.NB)
+	for r, i := range rows {
+		s.View(r*t.NB, 0, t.NB, t.NB).CopyFrom(t.Tile(i, j))
+	}
+	return s
+}
+
+// UnstackRows scatters a stacked matrix produced by StackRows back into the
+// tiles (rows[r], j).
+func (t *Matrix) UnstackRows(s *mat.Matrix, rows []int, j int) {
+	if s.Rows != len(rows)*t.NB || s.Cols != t.NB {
+		panic(fmt.Sprintf("tile: UnstackRows shape %dx%d for %d rows nb=%d", s.Rows, s.Cols, len(rows), t.NB))
+	}
+	for r, i := range rows {
+		t.Tile(i, j).CopyFrom(s.View(r*t.NB, 0, t.NB, t.NB))
+	}
+}
+
+// Vector is a tiled column vector: MT tiles of shape NB×W. It carries the
+// right-hand side(s) through the factorization (the paper augments A with b,
+// §II-D.1).
+type Vector struct {
+	MT, NB, W int
+	Tiles     []*mat.Matrix
+}
+
+// NewVector allocates a zeroed tiled vector of width w.
+func NewVector(mt, nb, w int) *Vector {
+	v := &Vector{MT: mt, NB: nb, W: w, Tiles: make([]*mat.Matrix, mt)}
+	for i := range v.Tiles {
+		v.Tiles[i] = mat.New(nb, w)
+	}
+	return v
+}
+
+// VectorFromSlice tiles a dense vector (width 1).
+func VectorFromSlice(x []float64, nb int) *Vector {
+	if len(x)%nb != 0 {
+		panic(fmt.Sprintf("tile: vector length %d not tileable by %d", len(x), nb))
+	}
+	v := NewVector(len(x)/nb, nb, 1)
+	for i := 0; i < v.MT; i++ {
+		for r := 0; r < nb; r++ {
+			v.Tiles[i].Set(r, 0, x[i*nb+r])
+		}
+	}
+	return v
+}
+
+// ToSlice flattens a width-1 tiled vector.
+func (v *Vector) ToSlice() []float64 {
+	if v.W != 1 {
+		panic("tile: ToSlice on multi-column vector")
+	}
+	x := make([]float64, v.MT*v.NB)
+	for i := 0; i < v.MT; i++ {
+		for r := 0; r < v.NB; r++ {
+			x[i*v.NB+r] = v.Tiles[i].At(r, 0)
+		}
+	}
+	return x
+}
+
+// Tile returns tile i of the vector.
+func (v *Vector) Tile(i int) *mat.Matrix {
+	if i < 0 || i >= v.MT {
+		panic(fmt.Sprintf("tile: Vector.Tile(%d) out of range %d", i, v.MT))
+	}
+	return v.Tiles[i]
+}
+
+// Clone deep-copies the vector.
+func (v *Vector) Clone() *Vector {
+	c := NewVector(v.MT, v.NB, v.W)
+	for i := range v.Tiles {
+		c.Tiles[i].CopyFrom(v.Tiles[i])
+	}
+	return c
+}
+
+// StackRows stacks vector tiles rows[0..] into one (len·NB)×W matrix.
+func (v *Vector) StackRows(rows []int) *mat.Matrix {
+	s := mat.New(len(rows)*v.NB, v.W)
+	for r, i := range rows {
+		s.View(r*v.NB, 0, v.NB, v.W).CopyFrom(v.Tile(i))
+	}
+	return s
+}
+
+// UnstackRows scatters a stacked matrix back into vector tiles.
+func (v *Vector) UnstackRows(s *mat.Matrix, rows []int) {
+	for r, i := range rows {
+		v.Tile(i).CopyFrom(s.View(r*v.NB, 0, v.NB, v.W))
+	}
+}

@@ -1,0 +1,260 @@
+// Package tree generates elimination orderings for the tiled-QR step of the
+// hybrid algorithm: given the panel rows that must be reduced to a single
+// triangular tile, it emits the ordered list of GEQRT / TSQRT / TTQRT
+// operations of a chosen reduction tree.
+//
+// The trees mirror the HQR framework of Dongarra et al. (Parallel Computing
+// 2013), reference [8] of the paper: FLAT trees with TS kernels (long
+// critical path, cheap kernels), and TT-kernel trees — BINARY, GREEDY and
+// FIBONACCI — that trade kernel count for critical-path length. The paper's
+// default configuration is GREEDY inside a node and FIBONACCI across nodes,
+// composed by Hierarchical.
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind discriminates the three operations of an elimination list.
+type Kind int
+
+// Operations appear in dependency-respecting order.
+const (
+	// OpGeqrt triangularizes tile row I (GEQRT kernel + UNMQR updates).
+	OpGeqrt Kind = iota
+	// OpTS kills square tile row I with triangular pivot row Piv
+	// (TSQRT kernel + TSMQR updates).
+	OpTS
+	// OpTT kills triangular tile row I with triangular pivot row Piv
+	// (TTQRT kernel + TTMQR updates).
+	OpTT
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OpGeqrt:
+		return "GEQRT"
+	case OpTS:
+		return "TSQRT"
+	case OpTT:
+		return "TTQRT"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Op is one step of an elimination list. For OpGeqrt, Piv is unused (−1).
+type Op struct {
+	Kind Kind
+	I    int // the tile row operated on / killed
+	Piv  int // the eliminator tile row (OpTS, OpTT)
+}
+
+// Tree selects a reduction-tree family.
+type Tree int
+
+// Families available to the QR step (§II-B).
+const (
+	// FlatTS: the pivot row kills every other row in sequence with TS
+	// kernels — the PLASMA-style "flat tree", maximum locality, critical
+	// path linear in the number of rows.
+	FlatTS Tree = iota
+	// FlatTT: all rows triangularized, then killed in sequence by the pivot
+	// with TT kernels.
+	FlatTT
+	// Binary: adjacent pairing by rounds (distance 1, 2, 4, …), critical
+	// path ⌈log₂ m⌉ rounds.
+	Binary
+	// Greedy: every round kills ⌊alive/2⌋ rows, pairing the top half as
+	// eliminators of the bottom half — the tree used inside nodes by the
+	// paper's default configuration.
+	Greedy
+	// Fibonacci: round r kills fib(r) rows from the bottom; slightly longer
+	// than Greedy in isolation but pipelines consecutive panels better —
+	// the paper's default between nodes.
+	Fibonacci
+)
+
+func (t Tree) String() string {
+	switch t {
+	case FlatTS:
+		return "flatts"
+	case FlatTT:
+		return "flattt"
+	case Binary:
+		return "binary"
+	case Greedy:
+		return "greedy"
+	case Fibonacci:
+		return "fibonacci"
+	}
+	return fmt.Sprintf("Tree(%d)", int(t))
+}
+
+// ParseTree converts a name used by CLI flags into a Tree.
+func ParseTree(s string) (Tree, error) {
+	for _, t := range []Tree{FlatTS, FlatTT, Binary, Greedy, Fibonacci} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("tree: unknown reduction tree %q", s)
+}
+
+// Eliminations returns the ordered operation list reducing rows (sorted
+// ascending; rows[0] is the surviving eliminator) to a single triangular
+// tile at rows[0]. The result always begins by triangularizing rows[0]
+// (even for a single row: the panel's diagonal tile must end up triangular).
+func Eliminations(rows []int, tr Tree) []Op {
+	if len(rows) == 0 {
+		return nil
+	}
+	if !sort.IntsAreSorted(rows) {
+		panic("tree: Eliminations requires sorted rows")
+	}
+	ops := []Op{{Kind: OpGeqrt, I: rows[0], Piv: -1}}
+	if len(rows) == 1 {
+		return ops
+	}
+	switch tr {
+	case FlatTS:
+		for _, i := range rows[1:] {
+			ops = append(ops, Op{Kind: OpTS, I: i, Piv: rows[0]})
+		}
+	case FlatTT:
+		for _, i := range rows[1:] {
+			ops = append(ops, Op{Kind: OpGeqrt, I: i, Piv: -1})
+		}
+		for _, i := range rows[1:] {
+			ops = append(ops, Op{Kind: OpTT, I: i, Piv: rows[0]})
+		}
+	case Binary, Greedy, Fibonacci:
+		for _, i := range rows[1:] {
+			ops = append(ops, Op{Kind: OpGeqrt, I: i, Piv: -1})
+		}
+		ops = append(ops, roundsTT(rows, tr)...)
+	default:
+		panic(fmt.Sprintf("tree: unknown tree %v", tr))
+	}
+	return ops
+}
+
+// roundsTT emits TT eliminations round by round until one row survives.
+func roundsTT(rows []int, tr Tree) []Op {
+	alive := append([]int(nil), rows...)
+	var ops []Op
+	fa, fb := 1, 1 // Fibonacci state: kill counts 1, 1, 2, 3, 5, …
+	for len(alive) > 1 {
+		var kills int
+		switch tr {
+		case Binary, Greedy:
+			kills = len(alive) / 2
+		case Fibonacci:
+			kills = fa
+			fa, fb = fb, fa+fb
+			if max := len(alive) / 2; kills > max {
+				kills = max
+			}
+			if kills == 0 {
+				kills = 1
+			}
+		}
+		m := len(alive)
+		if tr == Binary {
+			// Pair adjacent alive rows: alive[2j] kills alive[2j+1].
+			var next []int
+			for j := 0; j < m; j += 2 {
+				next = append(next, alive[j])
+				if j+1 < m {
+					ops = append(ops, Op{Kind: OpTT, I: alive[j+1], Piv: alive[j]})
+				}
+			}
+			alive = next
+			continue
+		}
+		// Greedy/Fibonacci: the bottom `kills` rows are killed by the rows
+		// immediately above them (disjoint pairs).
+		for j := 0; j < kills; j++ {
+			killed := alive[m-kills+j]
+			piv := alive[m-2*kills+j]
+			ops = append(ops, Op{Kind: OpTT, I: killed, Piv: piv})
+		}
+		alive = alive[:m-kills]
+	}
+	return ops
+}
+
+// Hierarchical composes a two-level reduction, the paper's default QR step:
+// each domain (the panel rows local to one node, from Grid.PanelDomains) is
+// reduced to its head row with the intra tree; the surviving head rows are
+// then merged across domains with the inter tree (TT kernels only, since
+// every survivor is triangular). domains[0] must be the diagonal domain; its
+// head row is the final survivor.
+func Hierarchical(domains [][]int, intra, inter Tree) []Op {
+	if len(domains) == 0 {
+		return nil
+	}
+	var ops []Op
+	heads := make([]int, 0, len(domains))
+	for _, d := range domains {
+		if len(d) == 0 {
+			panic("tree: empty domain")
+		}
+		if !sort.IntsAreSorted(d) {
+			panic("tree: Hierarchical requires sorted domain rows")
+		}
+		ops = append(ops, Eliminations(d, intra)...)
+		heads = append(heads, d[0])
+	}
+	if len(heads) == 1 {
+		return ops
+	}
+	// Inter-domain stage: survivors are already triangular, so only the TT
+	// eliminations of the inter tree apply (strip the GEQRT ops).
+	sorted := append([]int(nil), heads...)
+	sort.Ints(sorted)
+	if sorted[0] != heads[0] {
+		panic("tree: diagonal domain head must be the smallest row")
+	}
+	for _, op := range Eliminations(sorted, ttOnly(inter)) {
+		if op.Kind == OpTT {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// ttOnly maps TS-kernel trees onto their TT equivalent for the inter-domain
+// stage, where both operands are always triangular.
+func ttOnly(tr Tree) Tree {
+	if tr == FlatTS {
+		return FlatTT
+	}
+	return tr
+}
+
+// CriticalPath returns the number of dependency-ordered levels of an
+// operation list, counting each operation as one unit and serializing
+// operations that touch the same tile row. It is the unit-cost critical
+// path used to compare tree families (Table 1 of [8]).
+func CriticalPath(ops []Op) int {
+	ready := map[int]int{}
+	maxT := 0
+	for _, op := range ops {
+		t := ready[op.I]
+		if op.Kind != OpGeqrt {
+			if pt := ready[op.Piv]; pt > t {
+				t = pt
+			}
+		}
+		t++
+		ready[op.I] = t
+		if op.Kind != OpGeqrt {
+			ready[op.Piv] = t
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}

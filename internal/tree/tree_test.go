@@ -1,0 +1,284 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allTrees = []Tree{FlatTS, FlatTT, Binary, Greedy, Fibonacci}
+
+// checkValid verifies the structural invariants of an elimination list over
+// the given rows: rows[0] survives and is triangularized; every other row is
+// killed exactly once; eliminators are alive and triangular when used;
+// TT-killed rows are triangular, TS-killed rows are square and never
+// triangularized.
+func checkValid(t *testing.T, rows []int, ops []Op) {
+	t.Helper()
+	tri := map[int]bool{}
+	dead := map[int]bool{}
+	inSet := map[int]bool{}
+	for _, r := range rows {
+		inSet[r] = true
+	}
+	for _, op := range ops {
+		if !inSet[op.I] {
+			t.Fatalf("op %v touches row %d outside the panel", op, op.I)
+		}
+		if dead[op.I] {
+			t.Fatalf("op %v touches dead row", op)
+		}
+		switch op.Kind {
+		case OpGeqrt:
+			if tri[op.I] {
+				t.Fatalf("row %d triangularized twice", op.I)
+			}
+			tri[op.I] = true
+		case OpTS, OpTT:
+			if !inSet[op.Piv] || dead[op.Piv] {
+				t.Fatalf("op %v uses invalid pivot", op)
+			}
+			if !tri[op.Piv] {
+				t.Fatalf("op %v pivot %d not triangular", op, op.Piv)
+			}
+			if op.Piv >= op.I {
+				t.Fatalf("op %v pivot not above killed row", op)
+			}
+			if op.Kind == OpTT && !tri[op.I] {
+				t.Fatalf("TT kill of square row %d", op.I)
+			}
+			if op.Kind == OpTS && tri[op.I] {
+				t.Fatalf("TS kill of triangular row %d", op.I)
+			}
+			dead[op.I] = true
+		}
+	}
+	if dead[rows[0]] {
+		t.Fatal("surviving row killed")
+	}
+	if !tri[rows[0]] {
+		t.Fatal("surviving row never triangularized")
+	}
+	for _, r := range rows[1:] {
+		if !dead[r] {
+			t.Fatalf("row %d never killed", r)
+		}
+	}
+}
+
+func TestEliminationsValidAllTrees(t *testing.T) {
+	for _, tr := range allTrees {
+		for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 31} {
+			rows := make([]int, n)
+			for i := range rows {
+				rows[i] = 5 + i // arbitrary offset
+			}
+			checkValid(t, rows, Eliminations(rows, tr))
+		}
+	}
+}
+
+func TestEliminationsValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := allTrees[rng.Intn(len(allTrees))]
+		n := 1 + rng.Intn(40)
+		start := rng.Intn(10)
+		stride := 1 + rng.Intn(4) // non-contiguous rows, like a cyclic domain
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = start + i*stride
+		}
+		ok := true
+		func() {
+			defer func() {
+				if recover() != nil {
+					ok = false
+				}
+			}()
+			tt := &testing.T{}
+			checkValid(tt, rows, Eliminations(rows, tr))
+			if tt.Failed() {
+				ok = false
+			}
+		}()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleRowOnlyGeqrt(t *testing.T) {
+	for _, tr := range allTrees {
+		ops := Eliminations([]int{3}, tr)
+		if len(ops) != 1 || ops[0].Kind != OpGeqrt || ops[0].I != 3 {
+			t.Fatalf("%v: single row ops = %v", tr, ops)
+		}
+	}
+}
+
+func TestFlatTSUsesOnlyTSKernels(t *testing.T) {
+	ops := Eliminations([]int{0, 1, 2, 3, 4}, FlatTS)
+	geqrt, ts := 0, 0
+	for _, op := range ops {
+		switch op.Kind {
+		case OpGeqrt:
+			geqrt++
+		case OpTS:
+			ts++
+		case OpTT:
+			t.Fatal("FlatTS emitted a TT kernel")
+		}
+	}
+	if geqrt != 1 || ts != 4 {
+		t.Fatalf("FlatTS counts: geqrt=%d ts=%d", geqrt, ts)
+	}
+}
+
+func TestCriticalPathOrdering(t *testing.T) {
+	rows := make([]int, 32)
+	for i := range rows {
+		rows[i] = i
+	}
+	cpFlat := CriticalPath(Eliminations(rows, FlatTS))
+	cpBin := CriticalPath(Eliminations(rows, Binary))
+	cpGreedy := CriticalPath(Eliminations(rows, Greedy))
+	cpFib := CriticalPath(Eliminations(rows, Fibonacci))
+	// Flat trees have linear critical paths; greedy/binary logarithmic.
+	if cpFlat < 32 {
+		t.Fatalf("flat critical path %d suspiciously short", cpFlat)
+	}
+	if cpGreedy >= cpFlat || cpBin >= cpFlat {
+		t.Fatalf("tree CPs: flat=%d binary=%d greedy=%d", cpFlat, cpBin, cpGreedy)
+	}
+	if cpGreedy > 14 { // ~2·log₂(32) + slack
+		t.Fatalf("greedy critical path %d too long", cpGreedy)
+	}
+	if cpFib < cpGreedy {
+		t.Fatalf("fibonacci CP %d shorter than greedy %d", cpFib, cpGreedy)
+	}
+}
+
+func TestHierarchicalValid(t *testing.T) {
+	// 3 domains as produced by a 3×1 grid on a 10-row panel at k=1:
+	// rows 1..9, domains {1,4,7}, {2,5,8}, {3,6,9}.
+	domains := [][]int{{1, 4, 7}, {2, 5, 8}, {3, 6, 9}}
+	all := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	for _, intra := range allTrees {
+		for _, inter := range []Tree{FlatTT, Binary, Greedy, Fibonacci} {
+			ops := Hierarchical(domains, intra, inter)
+			checkValid(t, all, ops)
+		}
+	}
+}
+
+func TestHierarchicalSingleDomain(t *testing.T) {
+	ops := Hierarchical([][]int{{2, 3, 4}}, Greedy, Fibonacci)
+	checkValid(t, []int{2, 3, 4}, ops)
+}
+
+func TestHierarchicalReducesInterDomainOps(t *testing.T) {
+	// The inter stage must only merge the domain heads: count TT kills of
+	// head rows.
+	domains := [][]int{{0, 2, 4, 6}, {1, 3, 5, 7}}
+	ops := Hierarchical(domains, Greedy, Fibonacci)
+	headKills := 0
+	for _, op := range ops {
+		if op.Kind == OpTT && op.I == 1 {
+			headKills++
+		}
+	}
+	if headKills != 1 {
+		t.Fatalf("head row 1 killed %d times", headKills)
+	}
+}
+
+func TestParseTree(t *testing.T) {
+	for _, tr := range allTrees {
+		got, err := ParseTree(tr.String())
+		if err != nil || got != tr {
+			t.Fatalf("ParseTree(%q) = %v, %v", tr.String(), got, err)
+		}
+	}
+	if _, err := ParseTree("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFibonacciKillCounts(t *testing.T) {
+	// With 12 rows (11 to kill), Fibonacci rounds kill 1,1,2,3,… from the
+	// bottom, capped at half the alive rows.
+	rows := make([]int, 12)
+	for i := range rows {
+		rows[i] = i
+	}
+	ops := Eliminations(rows, Fibonacci)
+	var kills []int
+	for _, op := range ops {
+		if op.Kind == OpTT {
+			kills = append(kills, op.I)
+		}
+	}
+	if len(kills) != 11 {
+		t.Fatalf("killed %d rows, want 11", len(kills))
+	}
+	// First two rounds kill single rows from the bottom.
+	if kills[0] != 11 || kills[1] != 10 {
+		t.Fatalf("first fibonacci kills = %v", kills[:2])
+	}
+}
+
+func TestKindAndTreeStrings(t *testing.T) {
+	if OpGeqrt.String() != "GEQRT" || OpTS.String() != "TSQRT" || OpTT.String() != "TTQRT" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(99).String() == "" || Tree(99).String() == "" {
+		t.Fatal("unknown enum values must still render")
+	}
+	for _, tr := range allTrees {
+		if tr.String() == "" {
+			t.Fatal("empty tree name")
+		}
+	}
+}
+
+func TestEliminationsPanics(t *testing.T) {
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { Eliminations([]int{3, 1, 2}, Greedy) })      // unsorted
+	mustPanic(func() { Eliminations([]int{0, 1}, Tree(42)) })       // unknown tree
+	mustPanic(func() { Hierarchical([][]int{{}}, Greedy, Greedy) }) // empty domain
+	mustPanic(func() { Hierarchical([][]int{{2, 1}}, Greedy, Greedy) })
+	// The diagonal domain's head must be the overall smallest row.
+	mustPanic(func() { Hierarchical([][]int{{5, 7}, {1, 3}}, Greedy, Greedy) })
+}
+
+func TestEliminationsEmpty(t *testing.T) {
+	if ops := Eliminations(nil, Greedy); ops != nil {
+		t.Fatal("empty row set must produce no ops")
+	}
+	if ops := Hierarchical(nil, Greedy, Greedy); ops != nil {
+		t.Fatal("empty domain set must produce no ops")
+	}
+}
+
+func TestHierarchicalFlatTSInterMapsToTT(t *testing.T) {
+	// A FlatTS inter tree must be promoted to TT kernels (survivor heads
+	// are triangular); the result must still be valid.
+	domains := [][]int{{0, 2}, {1, 3}}
+	ops := Hierarchical(domains, FlatTS, FlatTS)
+	checkValid(t, []int{0, 1, 2, 3}, ops)
+	for _, op := range ops {
+		if op.Kind == OpTS && op.I == 1 {
+			t.Fatal("inter-domain head kill must use TT kernels")
+		}
+	}
+}
