@@ -1,0 +1,33 @@
+GO ?= go
+
+# tier1 is the gate every change must keep green: vet, full build, full test
+# suite, and the race detector over the concurrent packages (the dataflow
+# engine and the solver core that runs on it).
+.PHONY: tier1
+tier1: vet build test race
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./internal/runtime/... ./internal/core/...
+
+# bench regenerates the benchmark suite output (Tables/Figures as testing.B).
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# bench-kernels regenerates the machine-readable kernel baseline.
+.PHONY: bench-kernels
+bench-kernels:
+	$(GO) run ./cmd/luqr-bench -json BENCH_kernels.json

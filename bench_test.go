@@ -87,15 +87,22 @@ func BenchmarkTable1KernelTRSM(b *testing.B) {
 	}
 }
 
-func BenchmarkTable1KernelGEMM(b *testing.B) {
+func benchGemmNB(b *testing.B, nb int) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(3))
-	x, y, c := benchTile(rng, kernelNB), benchTile(rng, kernelNB), benchTile(rng, kernelNB)
-	b.SetBytes(int64(kernelNB * kernelNB * 8))
+	x, y, c := benchTile(rng, nb), benchTile(rng, nb), benchTile(rng, nb)
+	b.SetBytes(int64(nb * nb * 8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blas.Gemm(blas.NoTrans, blas.NoTrans, -1, x, y, 1, c)
 	}
+	b.StopTimer()
+	gflops := 2 * float64(nb) * float64(nb) * float64(nb) / 1e9
+	b.ReportMetric(gflops*float64(b.N)/b.Elapsed().Seconds(), "GFLOP/s")
 }
+
+func BenchmarkTable1KernelGEMM(b *testing.B)    { benchGemmNB(b, kernelNB) }
+func BenchmarkTable1KernelGEMM256(b *testing.B) { benchGemmNB(b, 256) }
 
 func BenchmarkTable1KernelGEQRT(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))

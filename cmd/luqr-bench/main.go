@@ -13,6 +13,7 @@
 //	luqr-bench -exp kappa               extension conditioning sweep (randsvd)
 //	luqr-bench -exp machines            extension platform-sensitivity sweep
 //	luqr-bench -exp all                 everything
+//	luqr-bench -json BENCH_kernels.json machine-readable kernel rates (GFLOP/s, ns/op)
 //
 // Default sizes run in minutes on a laptop; pass -n/-nb (e.g. -n 20000
 // -nb 240) for the paper-scale experiment.
@@ -39,8 +40,25 @@ func main() {
 		reps    = flag.Int("reps", 3, "random matrices per configuration")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		workers = flag.Int("workers", 0, "runtime workers (0 = GOMAXPROCS)")
+		jsonOut = flag.String("json", "", "write per-kernel GFLOP/s and ns/op as JSON to this path (e.g. BENCH_kernels.json) and exit")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err == nil {
+			err = experiments.WriteKernelBench(experiments.KernelBenchNBs, *reps, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return
+	}
 
 	o := experiments.Options{
 		N: *n, NB: *nb, Grid: tile.NewGrid(*p, *q),

@@ -6,16 +6,13 @@ import (
 	"luqr/internal/mat"
 )
 
-// gemmBlock is the cache tile edge used by Gemm. 64×64 float64 panels
-// (32 KiB per operand pair) fit comfortably in L1/L2 on current hardware.
-const gemmBlock = 64
-
 // Gemm computes C = alpha·op(A)·op(B) + beta·C.
 //
-// The inner kernel uses i-k-j loop order so that both the B row and the C row
-// are walked with unit stride, which is the cache-friendly order for the
-// row-major layout. Operands are additionally blocked so large tiles do not
-// thrash the cache.
+// All four transpose variants run through the same BLIS-style packed path:
+// operands are repacked into micro-panels in the exact order the register-
+// blocked micro-kernel consumes (pack.go, microkernel.go), with the
+// transposes absorbed by the packing. Workspace comes from the mat arena,
+// so steady-state calls perform no heap allocation.
 func Gemm(transA, transB Transpose, alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix) {
 	m, ka := opShape(a, transA)
 	kb, n := opShape(b, transB)
@@ -36,80 +33,60 @@ func Gemm(transA, transB Transpose, alpha float64, a, b *mat.Matrix, beta float6
 			}
 		}
 	}
-	if alpha == 0 || ka == 0 {
+	if alpha == 0 || ka == 0 || m == 0 || n == 0 {
 		return
 	}
-	k := ka
-	if transA == NoTrans && transB == NoTrans {
-		gemmNN(alpha, a, b, c, m, n, k)
-		return
-	}
-	// The transposed variants appear only on small operands (Householder
-	// applications with nb ≤ a few hundred), so a straightforward blocked
-	// triple loop is sufficient.
-	at := func(i, p int) float64 {
-		if transA == Trans {
-			return a.At(p, i)
-		}
-		return a.At(i, p)
-	}
-	if transB == NoTrans {
-		// C += alpha · op(A) · B: still stream B and C rows.
-		for i := 0; i < m; i++ {
-			crow := c.Row(i)
-			for p := 0; p < k; p++ {
-				aip := alpha * at(i, p)
-				if aip == 0 {
-					continue
-				}
-				brow := b.Row(p)
-				for j := 0; j < n; j++ {
-					crow[j] += aip * brow[j]
-				}
-			}
-		}
-		return
-	}
-	// op(B) = Bᵀ: the dot-product form walks B rows with unit stride.
-	for i := 0; i < m; i++ {
-		crow := c.Row(i)
-		for j := 0; j < n; j++ {
-			brow := b.Row(j)
-			s := 0.0
-			if transA == NoTrans {
-				arow := a.Row(i)
-				for p := 0; p < k; p++ {
-					s += arow[p] * brow[p]
-				}
-			} else {
-				for p := 0; p < k; p++ {
-					s += a.At(p, i) * brow[p]
-				}
-			}
-			crow[j] += alpha * s
-		}
-	}
+	gemmPacked(transA, transB, alpha, a, b, c, m, n, ka)
 }
 
-// gemmNN is the hot path: C += alpha·A·B with no transposes, blocked.
-func gemmNN(alpha float64, a, b, c *mat.Matrix, m, n, k int) {
-	for i0 := 0; i0 < m; i0 += gemmBlock {
-		iMax := min(i0+gemmBlock, m)
-		for p0 := 0; p0 < k; p0 += gemmBlock {
-			pMax := min(p0+gemmBlock, k)
-			for j0 := 0; j0 < n; j0 += gemmBlock {
-				jMax := min(j0+gemmBlock, n)
-				for i := i0; i < iMax; i++ {
-					arow := a.Row(i)
-					crow := c.Row(i)[j0:jMax]
-					for p := p0; p < pMax; p++ {
-						aip := alpha * arow[p]
-						if aip == 0 {
+// gemmPacked is the five-loop blocked driver around the micro-kernel. See
+// pack.go for the blocking scheme.
+func gemmPacked(transA, transB Transpose, alpha float64, a, b, c *mat.Matrix, m, n, k int) {
+	mr, nr := gemmMR, gemmNR
+	kcMax := min(k, gemmKC)
+	mcMax := min(roundUp(m, mr), gemmMC)
+	ncMax := min(roundUp(n, nr), gemmNC)
+
+	bufB := mat.GetBuf(kcMax * ncMax)
+	defer mat.PutBuf(bufB)
+	// One buffer carries the packed A block plus the MR×NR scratch tile the
+	// fringe path accumulates into.
+	bufA := mat.GetBuf(mcMax*kcMax + mr*nr)
+	defer mat.PutBuf(bufA)
+	apack := bufA.Data[:mcMax*kcMax]
+	tmp := bufA.Data[mcMax*kcMax:]
+
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			packB(bufB.Data, b, transB, jc, pc, kc, nc, nr)
+			for ic := 0; ic < m; ic += gemmMC {
+				mc := min(gemmMC, m-ic)
+				packA(apack, a, transA, alpha, ic, pc, mc, kc, mr)
+				for jr := 0; jr < nc; jr += nr {
+					nj := min(nr, nc-jr)
+					bp := bufB.Data[jr*kc:]
+					for ir := 0; ir < mc; ir += mr {
+						mi := min(mr, mc-ir)
+						ap := apack[ir*kc:]
+						if mi == mr && nj == nr {
+							off := (ic+ir)*c.Stride + jc + jr
+							gemmKernel(kc, ap, bp, c.Data[off:], c.Stride)
 							continue
 						}
-						brow := b.Row(p)[j0:jMax]
-						for j, bv := range brow {
-							crow[j] += aip * bv
+						// Fringe tile of C: compute the full padded MR×NR
+						// micro-tile into scratch, add back the live part.
+						for z := range tmp {
+							tmp[z] = 0
+						}
+						gemmKernel(kc, ap, bp, tmp, nr)
+						for i := 0; i < mi; i++ {
+							crow := c.Data[(ic+ir+i)*c.Stride+jc+jr:][:nj]
+							trow := tmp[i*nr:]
+							for j := range crow {
+								crow[j] += trow[j]
+							}
 						}
 					}
 				}

@@ -1,0 +1,61 @@
+package blas
+
+// AVX2+FMA micro-kernel selection. Go's default amd64 codegen targets the
+// GOAMD64=v1 baseline (scalar SSE2), whose ~2 FP ops/cycle ceiling caps a
+// pure-Go GEMM near 3 GFLOP/s on the paper-class hosts. The 6×8 assembly
+// kernel (microkernel_amd64.s) issues two 4-wide FMAs per packed A element
+// and keeps the whole 6×8 accumulator block in YMM registers, so hosts with
+// AVX2+FMA run the same packed path several times faster. Feature detection
+// happens once at init via CPUID/XGETBV; unsupported hosts keep the portable
+// 4×4 kernel.
+
+// cpuidLeaf executes CPUID with the given EAX/ECX inputs.
+func cpuidLeaf(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+// kernel6x8FMA computes C[0:6, 0:8] += Ap·Bp on packed micro-panels
+// (layout as described in microkernel.go), with C rows ldc apart.
+//
+//go:noescape
+func kernel6x8FMA(kc int, a, b, c *float64, ldc int)
+
+func init() {
+	if hasAVX2FMA() {
+		gemmMR, gemmNR = 6, 8
+		gemmKernel = kernelAVX6x8
+	}
+}
+
+func kernelAVX6x8(kc int, a, b, c []float64, ldc int) {
+	if kc == 0 {
+		return
+	}
+	kernel6x8FMA(kc, &a[0], &b[0], &c[0], ldc)
+}
+
+// hasAVX2FMA reports whether the CPU and OS support the AVX2+FMA kernel.
+func hasAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidLeaf(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidLeaf(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// The OS must save/restore XMM and YMM state across context switches.
+	xlo, _ := xgetbv0()
+	if xlo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidLeaf(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}

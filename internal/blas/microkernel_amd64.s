@@ -1,0 +1,142 @@
+// AVX2+FMA GEMM micro-kernel and CPU feature probes. See microkernel.go for
+// the packed-panel layout contract and microkernel_amd64.go for selection.
+
+#include "textflag.h"
+
+// func cpuidLeaf(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidLeaf(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func kernel6x8FMA(kc int, a, b, c *float64, ldc int)
+//
+// C[0:6, 0:8] += Ap·Bp over kc rank-1 updates. Ap is the packed MR=6 panel
+// (element (i,p) at a[p*6+i]), Bp the packed NR=8 panel (element (p,j) at
+// b[p*8+j]), and C has rows ldc float64s apart.
+//
+// Register plan: Y0..Y11 hold the 6×8 accumulator block (two YMM per row of
+// the micro-tile), Y12/Y13 the current 8-wide B row, Y14 the broadcast A
+// element. Each iteration of the kc loop performs 2 loads, 6 broadcasts and
+// 12 FMAs (96 flops).
+TEXT ·kernel6x8FMA(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), DX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), R8
+	SHLQ $3, R8            // C row stride in bytes
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+	TESTQ DX, DX
+	JZ    done
+
+loop:
+	VMOVUPD (BX), Y12
+	VMOVUPD 32(BX), Y13
+
+	VBROADCASTSD (SI), Y14
+	VFMADD231PD Y14, Y12, Y0
+	VFMADD231PD Y14, Y13, Y1
+
+	VBROADCASTSD 8(SI), Y14
+	VFMADD231PD Y14, Y12, Y2
+	VFMADD231PD Y14, Y13, Y3
+
+	VBROADCASTSD 16(SI), Y14
+	VFMADD231PD Y14, Y12, Y4
+	VFMADD231PD Y14, Y13, Y5
+
+	VBROADCASTSD 24(SI), Y14
+	VFMADD231PD Y14, Y12, Y6
+	VFMADD231PD Y14, Y13, Y7
+
+	VBROADCASTSD 32(SI), Y14
+	VFMADD231PD Y14, Y12, Y8
+	VFMADD231PD Y14, Y13, Y9
+
+	VBROADCASTSD 40(SI), Y14
+	VFMADD231PD Y14, Y12, Y10
+	VFMADD231PD Y14, Y13, Y11
+
+	ADDQ $48, SI
+	ADDQ $64, BX
+	DECQ DX
+	JNZ  loop
+
+done:
+	// C += accumulators, row by row.
+	VMOVUPD (DI), Y12
+	VMOVUPD 32(DI), Y13
+	VADDPD  Y0, Y12, Y12
+	VADDPD  Y1, Y13, Y13
+	VMOVUPD Y12, (DI)
+	VMOVUPD Y13, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPD (DI), Y12
+	VMOVUPD 32(DI), Y13
+	VADDPD  Y2, Y12, Y12
+	VADDPD  Y3, Y13, Y13
+	VMOVUPD Y12, (DI)
+	VMOVUPD Y13, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPD (DI), Y12
+	VMOVUPD 32(DI), Y13
+	VADDPD  Y4, Y12, Y12
+	VADDPD  Y5, Y13, Y13
+	VMOVUPD Y12, (DI)
+	VMOVUPD Y13, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPD (DI), Y12
+	VMOVUPD 32(DI), Y13
+	VADDPD  Y6, Y12, Y12
+	VADDPD  Y7, Y13, Y13
+	VMOVUPD Y12, (DI)
+	VMOVUPD Y13, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPD (DI), Y12
+	VMOVUPD 32(DI), Y13
+	VADDPD  Y8, Y12, Y12
+	VADDPD  Y9, Y13, Y13
+	VMOVUPD Y12, (DI)
+	VMOVUPD Y13, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPD (DI), Y12
+	VMOVUPD 32(DI), Y13
+	VADDPD  Y10, Y12, Y12
+	VADDPD  Y11, Y13, Y13
+	VMOVUPD Y12, (DI)
+	VMOVUPD Y13, 32(DI)
+
+	VZEROUPPER
+	RET

@@ -44,6 +44,7 @@ func (f *fact) scheduleHybridStep(k int) {
 		},
 		Then: func(*runtime.Engine) {
 			if st.decision {
+				st.releaseBackup() // LU keeps the trial factors; drop the snapshot
 				f.submitLUStep(st)
 			} else {
 				f.submitRestore(st)

@@ -35,8 +35,9 @@ type stepState struct {
 	k    int
 	rows []int // pivot rows: the diagonal domain (or tile, or whole panel)
 
-	backup   []*mat.Matrix // pre-factorization copies of the pivot-row tiles
-	localMax []float64     // per-column max |a| over the pivot rows (backup)
+	backup    []*mat.Matrix // pre-factorization copies of the pivot-row tiles
+	backupBuf *mat.Buf      // pooled storage backing the backup views
+	localMax  []float64     // per-column max |a| over the pivot rows (backup)
 
 	stack   *mat.Matrix // the factored stacked panel (L\U), kept for applies
 	piv     []int
@@ -243,9 +244,17 @@ func (f *fact) submitBackup(st *stepState) {
 		Priority: prioPanel(k),
 		Accesses: acc,
 		Run: func() {
+			// One pooled slab backs all the row snapshots; it is released by
+			// releaseBackup once the step's decision no longer needs it
+			// ("destroyed on exit of Propagate", §IV). CopyFrom overwrites
+			// every element, so the unzeroed pool buffer is safe.
+			nb := f.nb
+			st.backupBuf = mat.GetBuf(len(st.rows) * nb * nb)
 			st.backup = make([]*mat.Matrix, len(st.rows))
 			for r, i := range st.rows {
-				st.backup[r] = f.A.Tile(i, k).Clone()
+				d := st.backupBuf.Data[r*nb*nb : (r+1)*nb*nb]
+				st.backup[r] = &mat.Matrix{Rows: nb, Cols: nb, Stride: nb, Data: d}
+				st.backup[r].CopyFrom(f.A.Tile(i, k))
 			}
 			st.localMax = make([]float64, f.nb)
 			for j := 0; j < f.nb; j++ {
@@ -369,9 +378,19 @@ func (f *fact) submitRestore(st *stepState) {
 			for r, i := range st.rows {
 				f.A.Tile(i, k).CopyFrom(st.backup[r])
 			}
-			st.backup = nil // destroyed on exit of Propagate, as in §IV
+			st.releaseBackup() // destroyed on exit of Propagate, as in §IV
 		},
 	})
+}
+
+// releaseBackup returns the step's backup slab to the workspace pool. Called
+// from the Restore task (QR decision) or right after the decision unfolds an
+// LU step (where the snapshot is simply dropped) — the backup's only reader
+// downstream of Decide is Restore.
+func (st *stepState) releaseBackup() {
+	st.backup = nil
+	mat.PutBuf(st.backupBuf)
+	st.backupBuf = nil
 }
 
 // submitGrowthProbe samples max|A^(k+1)| over the trailing submatrix after

@@ -6,6 +6,7 @@ import (
 	"luqr/internal/blas"
 	"luqr/internal/flops"
 	"luqr/internal/lapack"
+	"luqr/internal/mat"
 	"luqr/internal/runtime"
 )
 
@@ -39,7 +40,11 @@ func (f *fact) submitLUStep(st *stepState) {
 			Priority: prioElim(k),
 			Accesses: acc,
 			Run: func() {
-				s := f.A.StackRows(st.rows, j)
+				// Pooled stacking scratch: StackRowsInto overwrites every
+				// element, and the buffer never outlives the task.
+				s, sbuf := mat.GetMatrix(len(st.rows)*nb, nb)
+				defer mat.PutBuf(sbuf)
+				f.A.StackRowsInto(s, st.rows, j)
 				lapack.Laswp(s, st.piv, false)
 				l11 := st.stack.View(0, 0, nb, nb)
 				blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, nb))
@@ -59,7 +64,9 @@ func (f *fact) submitLUStep(st *stepState) {
 			Priority: prioElim(k),
 			Accesses: acc,
 			Run: func() {
-				s := f.rhs.StackRows(st.rows)
+				s, sbuf := mat.GetMatrix(len(st.rows)*nb, f.rhs.W)
+				defer mat.PutBuf(sbuf)
+				f.rhs.StackRowsInto(s, st.rows)
 				lapack.Laswp(s, st.piv, false)
 				l11 := st.stack.View(0, 0, nb, nb)
 				blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, f.rhs.W))

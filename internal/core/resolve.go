@@ -65,7 +65,9 @@ func (f *fact) replayLUStep(st *stepState, rhs *tile.Vector) error {
 	switch st.variant {
 	case VarA1:
 		// Apply: swaps + unit-lower solve on the stacked pivot rows.
-		s := rhs.StackRows(st.rows)
+		s, sbuf := mat.GetMatrix(len(st.rows)*nb, rhs.W)
+		defer mat.PutBuf(sbuf)
+		rhs.StackRowsInto(s, st.rows)
 		lapack.Laswp(s, st.piv, false)
 		l11 := st.stack.View(0, 0, nb, nb)
 		blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, rhs.W))

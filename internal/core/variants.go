@@ -58,6 +58,7 @@ func (f *fact) scheduleVariantStep(k int) {
 		},
 		Then: func(*runtime.Engine) {
 			if st.decision {
+				st.releaseBackup() // only VarB1 holds one; no-op otherwise
 				f.submitVariantLUStep(st, variant)
 			} else {
 				switch variant {

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// KernelBenchEntry is one machine-readable kernel measurement: the serial
+// execution rate of one tile kernel at one tile order.
+type KernelBenchEntry struct {
+	Kernel  string  `json:"kernel"`
+	NB      int     `json:"nb"`
+	NsPerOp float64 `json:"ns_per_op"`
+	GFlops  float64 `json:"gflops"`
+}
+
+// KernelBenchReport is the schema of BENCH_kernels.json: the committed seed
+// baseline next to freshly measured numbers, so a regression (or a speedup)
+// is visible from the file alone. Regenerate with
+//
+//	go run ./cmd/luqr-bench -json BENCH_kernels.json
+type KernelBenchReport struct {
+	Schema  int                `json:"schema"`
+	Go      string             `json:"go"`
+	GoArch  string             `json:"goarch"`
+	Reps    int                `json:"reps"`
+	Seed    []KernelBenchEntry `json:"seed_baseline"`
+	Current []KernelBenchEntry `json:"current"`
+}
+
+// seedKernelBaseline records the kernel rates of the pre-packed-GEMM code
+// (naive three-loop blocked Gemm) measured on the reference host — a
+// single-core Intel Xeon @ 2.10GHz, go1.24, default GOAMD64=v1 — immediately
+// before the BLIS-style rewrite. It is the fixed "before" of the
+// before/after comparison; the "current" section is remeasured on every
+// regeneration.
+var seedKernelBaseline = []KernelBenchEntry{
+	{Kernel: "GEMM", NB: 128, NsPerOp: 1458535, GFlops: 2.876},
+	{Kernel: "GEMM", NB: 256, NsPerOp: 11028176, GFlops: 3.043},
+}
+
+// KernelBenchNBs are the tile orders measured by WriteKernelBench: the two
+// seed-baseline sizes plus the default experiment tile order.
+var KernelBenchNBs = []int{40, 128, 256}
+
+// WriteKernelBench measures every Table I kernel at each tile order in nbs
+// and writes the JSON report (seed baseline + current) to out. GFLOP/s uses
+// the Table I model flop counts, so rates are comparable across kernels.
+func WriteKernelBench(nbs []int, reps int, out io.Writer) error {
+	rep := KernelBenchReport{
+		Schema: 1,
+		Go:     runtime.Version(),
+		GoArch: runtime.GOARCH,
+		Reps:   reps,
+		Seed:   seedKernelBaseline,
+	}
+	for _, nb := range nbs {
+		unit := float64(nb) * float64(nb) * float64(nb)
+		for _, c := range Table1(nb, reps, nil) {
+			ns := c.MeasuredMs * 1e6
+			gf := 0.0
+			if ns > 0 {
+				gf = c.ModelUnits * unit / ns // flops / ns == GFLOP/s
+			}
+			rep.Current = append(rep.Current, KernelBenchEntry{
+				Kernel: c.Kernel, NB: nb, NsPerOp: ns, GFlops: gf,
+			})
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

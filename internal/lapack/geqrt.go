@@ -24,8 +24,10 @@ func Geqrt(a, t *mat.Matrix) {
 		panic(fmt.Sprintf("lapack: Geqrt T too small: %dx%d for n=%d", t.Rows, t.Cols, n))
 	}
 	t.Zero()
-	x := make([]float64, m)
-	w := make([]float64, n)
+	buf := mat.GetBuf(m + n)
+	defer mat.PutBuf(buf)
+	x := buf.Data[:m]
+	w := buf.Data[m:]
 	for j := 0; j < n; j++ {
 		// Generate the reflector annihilating A[j+1:m, j].
 		for i := j + 1; i < m; i++ {
@@ -97,8 +99,10 @@ func Unmqr(trans blas.Transpose, v, t, c *mat.Matrix) {
 		panic(fmt.Sprintf("lapack: Unmqr shape mismatch V=%dx%d C=%dx%d", m, n, c.Rows, c.Cols))
 	}
 	k := c.Cols
-	// W = Vᵀ·C, exploiting V's unit lower trapezoidal structure.
-	w := mat.New(n, k)
+	// W = Vᵀ·C, exploiting V's unit lower trapezoidal structure. Every row
+	// of W is fully written below, so a pooled (unzeroed) buffer is safe.
+	w, wbuf := mat.GetMatrix(n, k)
+	defer mat.PutBuf(wbuf)
 	for i := 0; i < n; i++ {
 		wrow := w.Row(i)
 		copy(wrow, c.Row(i)) // the implicit 1 at row i of column i

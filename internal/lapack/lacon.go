@@ -20,9 +20,11 @@ func OneNormEst(n int, apply, applyT func(x []float64)) float64 {
 	if n == 0 {
 		return 0
 	}
-	x := make([]float64, n)
-	y := make([]float64, n)
-	z := make([]float64, n)
+	buf := mat.GetBuf(4 * n)
+	defer mat.PutBuf(buf)
+	x := buf.Data[0*n : 1*n]
+	y := buf.Data[1*n : 2*n]
+	z := buf.Data[2*n : 3*n]
 	for i := range x {
 		x[i] = 1 / float64(n)
 	}
@@ -63,7 +65,7 @@ func OneNormEst(n int, apply, applyT func(x []float64)) float64 {
 		est = newEst
 	}
 	// Alternating extra vector guards against the rare underestimate.
-	b := make([]float64, n)
+	b := buf.Data[3*n : 4*n]
 	for i := range b {
 		s := 1.0
 		if i%2 == 1 {

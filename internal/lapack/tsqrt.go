@@ -32,8 +32,10 @@ func Tsqrt(r, a, t *mat.Matrix) {
 		panic(fmt.Sprintf("lapack: Tsqrt T too small: %dx%d", t.Rows, t.Cols))
 	}
 	t.Zero()
-	x := make([]float64, m)
-	w := make([]float64, n)
+	buf := mat.GetBuf(m + n)
+	defer mat.PutBuf(buf)
+	x := buf.Data[:m]
+	w := buf.Data[m:]
 	for j := 0; j < n; j++ {
 		// Reflector from (R[j,j]; A[:, j]): the rows of R below j are
 		// structurally zero in the stacked panel, so the vector part lives
@@ -113,8 +115,10 @@ func Tsmqr(trans blas.Transpose, v2, t, c1, c2 *mat.Matrix) {
 			m, n, c1.Rows, c1.Cols, c2.Rows, c2.Cols))
 	}
 	k := c1.Cols
-	// W = C1 + V2ᵀ·C2.
-	w := mat.New(n, k)
+	// W = C1 + V2ᵀ·C2. CopyFrom overwrites every row, so the pooled buffer
+	// needs no zeroing.
+	w, wbuf := mat.GetMatrix(n, k)
+	defer mat.PutBuf(wbuf)
 	w.CopyFrom(c1)
 	blas.Gemm(blas.Trans, blas.NoTrans, 1, v2, c2, 1, w)
 	// W ← op(T)·W.

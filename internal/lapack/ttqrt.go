@@ -27,8 +27,10 @@ func Ttqrt(r1, r2, t *mat.Matrix) {
 		panic(fmt.Sprintf("lapack: Ttqrt T too small: %dx%d", t.Rows, t.Cols))
 	}
 	t.Zero()
-	x := make([]float64, n)
-	w := make([]float64, n)
+	buf := mat.GetBuf(2 * n)
+	defer mat.PutBuf(buf)
+	x := buf.Data[:n]
+	w := buf.Data[n:]
 	for j := 0; j < n; j++ {
 		// Column j of the stacked panel has nonzeros at R1[j,j] and
 		// R2[0..j, j] only (R2 upper triangular).
@@ -106,8 +108,10 @@ func Ttmqr(trans blas.Transpose, v2, t, c1, c2 *mat.Matrix) {
 			v2.Rows, v2.Cols, c1.Rows, c1.Cols, c2.Rows, c2.Cols))
 	}
 	k := c1.Cols
-	// W = C1 + V2ᵀ·C2, reading only V2's upper triangle.
-	w := mat.New(n, k)
+	// W = C1 + V2ᵀ·C2, reading only V2's upper triangle. CopyFrom overwrites
+	// every row, so the pooled buffer needs no zeroing.
+	w, wbuf := mat.GetMatrix(n, k)
+	defer mat.PutBuf(wbuf)
 	w.CopyFrom(c1)
 	for q := 0; q < n; q++ {
 		// Row q of V2 contributes v2(q, j) for j ≥ q.

@@ -21,8 +21,10 @@ func UnmqrRight(trans blas.Transpose, v, t, c *mat.Matrix) {
 	}
 	k := c.Rows
 	// W = C·V (k×n), exploiting V's unit lower trapezoidal structure:
-	// W[:, j] = C[:, j] + Σ_{r>j} C[:, r]·v(r, j).
-	w := mat.New(k, n)
+	// W[:, j] = C[:, j] + Σ_{r>j} C[:, r]·v(r, j). Every row is fully
+	// written (copy then accumulate), so the pooled buffer is safe unzeroed.
+	w, wbuf := mat.GetMatrix(k, n)
+	defer mat.PutBuf(wbuf)
 	for r := 0; r < k; r++ {
 		crow := c.Row(r)
 		wrow := w.Row(r)

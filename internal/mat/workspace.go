@@ -1,0 +1,106 @@
+package mat
+
+import "sync"
+
+// Workspace management: a size-classed sync.Pool arena for the float64
+// scratch buffers every kernel call needs (GEMM pack panels, Householder
+// work vectors, stacked-panel copies). The factorization engine executes
+// O(nt³) kernel tasks; without pooling, each task performs several
+// make([]float64, …) calls and the allocator + GC become a measurable part
+// of the critical path. With the arena, steady-state kernel calls perform
+// zero heap allocations.
+//
+// Ownership rules (see DESIGN.md "Kernel layer"):
+//
+//   - The function that calls GetBuf must PutBuf the same *Buf before it
+//     returns (defer is fine). Buffers are never retained across kernel
+//     calls or tasks, and never shared between goroutines.
+//   - Buffer contents are unspecified on Get: callers must fully overwrite
+//     (or explicitly zero) what they read.
+//   - PutBuf(nil) is a no-op so error paths stay simple.
+
+// wsClasses are power-of-two size classes from 1<<wsMinBits to
+// 1<<(wsMinBits+wsClasses-1) float64s (64 … 4M floats, i.e. 512 B … 32 MiB).
+// Requests above the largest class fall back to plain allocation.
+const (
+	wsMinBits = 6
+	wsClasses = 17
+)
+
+// Buf is a pooled float64 scratch buffer. Data has exactly the requested
+// length; its backing array is the size-class capacity.
+type Buf struct {
+	Data  []float64
+	class int // pool index, or -1 for an unpooled (oversized) buffer
+}
+
+var wsPools [wsClasses]sync.Pool
+
+func init() {
+	for c := range wsPools {
+		c := c
+		wsPools[c].New = func() any {
+			return &Buf{Data: make([]float64, 1<<(wsMinBits+c)), class: c}
+		}
+	}
+}
+
+// classFor returns the smallest size class holding n float64s, or -1 when n
+// exceeds every class.
+func classFor(n int) int {
+	for c := 0; c < wsClasses; c++ {
+		if n <= 1<<(wsMinBits+c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// GetBuf returns a buffer with len(Data) == n. Contents are unspecified.
+func GetBuf(n int) *Buf {
+	if n < 0 {
+		panic("mat: GetBuf with negative size")
+	}
+	c := classFor(n)
+	if c < 0 {
+		return &Buf{Data: make([]float64, n), class: -1}
+	}
+	b := wsPools[c].Get().(*Buf)
+	b.Data = b.Data[:cap(b.Data)][:n]
+	return b
+}
+
+// GetBufZero returns a zeroed buffer with len(Data) == n.
+func GetBufZero(n int) *Buf {
+	b := GetBuf(n)
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+	return b
+}
+
+// PutBuf returns a buffer to its pool. The caller must not use b (or any
+// Matrix view created from it) afterwards. PutBuf(nil) is a no-op.
+func PutBuf(b *Buf) {
+	if b == nil || b.class < 0 {
+		return
+	}
+	wsPools[b.class].Put(b)
+}
+
+// Matrix views the first rows·cols elements of the buffer as a rows×cols
+// row-major matrix with tight stride. The view aliases b.Data; it dies with
+// the buffer at PutBuf. Contents are unspecified (call Zero if needed).
+func (b *Buf) Matrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 || rows*cols > len(b.Data) {
+		panic("mat: Buf.Matrix view larger than buffer")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Stride: cols, Data: b.Data[:rows*cols]}
+}
+
+// GetMatrix returns a rows×cols matrix backed by a pooled buffer, plus the
+// buffer to PutBuf when done. Contents are unspecified.
+func GetMatrix(rows, cols int) (*Matrix, *Buf) {
+	b := GetBuf(rows * cols)
+	return b.Matrix(rows, cols), b
+}

@@ -42,8 +42,22 @@ type Handle struct {
 	readers    []*task
 	writerNode int // node holding the current version (−1: home)
 	home       int // node owning the datum (block-cyclic owner)
-	sentTo     map[int]bool
-	version    int
+	// sentTo lists the nodes already holding the current version (the
+	// broadcast-tree dedup). It is a small reused slice rather than a map so
+	// that each new version costs zero allocations: a version reaches a
+	// handful of nodes at most, and a linear scan is faster than hashing.
+	sentTo  []int
+	version int
+}
+
+// sentToContains reports whether node already received the current version.
+func (h *Handle) sentToContains(node int) bool {
+	for _, n := range h.sentTo {
+		if n == node {
+			return true
+		}
+	}
+	return false
 }
 
 // Name returns the debug name given at creation.
@@ -195,27 +209,24 @@ func (e *Engine) Submit(spec TaskSpec) {
 		t.nDeps++
 	}
 
-	seen := map[*Handle]bool{}
-	for _, a := range spec.Accesses {
+	for ai, a := range spec.Accesses {
 		h := a.H
 		// RAW (and WAW for writes): depend on the last writer.
 		dep(h.lastWriter)
-		if tr != nil && h.lastWriter != nil && !seen[h] {
-			// Record data movement for this version once per destination.
-			if h.writerNode != spec.Node && h.sentTo != nil && !h.sentTo[spec.Node] {
-				tr.Recv = append(tr.Recv, Message{From: h.writerNode, To: spec.Node, Bytes: h.bytes})
-				h.sentTo[spec.Node] = true
-			}
-		} else if tr != nil && h.lastWriter == nil && !seen[h] {
-			// Initial version lives at the home node.
-			if h.home != spec.Node {
-				if h.sentTo == nil {
-					h.sentTo = map[int]bool{}
+		// Record data movement for this version once per destination. The
+		// duplicate-handle dedup scans the access-list prefix instead of
+		// keeping a per-Submit map: access lists are short, and the scan
+		// (needed only when tracing) costs no allocation.
+		if tr != nil && !accessSeen(spec.Accesses, ai) {
+			if h.lastWriter != nil {
+				if h.writerNode != spec.Node && len(h.sentTo) > 0 && !h.sentToContains(spec.Node) {
+					tr.Recv = append(tr.Recv, Message{From: h.writerNode, To: spec.Node, Bytes: h.bytes})
+					h.sentTo = append(h.sentTo, spec.Node)
 				}
-				if !h.sentTo[spec.Node] {
-					tr.Recv = append(tr.Recv, Message{From: h.home, To: spec.Node, Bytes: h.bytes})
-					h.sentTo[spec.Node] = true
-				}
+			} else if h.home != spec.Node && !h.sentToContains(spec.Node) {
+				// Initial version lives at the home node.
+				tr.Recv = append(tr.Recv, Message{From: h.home, To: spec.Node, Bytes: h.bytes})
+				h.sentTo = append(h.sentTo, spec.Node)
 			}
 		}
 		if a.Write {
@@ -226,7 +237,6 @@ func (e *Engine) Submit(spec TaskSpec) {
 				}
 			}
 		}
-		seen[h] = true
 	}
 	// Second pass: update handle states (kept separate so a task that
 	// accesses a handle twice does not depend on itself).
@@ -237,7 +247,7 @@ func (e *Engine) Submit(spec TaskSpec) {
 			h.readers = h.readers[:0]
 			h.version++
 			h.writerNode = spec.Node
-			h.sentTo = map[int]bool{spec.Node: true}
+			h.sentTo = append(h.sentTo[:0], spec.Node)
 		} else {
 			h.readers = append(h.readers, t)
 		}
@@ -247,6 +257,18 @@ func (e *Engine) Submit(spec TaskSpec) {
 		heap.Push(&e.ready, t)
 		e.cond.Broadcast()
 	}
+}
+
+// accessSeen reports whether the handle of accs[idx] already appears earlier
+// in the access list — the duplicate-access dedup for trace recording.
+func accessSeen(accs []Access, idx int) bool {
+	h := accs[idx].H
+	for q := 0; q < idx; q++ {
+		if accs[q].H == h {
+			return true
+		}
+	}
+	return false
 }
 
 func (e *Engine) worker() {

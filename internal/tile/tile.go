@@ -161,6 +161,19 @@ func (t *Matrix) StackRows(rows []int, j int) *mat.Matrix {
 	return s
 }
 
+// StackRowsInto copies the tiles (rows[0], j), (rows[1], j), … into the
+// caller-provided (len(rows)·NB)×NB matrix s — the allocation-free variant of
+// StackRows for pooled workspaces. Every element of s is overwritten, so an
+// unzeroed pooled buffer is safe.
+func (t *Matrix) StackRowsInto(s *mat.Matrix, rows []int, j int) {
+	if s.Rows != len(rows)*t.NB || s.Cols != t.NB {
+		panic(fmt.Sprintf("tile: StackRowsInto shape %dx%d for %d rows nb=%d", s.Rows, s.Cols, len(rows), t.NB))
+	}
+	for r, i := range rows {
+		s.View(r*t.NB, 0, t.NB, t.NB).CopyFrom(t.Tile(i, j))
+	}
+}
+
 // UnstackRows scatters a stacked matrix produced by StackRows back into the
 // tiles (rows[r], j).
 func (t *Matrix) UnstackRows(s *mat.Matrix, rows []int, j int) {
@@ -241,6 +254,18 @@ func (v *Vector) StackRows(rows []int) *mat.Matrix {
 		s.View(r*v.NB, 0, v.NB, v.W).CopyFrom(v.Tile(i))
 	}
 	return s
+}
+
+// StackRowsInto copies vector tiles rows[0..] into the caller-provided
+// (len·NB)×W matrix s — the allocation-free variant of StackRows. Every
+// element of s is overwritten, so an unzeroed pooled buffer is safe.
+func (v *Vector) StackRowsInto(s *mat.Matrix, rows []int) {
+	if s.Rows != len(rows)*v.NB || s.Cols != v.W {
+		panic(fmt.Sprintf("tile: Vector.StackRowsInto shape %dx%d for %d rows nb=%d w=%d", s.Rows, s.Cols, len(rows), v.NB, v.W))
+	}
+	for r, i := range rows {
+		s.View(r*v.NB, 0, v.NB, v.W).CopyFrom(v.Tile(i))
+	}
 }
 
 // UnstackRows scatters a stacked matrix back into vector tiles.
