@@ -12,8 +12,13 @@
 //	luqr-bench -exp calu                §VI-D     CALU (tournament pivoting) comparison
 //	luqr-bench -exp kappa               extension conditioning sweep (randsvd)
 //	luqr-bench -exp machines            extension platform-sensitivity sweep
+//	luqr-bench -exp breakdown           measured vs. simulated per-kernel breakdown
 //	luqr-bench -exp all                 everything
 //	luqr-bench -json BENCH_kernels.json machine-readable kernel rates (GFLOP/s, ns/op)
+//	luqr-bench -timeline out.json       run one hybrid factorization, write the task
+//	                                    timeline as Chrome trace-event JSON (open in
+//	                                    chrome://tracing or Perfetto) and print the
+//	                                    measured per-kernel stats table
 //
 // Default sizes run in minutes on a laptop; pass -n/-nb (e.g. -n 20000
 // -nb 240) for the paper-scale experiment.
@@ -32,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, fig2, table2, fig3, table3, overhead, all")
+		exp     = flag.String("exp", "all", "experiment: table1, fig2, table2, fig3, table3, overhead, breakdown, all")
 		n       = flag.Int("n", 480, "matrix order")
 		nb      = flag.Int("nb", 40, "tile order")
 		p       = flag.Int("p", 4, "grid rows")
@@ -41,8 +46,29 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		workers = flag.Int("workers", 0, "runtime workers (0 = GOMAXPROCS)")
 		jsonOut = flag.String("json", "", "write per-kernel GFLOP/s and ns/op as JSON to this path (e.g. BENCH_kernels.json) and exit")
+		timeline = flag.String("timeline", "", "run one hybrid factorization, write its Chrome trace-event timeline to this path, print the per-kernel stats table, and exit")
 	)
 	flag.Parse()
+
+	if *timeline != "" {
+		o := experiments.Options{
+			N: *n, NB: *nb, Grid: tile.NewGrid(*p, *q),
+			Seed: *seed, Workers: *workers,
+		}
+		f, err := os.Create(*timeline)
+		if err == nil {
+			_, err = experiments.Timeline(o, f, os.Stdout)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *timeline)
+		return
+	}
 
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
@@ -101,6 +127,9 @@ func main() {
 		case "machines":
 			_, err := experiments.MachineSweep(o, out)
 			return err
+		case "breakdown":
+			_, err := experiments.Breakdown(o, out)
+			return err
 		case "tune":
 			fmt.Fprintln(out, "# Auto-tuned α per criterion (§VII future work): largest α with mean HPL3 ≤ 2× LUPP")
 			for _, c := range []string{"max", "sum", "mumps"} {
@@ -116,7 +145,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "table3", "fig2", "table2", "fig3", "overhead", "ablation", "calu"}
+		names = []string{"table1", "table3", "fig2", "table2", "fig3", "overhead", "ablation", "calu", "breakdown"}
 	}
 	for i, name := range names {
 		if i > 0 {

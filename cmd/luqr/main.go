@@ -19,6 +19,7 @@ import (
 	"luqr/internal/criteria"
 	"luqr/internal/dist"
 	"luqr/internal/matgen"
+	"luqr/internal/runtime"
 	"luqr/internal/sim"
 	"luqr/internal/tile"
 	"luqr/internal/tree"
@@ -46,6 +47,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed (matrix and random criterion)")
 		simulate  = flag.Bool("sim", false, "replay the trace on the Dancer machine model")
 		profile   = flag.Bool("profile", false, "with -sim: print parallelism, utilization, and the kernel-time breakdown")
+		timeline  = flag.String("timeline", "", "write the measured task timeline as Chrome trace-event JSON to this path (open in chrome://tracing or Perfetto)")
+		stats     = flag.Bool("stats", false, "print the measured per-kernel stats table (count, total, mean, max, worker utilization, critical path)")
 		verbose   = flag.Bool("v", false, "print per-step decisions")
 	)
 	flag.Parse()
@@ -92,7 +95,8 @@ func main() {
 		Alg: alg, NB: *nb, Grid: tile.NewGrid(*p, *q),
 		Criterion: crit, Scope: sc, Variant: vr,
 		IntraTree: intra, InterTree: inter,
-		Workers: *workers, Seed: *seed, Trace: *simulate,
+		Workers: *workers, Seed: *seed,
+		Trace: *simulate || *stats || *timeline != "",
 	}
 	res, err := core.Run(a, b, cfg)
 	if err != nil {
@@ -107,6 +111,23 @@ func main() {
 	}
 	fmt.Printf("local: %.0f MFLOP/s fake, %.0f MFLOP/s true (wall %.3fs, %d workers)\n",
 		1e3*r.FakeGFlops(wall), 1e3*r.TrueGFlops(wall), wall, nw)
+
+	if *stats {
+		runtime.ComputeStats(r.Trace).WriteTable(os.Stdout)
+	}
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err == nil {
+			err = runtime.WriteChromeTrace(f, r.Trace)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("timeline: wrote %s (%d tasks)\n", *timeline, len(r.Trace))
+	}
 
 	if *verbose {
 		for k, d := range r.Decisions {

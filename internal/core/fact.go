@@ -82,7 +82,6 @@ type fact struct {
 
 	nt, nb int
 	steps  []*stepState
-	rng    *rand.Rand
 
 	// diagSolvers[k] applies A_kk⁻¹ to an RHS tile during the block
 	// back-substitution; nil means the default upper-triangular solve
@@ -102,7 +101,6 @@ func newFact(cfg Config, a *tile.Matrix, rhs *tile.Vector) *fact {
 		nt: a.NT, nb: a.NB,
 		steps:       make([]*stepState, a.NT),
 		diagSolvers: make([]func(b *mat.Matrix), a.NT),
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		report: &Report{
 			Alg: cfg.Alg, N: a.N(), NB: a.NB, NT: a.NT,
 			GridP: cfg.Grid.P, GridQ: cfg.Grid.Q,
@@ -260,9 +258,7 @@ func (f *fact) submitBackup(st *stepState) {
 			for j := 0; j < f.nb; j++ {
 				m := 0.0
 				for _, t := range st.backup {
-					if v := t.ColAbsMax(j); v > m {
-						m = v
-					}
+					m = foldAbsMax(m, t.ColAbsMax(j))
 				}
 				st.localMax[j] = m
 			}
@@ -337,6 +333,19 @@ func pivotExchangeRounds(g tile.Grid, rows []int) int {
 	return r
 }
 
+// stepRng returns the Random criterion's generator for step k, derived from
+// the run seed and the step index by a SplitMix64 mix. Decide callbacks run
+// on worker goroutines and *rand.Rand is not safe for concurrent use, so a
+// generator shared across steps would race (and make decisions depend on
+// execution order); a per-step derivation keeps every decision reproducible
+// for a given (seed, step) regardless of worker count or scheduling.
+func stepRng(seed int64, k int) *rand.Rand {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(k+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}
+
 // criterionInput assembles the Input for the configured criterion from the
 // data gathered by the norm, backup and panel tasks.
 func (f *fact) criterionInput(st *stepState) *criteria.Input {
@@ -345,21 +354,33 @@ func (f *fact) criterionInput(st *stepState) *criteria.Input {
 		InvDiagNorm1: st.invNorm,
 		LocalMax:     st.localMax,
 		Pivots:       st.pivots,
-		Rng:          f.rng,
+		Rng:          stepRng(f.cfg.Seed, st.k),
 	}
 	away := make([]float64, f.nb)
 	for _, nr := range st.norms {
 		in.OffDiagTileNorms = append(in.OffDiagTileNorms, nr.norm1)
 		if !nr.inDomain {
 			for j, v := range nr.colMax {
-				if v > away[j] {
-					away[j] = v
-				}
+				away[j] = foldAbsMax(away[j], v)
 			}
 		}
 	}
 	in.AwayMax = away
 	return in
+}
+
+// foldAbsMax folds one magnitude into a running maximum, propagating NaN: a
+// plain `v > m` comparison drops NaN (every comparison with NaN is false),
+// which would let a poisoned column feed finite maxima into the criteria and
+// mask the QR fallback they owe the §III growth bounds.
+func foldAbsMax(m, v float64) float64 {
+	if math.IsNaN(v) {
+		return v
+	}
+	if v > m {
+		return v
+	}
+	return m
 }
 
 // submitRestore undoes the trial factorization when the criterion picks a

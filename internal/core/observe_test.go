@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"luqr/internal/criteria"
+	"luqr/internal/matgen"
+	"luqr/internal/runtime"
+	"luqr/internal/tile"
+	"luqr/internal/tree"
+)
+
+// TestRandomCriterionRace runs the RANDOM criterion with a wide worker pool.
+// Decide callbacks execute on worker goroutines; before the per-step rng
+// derivation the shared *rand.Rand raced under the race detector (the
+// Makefile tier1 gate runs this package with -race). The run must also stay
+// reproducible: same seed, same decisions, at any worker count.
+func TestRandomCriterionRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 160
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	decisions := func(workers int) []bool {
+		res, err := Run(a, b, Config{
+			Alg: LUQR, NB: 16, Criterion: criteria.Random{Alpha: 50},
+			Seed: 7, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.Decisions
+	}
+	base := decisions(4)
+	for _, w := range []int{4, 8} {
+		got := decisions(w)
+		for k := range base {
+			if got[k] != base[k] {
+				t.Fatalf("workers=%d: decision at step %d differs (%v vs %v)", w, k, got, base)
+			}
+		}
+	}
+}
+
+// structuralTrace serializes the scheduling-independent part of a trace —
+// task IDs, names, kernels, nodes, dependency edges, and the recorded
+// messages — omitting the measured timestamps, which legitimately vary.
+func structuralTrace(trace []*runtime.TraceTask) []byte {
+	var buf bytes.Buffer
+	for _, tt := range trace {
+		fmt.Fprintf(&buf, "%d|%s|%s|%d|%v|%v|%v\n", tt.ID, tt.Name, tt.Kernel, tt.Node, tt.Deps, tt.Recv, tt.ExtraComm)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministicAcrossWorkerCounts asserts the engine-level claim
+// the sim package relies on: the recorded trace of a hybrid factorization
+// (task IDs, deps, Recv messages) is byte-identical for 1, 2 and 8 workers —
+// only the measured timestamps may differ.
+func TestTraceDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 128
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	mk := func(workers int) []byte {
+		res, err := Run(a, b, Config{
+			Alg: LUQR, NB: 16, Grid: tile.NewGrid(2, 2),
+			Criterion: criteria.Max{Alpha: 100}, Trace: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Report.Trace) == 0 {
+			t.Fatal("no trace recorded")
+		}
+		return structuralTrace(res.Report.Trace)
+	}
+	want := mk(1)
+	for _, w := range []int{2, 8} {
+		if got := mk(w); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d produced a structurally different trace", w)
+		}
+	}
+}
+
+// TestNaNPanelForcesQR is the end-to-end regression for the maxOf NaN bug:
+// a NaN injected below the diagonal must push Max, Sum and MUMPS to a QR
+// step at the poisoned panel, the factorization must complete, and the NaN
+// must not leak into the tiles finalized before the poisoned column was
+// touched (row 0 and column 0 of the tile grid).
+func TestNaNPanelForcesQR(t *testing.T) {
+	const n, nb = 64, 16 // 4×4 tiles
+	for _, tc := range []struct {
+		name string
+		crit criteria.Criterion
+	}{
+		{"max", criteria.Max{Alpha: 100}},
+		{"max-alpha-inf", criteria.Max{Alpha: math.Inf(1)}},
+		{"sum", criteria.Sum{Alpha: 1000}},
+		{"mumps", criteria.MUMPS{Alpha: 2.1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			a := matgen.DiagDominant(n, rng)
+			b := matgen.RandomVector(n, rng)
+			// Tile (2,1): strictly below the diagonal, untouched by the
+			// step-0 panel, poisoning the step-1 criterion data.
+			a.Set(2*nb+3, nb+5, math.NaN())
+
+			res, err := Run(a, b, Config{
+				Alg: LUQR, NB: nb, Grid: tile.NewGrid(2, 2),
+				Criterion: tc.crit, Workers: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Report.Decisions[1] {
+				t.Fatalf("%s took an LU step on the NaN panel", tc.crit.Name())
+			}
+			// Step 0 finalizes tile row 0 and tile column 0 before any task
+			// reads the poisoned tile; they must stay NaN-free.
+			ta := res.Factored
+			for i := 0; i < ta.MT; i++ {
+				for j := 0; j < ta.NT; j++ {
+					if i != 0 && j != 0 {
+						continue
+					}
+					tl := ta.Tile(i, j)
+					for r := 0; r < tl.Rows; r++ {
+						for c := 0; c < tl.Cols; c++ {
+							if math.IsNaN(tl.At(r, c)) {
+								t.Fatalf("NaN propagated into finalized tile (%d,%d) at (%d,%d)", i, j, r, c)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMeasuredStatsOnFactorization sanity-checks the observability layer on
+// a real hybrid run: the measured per-kernel aggregation covers every
+// recorded task and the Chrome export round-trips.
+func TestMeasuredStatsOnFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n := 128
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	res, err := Run(a, b, Config{
+		Alg: LUQR, NB: 16, Grid: tile.NewGrid(2, 2),
+		Criterion: criteria.Never{}, Trace: true, Workers: 2,
+		IntraTree: tree.FlatTS, InterTree: tree.Fibonacci,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := runtime.ComputeStats(res.Report.Trace)
+	if s.Tasks != len(res.Report.Trace) {
+		t.Fatalf("stats cover %d of %d tasks", s.Tasks, len(res.Report.Trace))
+	}
+	// An all-QR hybrid run must show the QR kernel families.
+	for _, k := range []string{"GEQRT", "TSQRT", "UNMQR"} {
+		if s.Kernels[k].Count == 0 {
+			t.Fatalf("kernel %s missing from measured stats: %v", k, s.KernelNames())
+		}
+	}
+	if s.CriticalPath <= 0 || s.CriticalPath > s.Span {
+		t.Fatalf("critical path %v vs span %v", s.CriticalPath, s.Span)
+	}
+	var buf bytes.Buffer
+	if err := runtime.WriteChromeTrace(&buf, res.Report.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty chrome trace")
+	}
+}

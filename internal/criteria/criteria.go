@@ -83,9 +83,19 @@ func (c Sum) Decide(in *Input) bool {
 	return decideNorm(c.Alpha, in.InvDiagNorm1, s)
 }
 
+// maxOf returns the largest entry, poisoning the result on unusable inputs:
+// a comparison-based max with `v > m` silently skips NaN (every comparison
+// with NaN is false) and negative garbage (m starts at 0), letting a panel
+// whose tile norm is NaN satisfy the Max criterion and take an unstable LU
+// step. Any value a 1-norm cannot produce — NaN, ±Inf, negative — turns the
+// result into NaN so decideNorm forces a QR step, the same behaviour Sum
+// gets for free from addition.
 func maxOf(xs []float64) float64 {
 	m := 0.0
 	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return math.NaN()
+		}
 		if v > m {
 			m = v
 		}
@@ -94,6 +104,21 @@ func maxOf(xs []float64) float64 {
 }
 
 func decideNorm(alpha, invNorm, rhs float64) bool {
+	// Non-finite panel data — a NaN or infinite tile norm, or a norm the
+	// kernels could never produce (negative) — means the trial measurements
+	// are unusable: force the unconditionally stable QR step, even when
+	// α = ∞ disables the threshold test. Always{} remains the only way to
+	// take an LU step blindly.
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) || rhs < 0 {
+		return false
+	}
+	// A NaN (or negative) inverse-norm estimate means the trial
+	// factorization itself was poisoned — unusable at every α, unlike
+	// invNorm = +Inf, which is the documented "exactly singular diagonal"
+	// signal that α = ∞ deliberately overrides below.
+	if math.IsNaN(invNorm) || invNorm < 0 {
+		return false
+	}
 	if rhs == 0 {
 		// Nothing below the diagonal (last step, or a zero panel): an LU
 		// step cannot cause growth, but honor α = 0 as "always QR".
@@ -102,8 +127,8 @@ func decideNorm(alpha, invNorm, rhs float64) bool {
 	if math.IsInf(alpha, 1) {
 		return true
 	}
-	if invNorm == 0 || math.IsInf(invNorm, 1) || math.IsNaN(invNorm) {
-		return false // singular or unusable diagonal tile
+	if invNorm == 0 || math.IsInf(invNorm, 1) {
+		return false // singular diagonal tile
 	}
 	return alpha*(1/invNorm) >= rhs
 }
@@ -139,6 +164,13 @@ func (c MUMPS) Name() string { return "mumps" }
 
 // Decide implements Criterion.
 func (c MUMPS) Decide(in *Input) bool {
+	// Unusable pivot or column-max data (NaN from a poisoned panel, ±Inf
+	// from overflowed growth, negative garbage) forces QR before the α
+	// shortcuts: `α·pivot < est` is false when pivot is NaN, so without
+	// this scan a NaN pivot would silently pass the per-column test.
+	if !allFiniteNonNeg(in.Pivots) || !allFiniteNonNeg(in.LocalMax) || !allFiniteNonNeg(in.AwayMax) {
+		return false
+	}
 	if math.IsInf(c.Alpha, 1) {
 		return true
 	}
@@ -159,6 +191,17 @@ func (c MUMPS) Decide(in *Input) bool {
 			return false
 		}
 		if c.Alpha*in.Pivots[j] < est {
+			return false
+		}
+	}
+	return true
+}
+
+// allFiniteNonNeg reports whether every entry is a usable magnitude: finite
+// and ≥ 0 (a NaN fails the comparison and is rejected too).
+func allFiniteNonNeg(xs []float64) bool {
+	for _, v := range xs {
+		if !(v >= 0) || math.IsInf(v, 1) {
 			return false
 		}
 	}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"luqr/internal/core"
+	"luqr/internal/criteria"
+	"luqr/internal/matgen"
+	"luqr/internal/runtime"
+	"luqr/internal/sim"
+	"luqr/internal/tree"
+)
+
+// timelineConfig is the canonical observability configuration: a hybrid run
+// that exercises every kernel family of the paper's Table I. The Random
+// criterion (reproducible per step from the seed) mixes LU steps (SWPTRSM /
+// TRSM / GEMM) with QR steps; the FlatTS intra-domain tree emits TSQRT /
+// TSMQR and the Fibonacci inter-domain tree adds the TTQRT / TTMQR merges.
+func timelineConfig(o Options) core.Config {
+	return core.Config{
+		Alg: core.LUQR, NB: o.NB, Grid: o.Grid,
+		Criterion: criteria.Random{Alpha: 50},
+		IntraTree: tree.FlatTS, InterTree: tree.Fibonacci,
+		Workers: o.Workers, Seed: o.Seed, Trace: true,
+	}
+}
+
+// Timeline runs the canonical observability configuration, writes the
+// recorded task timeline as Chrome trace-event JSON (chrome://tracing or
+// Perfetto: one track per worker, flow arrows for cross-node messages) to
+// traceOut, and prints the measured per-kernel stats table to out. It
+// returns the measured stats so callers can assert on the aggregation.
+func Timeline(o Options, traceOut io.Writer, out io.Writer) (*runtime.Stats, error) {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	a := matgen.Random(o.N, rng)
+	b := matgen.RandomVector(o.N, rng)
+
+	res, err := core.Run(a, b, timelineConfig(o))
+	if err != nil {
+		return nil, err
+	}
+	r := res.Report
+	if traceOut != nil {
+		if err := runtime.WriteChromeTrace(traceOut, r.Trace); err != nil {
+			return nil, err
+		}
+	}
+	s := runtime.ComputeStats(r.Trace)
+	if out != nil {
+		lu := 0
+		for _, d := range r.Decisions {
+			if d {
+				lu++
+			}
+		}
+		fmt.Fprintf(out, "# Measured timeline — N=%d nb=%d grid %dx%d, random criterion (%d LU / %d QR steps)\n",
+			o.N, o.NB, o.Grid.P, o.Grid.Q, lu, len(r.Decisions)-lu)
+		s.WriteTable(out)
+	}
+	return s, nil
+}
+
+// Breakdown replays one measured trace through the machine-model simulator
+// and prints the two per-kernel time breakdowns side by side: the wall-clock
+// core-seconds measured on this host next to the core-seconds the simulator
+// charges on the machine model. The absolute scales differ (local cores vs.
+// the modeled cluster); the shares are the comparable columns — they show
+// whether the simulated cost ratios that the §V performance numbers rest on
+// match the measured ones.
+func Breakdown(o Options, out io.Writer) (*runtime.Stats, error) {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	a := matgen.Random(o.N, rng)
+	b := matgen.RandomVector(o.N, rng)
+
+	res, err := core.Run(a, b, timelineConfig(o))
+	if err != nil {
+		return nil, err
+	}
+	trace := res.Report.Trace
+	meas := runtime.ComputeStats(trace)
+	sr := sim.Simulate(trace, o.Machine, nil)
+
+	measTotal := meas.TotalBusy().Seconds()
+	fmt.Fprintf(out, "# Measured vs. simulated breakdown — one trace, two clocks (N=%d nb=%d grid %dx%d)\n",
+		o.N, o.NB, o.Grid.P, o.Grid.Q)
+	tw := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "kernel\tcount\tmeasured\tshare\tsimulated\tshare\t")
+	for _, name := range meas.KernelNames() {
+		ks := meas.Kernels[name]
+		simT := sr.KernelTime[name]
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%.1f%%\t%.4fs\t%.1f%%\t\n",
+			name, ks.Count, ks.Total.Round(time.Microsecond),
+			pct(ks.Total.Seconds(), measTotal), simT, pct(simT, sr.ComputeTime))
+	}
+	fmt.Fprintf(tw, "total\t%d\t%v\t\t%.4fs\t\t\n",
+		meas.Tasks, meas.TotalBusy().Round(time.Microsecond), sr.ComputeTime)
+	tw.Flush()
+	fmt.Fprintf(out, "measured: span %v on %d workers, utilization %.1f%%, critical path %v\n",
+		meas.Span.Round(time.Microsecond), meas.Workers, 100*meas.Utilization(),
+		meas.CriticalPath.Round(time.Microsecond))
+	fmt.Fprintf(out, "simulated on %s: makespan %.4fs, critical path %.4fs, %d messages, %.2f MB\n",
+		o.Machine.Name, sr.Makespan, sim.CriticalPath(trace, o.Machine.CoreGFlops),
+		sr.Messages, float64(sr.CommBytes)/1e6)
+	return meas, nil
+}
+
+func pct(part, whole float64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * part / whole
+}

@@ -176,7 +176,10 @@ func MaxDiff(a, b *Matrix) float64 {
 	return d
 }
 
-// Norm1 returns the induced 1-norm (maximum absolute column sum).
+// Norm1 returns the induced 1-norm (maximum absolute column sum). A NaN
+// entry yields NaN: the column sums propagate it, and the final max must not
+// drop it through a `>` comparison — the robustness criteria rely on NaN
+// surviving into the tile norms to force a QR step on a poisoned panel.
 func (m *Matrix) Norm1() float64 {
 	sums := make([]float64, m.Cols)
 	for i := 0; i < m.Rows; i++ {
@@ -187,6 +190,9 @@ func (m *Matrix) Norm1() float64 {
 	}
 	max := 0.0
 	for _, s := range sums {
+		if math.IsNaN(s) {
+			return s
+		}
 		if s > max {
 			max = s
 		}
@@ -235,14 +241,20 @@ func (m *Matrix) NormMax() float64 {
 	return max
 }
 
-// ColAbsMax returns max_i |a(i,j)| for column j.
+// ColAbsMax returns max_i |a(i,j)| for column j, propagating NaN (see
+// Norm1): the per-column maxima feed the MUMPS criterion, which must see a
+// poisoned column rather than the max of its finite entries.
 func (m *Matrix) ColAbsMax(j int) float64 {
 	if j < 0 || j >= m.Cols {
 		panic(fmt.Sprintf("mat: ColAbsMax(%d) out of range %d", j, m.Cols))
 	}
 	max := 0.0
 	for i := 0; i < m.Rows; i++ {
-		if a := math.Abs(m.Data[i*m.Stride+j]); a > max {
+		a := math.Abs(m.Data[i*m.Stride+j])
+		if math.IsNaN(a) {
+			return a
+		}
+		if a > max {
 			max = a
 		}
 	}

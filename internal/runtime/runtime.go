@@ -29,6 +29,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Handle identifies one datum (typically a tile) tracked by the engine.
@@ -96,6 +97,27 @@ type TraceTask struct {
 	// synchronous phase (pivot-search exchanges, criterion all-reduces):
 	// the simulator charges latency + bytes for each, serially.
 	ExtraComm []Message
+
+	// Measured execution record, filled in by the executing worker. The
+	// fields live in the TraceTask allocated at Submit, so recording them
+	// costs zero allocations on the execution path.
+	//
+	// BeginNS/EndNS are wall-clock nanoseconds since the engine started
+	// (monotonic). EndNS covers Run and Then: the full occupancy of the
+	// worker, so dynamic-unfolding overhead is charged to the decision task
+	// that pays it.
+	BeginNS int64
+	EndNS   int64
+	// Worker is the ID (0-based) of the worker that executed the task.
+	Worker int
+	// QueueDepth is the number of ready tasks left in the queue at the
+	// moment this task was dispatched — a sample of scheduler pressure.
+	QueueDepth int
+}
+
+// Duration returns the measured execution time of the task.
+func (t *TraceTask) Duration() time.Duration {
+	return time.Duration(t.EndNS - t.BeginNS)
 }
 
 // TaskSpec describes a task to submit.
@@ -139,7 +161,11 @@ type Engine struct {
 	workers int
 	trace   []*TraceTask
 	tracing bool
-	wg      sync.WaitGroup
+	start   time.Time // timestamp origin for BeginNS/EndNS
+	// depScratch is the per-Submit predecessor dedup set, reused across
+	// submissions (guarded by mu) so edge dedup costs no allocation.
+	depScratch []*task
+	wg         sync.WaitGroup
 }
 
 // Config configures a new engine.
@@ -154,14 +180,20 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.Workers < 1 {
 		panic(fmt.Sprintf("runtime: need at least one worker, got %d", cfg.Workers))
 	}
-	e := &Engine{workers: cfg.Workers, tracing: cfg.Trace}
+	e := &Engine{workers: cfg.Workers, tracing: cfg.Trace, start: time.Now()}
 	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go e.worker()
+		go e.worker(i)
 	}
 	return e
 }
+
+// Workers returns the size of the worker pool.
+func (e *Engine) Workers() int { return e.workers }
+
+// sinceStart returns nanoseconds since the engine started (monotonic).
+func (e *Engine) sinceStart() int64 { return int64(time.Since(e.start)) }
 
 // NewHandle registers a datum of the given size owned by node home.
 func (e *Engine) NewHandle(name string, bytes, home int) *Handle {
@@ -191,10 +223,24 @@ func (e *Engine) Submit(spec TaskSpec) {
 		e.trace = append(e.trace, tr)
 	}
 
+	// Dedup set: a task touching the same handle several times (read+write,
+	// stacked-rows access lists) or several handles with the same last
+	// writer must record each predecessor once — duplicate edges would
+	// double-draw in DOT, double-count in the simulator, and bloat succs.
+	// The nDeps/decrement bookkeeping stays balanced because the succs
+	// append and the nDeps increment are skipped together. The scratch
+	// slice is reused across Submits, so the dedup costs no allocation.
+	e.depScratch = e.depScratch[:0]
 	dep := func(p *task) {
 		if p == nil {
 			return
 		}
+		for _, q := range e.depScratch {
+			if q == p {
+				return
+			}
+		}
+		e.depScratch = append(e.depScratch, p)
 		// Record the edge in the trace even when the predecessor has
 		// already finished: dynamically unfolded subgraphs submit after
 		// their predecessors ran, but the logical dependency still holds
@@ -248,8 +294,15 @@ func (e *Engine) Submit(spec TaskSpec) {
 			h.version++
 			h.writerNode = spec.Node
 			h.sentTo = append(h.sentTo[:0], spec.Node)
-		} else {
-			h.readers = append(h.readers, t)
+		} else if h.lastWriter != t {
+			// Dedup: a task reading the same handle twice is one reader. A
+			// duplicate could only have been appended by this same Submit,
+			// so checking the tail suffices. A task that already wrote the
+			// handle is its last writer — recording it as a reader of its
+			// own version would be redundant.
+			if n := len(h.readers); n == 0 || h.readers[n-1] != t {
+				h.readers = append(h.readers, t)
+			}
 		}
 	}
 
@@ -271,7 +324,7 @@ func accessSeen(accs []Access, idx int) bool {
 	return false
 }
 
-func (e *Engine) worker() {
+func (e *Engine) worker(id int) {
 	defer e.wg.Done()
 	e.mu.Lock()
 	for {
@@ -283,13 +336,26 @@ func (e *Engine) worker() {
 			return
 		}
 		t := heap.Pop(&e.ready).(*task)
+		if t.trace != nil {
+			// All measurement writes go into the TraceTask preallocated at
+			// Submit; with tracing off this is a single nil check, so the
+			// execution hot path stays allocation- and instrumentation-free.
+			t.trace.Worker = id
+			t.trace.QueueDepth = e.ready.Len()
+		}
 		e.mu.Unlock()
 
+		if t.trace != nil {
+			t.trace.BeginNS = e.sinceStart()
+		}
 		if t.spec.Run != nil {
 			t.spec.Run()
 		}
 		if t.spec.Then != nil {
 			t.spec.Then(e)
+		}
+		if t.trace != nil {
+			t.trace.EndNS = e.sinceStart()
 		}
 
 		e.mu.Lock()

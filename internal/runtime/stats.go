@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// KernelStat aggregates the measured execution times of one kernel family.
+type KernelStat struct {
+	Count int
+	Total time.Duration
+	Mean  time.Duration
+	Max   time.Duration
+	Flops float64 // model flops summed over the family's tasks
+}
+
+// WorkerStat reports how one worker spent the measured span.
+type WorkerStat struct {
+	Tasks int
+	Busy  time.Duration // Σ task durations executed by this worker
+	Idle  time.Duration // Span − Busy
+}
+
+// Stats is the aggregate view of one measured execution, computed from the
+// recorded trace. It answers the paper's §V time-breakdown questions for a
+// real run: where did the time go (per-kernel), how well were the workers
+// used (busy vs. idle), how deep did the ready queue run (scheduler
+// pressure), and how long is the dependency-critical path through the
+// measured durations (the lower bound no worker count can beat).
+type Stats struct {
+	Tasks   int
+	Workers int
+	// Span is the wall-clock window covered by the trace: latest task end
+	// minus earliest task begin.
+	Span    time.Duration
+	Kernels map[string]KernelStat
+	Worker  []WorkerStat
+	// CriticalPath is the longest chain of measured task durations through
+	// the dependency edges.
+	CriticalPath time.Duration
+	// QueueDepthMean / QueueDepthMax summarize the ready-queue depth
+	// sampled at every task dispatch.
+	QueueDepthMean float64
+	QueueDepthMax  int
+}
+
+// Stats aggregates the engine's recorded trace. Only valid after Wait, and
+// only when tracing was enabled; returns an empty Stats otherwise.
+func (e *Engine) Stats() *Stats {
+	return ComputeStats(e.Trace())
+}
+
+// ComputeStats aggregates a measured trace (any slice of TraceTasks with
+// Begin/End timestamps, e.g. core.Report.Trace).
+func ComputeStats(trace []*TraceTask) *Stats {
+	s := &Stats{Kernels: map[string]KernelStat{}}
+	if len(trace) == 0 {
+		return s
+	}
+	s.Tasks = len(trace)
+
+	minBegin, maxEnd := trace[0].BeginNS, trace[0].EndNS
+	maxWorker := 0
+	depthSum := 0
+	for _, t := range trace {
+		if t.BeginNS < minBegin {
+			minBegin = t.BeginNS
+		}
+		if t.EndNS > maxEnd {
+			maxEnd = t.EndNS
+		}
+		if t.Worker > maxWorker {
+			maxWorker = t.Worker
+		}
+		depthSum += t.QueueDepth
+		if t.QueueDepth > s.QueueDepthMax {
+			s.QueueDepthMax = t.QueueDepth
+		}
+
+		d := t.Duration()
+		ks := s.Kernels[t.Kernel]
+		ks.Count++
+		ks.Total += d
+		if d > ks.Max {
+			ks.Max = d
+		}
+		ks.Flops += t.Flops
+		s.Kernels[t.Kernel] = ks
+	}
+	for k, ks := range s.Kernels {
+		ks.Mean = ks.Total / time.Duration(ks.Count)
+		s.Kernels[k] = ks
+	}
+	s.Span = time.Duration(maxEnd - minBegin)
+	s.QueueDepthMean = float64(depthSum) / float64(len(trace))
+
+	s.Workers = maxWorker + 1
+	s.Worker = make([]WorkerStat, s.Workers)
+	for _, t := range trace {
+		w := &s.Worker[t.Worker]
+		w.Tasks++
+		w.Busy += t.Duration()
+	}
+	for i := range s.Worker {
+		if idle := s.Span - s.Worker[i].Busy; idle > 0 {
+			s.Worker[i].Idle = idle
+		}
+	}
+
+	// Critical path: longest measured-duration chain through the dependency
+	// edges. Task IDs are assigned in submission order and every recorded
+	// dependency points at an earlier submission, so one pass over the trace
+	// in ID order is a topological sweep.
+	byID := make(map[int]int, len(trace))
+	order := make([]int, len(trace))
+	for pos := range trace {
+		order[pos] = pos
+	}
+	sort.Slice(order, func(i, j int) bool { return trace[order[i]].ID < trace[order[j]].ID })
+	longest := make([]time.Duration, len(trace))
+	for _, pos := range order {
+		t := trace[pos]
+		var ready time.Duration
+		for _, d := range t.Deps {
+			if dp, ok := byID[d]; ok && longest[dp] > ready {
+				ready = longest[dp]
+			}
+		}
+		longest[pos] = ready + t.Duration()
+		byID[t.ID] = pos
+		if longest[pos] > s.CriticalPath {
+			s.CriticalPath = longest[pos]
+		}
+	}
+	return s
+}
+
+// TotalBusy returns the summed busy time of all workers (core-seconds).
+func (s *Stats) TotalBusy() time.Duration {
+	var b time.Duration
+	for _, w := range s.Worker {
+		b += w.Busy
+	}
+	return b
+}
+
+// Utilization returns TotalBusy / (Span × Workers) in [0, 1].
+func (s *Stats) Utilization() float64 {
+	if s.Span <= 0 || s.Workers == 0 {
+		return 0
+	}
+	return float64(s.TotalBusy()) / (float64(s.Span) * float64(s.Workers))
+}
+
+// KernelNames returns the kernel families sorted by descending total time.
+func (s *Stats) KernelNames() []string {
+	names := make([]string, 0, len(s.Kernels))
+	for k := range s.Kernels {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := s.Kernels[names[i]], s.Kernels[names[j]]
+		if a.Total != b.Total {
+			return a.Total > b.Total
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// WriteTable renders the per-kernel breakdown and the worker summary as a
+// fixed-width text table.
+func (s *Stats) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %6s %12s %12s %12s %8s\n", "kernel", "count", "total", "mean", "max", "share")
+	total := s.TotalBusy()
+	for _, name := range s.KernelNames() {
+		ks := s.Kernels[name]
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(ks.Total) / float64(total)
+		}
+		fmt.Fprintf(w, "%-10s %6d %12v %12v %12v %7.1f%%\n",
+			name, ks.Count, ks.Total.Round(time.Microsecond), ks.Mean.Round(time.Microsecond),
+			ks.Max.Round(time.Microsecond), share)
+	}
+	fmt.Fprintf(w, "%d tasks on %d workers: span %v, busy %v, utilization %.1f%%, critical path %v\n",
+		s.Tasks, s.Workers, s.Span.Round(time.Microsecond), total.Round(time.Microsecond),
+		100*s.Utilization(), s.CriticalPath.Round(time.Microsecond))
+	fmt.Fprintf(w, "ready-queue depth: mean %.1f, max %d\n", s.QueueDepthMean, s.QueueDepthMax)
+}
