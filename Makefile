@@ -31,3 +31,9 @@ bench:
 .PHONY: bench-kernels
 bench-kernels:
 	$(GO) run ./cmd/luqr-bench -json BENCH_kernels.json
+
+# bench-solver regenerates the worker-scaling scheduler baseline
+# (end-to-end wall/GFLOP/s and dispatch ns/task vs. the single-heap seed).
+.PHONY: bench-solver
+bench-solver:
+	$(GO) run ./cmd/luqr-bench -sweep-workers BENCH_solver.json -reps 8

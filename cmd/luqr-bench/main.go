@@ -15,6 +15,10 @@
 //	luqr-bench -exp breakdown           measured vs. simulated per-kernel breakdown
 //	luqr-bench -exp all                 everything
 //	luqr-bench -json BENCH_kernels.json machine-readable kernel rates (GFLOP/s, ns/op)
+//	luqr-bench -sweep-workers BENCH_solver.json
+//	                                    worker-scaling sweep of the work-stealing
+//	                                    scheduler (end-to-end wall/GFLOP/s + dispatch
+//	                                    ns/task vs. the single-heap seed baseline)
 //	luqr-bench -timeline out.json       run one hybrid factorization, write the task
 //	                                    timeline as Chrome trace-event JSON (open in
 //	                                    chrome://tracing or Perfetto) and print the
@@ -37,16 +41,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1, fig2, table2, fig3, table3, overhead, breakdown, all")
-		n       = flag.Int("n", 480, "matrix order")
-		nb      = flag.Int("nb", 40, "tile order")
-		p       = flag.Int("p", 4, "grid rows")
-		q       = flag.Int("q", 4, "grid columns")
-		reps    = flag.Int("reps", 3, "random matrices per configuration")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		workers = flag.Int("workers", 0, "runtime workers (0 = GOMAXPROCS)")
-		jsonOut = flag.String("json", "", "write per-kernel GFLOP/s and ns/op as JSON to this path (e.g. BENCH_kernels.json) and exit")
-		timeline = flag.String("timeline", "", "run one hybrid factorization, write its Chrome trace-event timeline to this path, print the per-kernel stats table, and exit")
+		exp          = flag.String("exp", "all", "experiment: table1, fig2, table2, fig3, table3, overhead, breakdown, all")
+		n            = flag.Int("n", 480, "matrix order")
+		nb           = flag.Int("nb", 40, "tile order")
+		p            = flag.Int("p", 4, "grid rows")
+		q            = flag.Int("q", 4, "grid columns")
+		reps         = flag.Int("reps", 3, "random matrices per configuration")
+		seed         = flag.Int64("seed", 1, "base random seed")
+		workers      = flag.Int("workers", 0, "runtime workers (0 = GOMAXPROCS)")
+		jsonOut      = flag.String("json", "", "write per-kernel GFLOP/s and ns/op as JSON to this path (e.g. BENCH_kernels.json) and exit")
+		sweepWorkers = flag.String("sweep-workers", "", "run the worker-scaling scheduler sweep, write JSON to this path (e.g. BENCH_solver.json), print the table, and exit")
+		timeline     = flag.String("timeline", "", "run one hybrid factorization, write its Chrome trace-event timeline to this path, print the per-kernel stats table, and exit")
 	)
 	flag.Parse()
 
@@ -67,6 +72,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *timeline)
+		return
+	}
+
+	if *sweepWorkers != "" {
+		f, err := os.Create(*sweepWorkers)
+		if err == nil {
+			err = experiments.WriteSolverBench(*reps, f, os.Stdout)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *sweepWorkers)
 		return
 	}
 

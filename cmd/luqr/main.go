@@ -114,6 +114,9 @@ func main() {
 
 	if *stats {
 		runtime.ComputeStats(r.Trace).WriteTable(os.Stdout)
+		c := r.Sched
+		fmt.Printf("scheduler: %d lane, %d local, %d stolen (local-hit rate %.1f%%), %d remote releases, %d parks\n",
+			c.LaneHits, c.LocalHits, c.Steals, 100*c.LocalHitRate(), c.RemoteReleases, c.Parks)
 	}
 	if *timeline != "" {
 		f, err := os.Create(*timeline)

@@ -16,11 +16,27 @@ import (
 // Task priorities: the panel path (backup, trial factorization, decision,
 // restore, panel eliminations) must outrun trailing updates so the next
 // step's decision is never starved — the lookahead that makes the hybrid
-// algorithm pipeline (§IV). Within updates, earlier panels and nearer
-// columns first.
-func prioPanel(k int) int { return 1 << 28 }
-func prioElim(k int) int  { return 1<<27 - k<<8 }
+// algorithm pipeline (§IV). Within each family, earlier panels first; among
+// updates, nearer columns first.
+//
+// The split maps onto the engine's two-level scheduler: prioPanel, prioElim
+// and prioLookahead stay at or above runtime.LanePriority, so those tasks
+// ride the shared priority lane every worker polls first, while the general
+// trailing updates stay below it and ride the per-worker deques with their
+// locality-aware work stealing. The lookahead band matters because the
+// deques are LIFO and priority-blind: the updates of column k+1 (and the
+// RHS) gate step k+1's panel, and on the old priority heap they ran first
+// among updates — dropped into a deque they would queue behind arbitrary
+// trailing work and stall the pipeline. The k<<8 / k<<10 terms order
+// concurrent steps (earlier panel first) within each band without letting
+// the bands overlap for any realistic tile count.
+func prioPanel(k int) int     { return 1<<28 - k<<8 }
+func prioElim(k int) int      { return 1<<27 - k<<8 }
+func prioLookahead(k int) int { return 3<<25 - k<<8 }
 func prioUpdate(k, j int) int {
+	if j == k+1 {
+		return prioLookahead(k)
+	}
 	return 1<<26 - k<<10 - (j - k)
 }
 

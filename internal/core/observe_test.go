@@ -58,8 +58,8 @@ func structuralTrace(trace []*runtime.TraceTask) []byte {
 
 // TestTraceDeterministicAcrossWorkerCounts asserts the engine-level claim
 // the sim package relies on: the recorded trace of a hybrid factorization
-// (task IDs, deps, Recv messages) is byte-identical for 1, 2 and 8 workers —
-// only the measured timestamps may differ.
+// (task IDs, deps, Recv messages) is byte-identical for 1, 2, 8 and 16
+// workers — only the measured timestamps and dispatch routes may differ.
 func TestTraceDeterministicAcrossWorkerCounts(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	n := 128
@@ -79,9 +79,76 @@ func TestTraceDeterministicAcrossWorkerCounts(t *testing.T) {
 		return structuralTrace(res.Report.Trace)
 	}
 	want := mk(1)
-	for _, w := range []int{2, 8} {
+	for _, w := range []int{2, 8, 16} {
 		if got := mk(w); !bytes.Equal(got, want) {
 			t.Fatalf("workers=%d produced a structurally different trace", w)
+		}
+	}
+}
+
+// TestSolutionBitIdenticalAcrossWorkerCounts pins the numerical half of the
+// determinism contract: under the work-stealing scheduler the factorization
+// result must be bit-for-bit identical at 1, 2, 8 and 16 workers — the task
+// graph and the per-task arithmetic are worker-count-independent, so any
+// drift means tasks raced on tile data.
+func TestSolutionBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := 128
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	mk := func(workers int) []uint64 {
+		res, err := Run(a, b, Config{
+			Alg: LUQR, NB: 16, Grid: tile.NewGrid(2, 2),
+			Criterion: criteria.Random{Alpha: 50}, Seed: 9, Workers: workers,
+			IntraTree: tree.FlatTS, InterTree: tree.Fibonacci,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := make([]uint64, len(res.X))
+		for i, v := range res.X {
+			bits[i] = math.Float64bits(v)
+		}
+		return bits
+	}
+	want := mk(1)
+	for _, w := range []int{2, 8, 16} {
+		got := mk(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: x[%d] differs bitwise (%x vs %x)", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPanelPriorityBands pins the mapping of the solver's priorities onto
+// the scheduler's dispatch tiers: panel, eliminator and lookahead-update
+// tasks must ride the shared priority lane (≥ runtime.LanePriority) in that
+// band order, general trailing updates must stay below the lane on the
+// deques, and every band must decrease with k without crossing the next.
+func TestPanelPriorityBands(t *testing.T) {
+	const lastK = 1 << 10 // far beyond any realistic tile count
+	if prioPanel(lastK) <= prioElim(0) {
+		t.Fatalf("panel band bottom %d crosses eliminator band top %d", prioPanel(lastK), prioElim(0))
+	}
+	if prioElim(lastK) <= prioLookahead(0) {
+		t.Fatalf("eliminator band bottom %d crosses lookahead band top %d", prioElim(lastK), prioLookahead(0))
+	}
+	if prioLookahead(lastK) < runtime.LanePriority {
+		t.Fatalf("prioLookahead(%d)=%d fell below the lane threshold %d", lastK, prioLookahead(lastK), runtime.LanePriority)
+	}
+	if prioPanel(1) >= prioPanel(0) || prioElim(1) >= prioElim(0) || prioLookahead(1) >= prioLookahead(0) {
+		t.Fatal("priorities must decrease with k so earlier panels outrank later ones")
+	}
+	for _, k := range []int{0, 1, lastK} {
+		// j = k+1 is the lookahead column (gates the next panel): lane.
+		if p := prioUpdate(k, k+1); p != prioLookahead(k) {
+			t.Fatalf("prioUpdate(%d,%d)=%d, want the lookahead band value %d", k, k+1, p, prioLookahead(k))
+		}
+		// j ≥ k+2 are general trailing updates: deques, below the lane.
+		if p := prioUpdate(k, k+2); p >= runtime.LanePriority {
+			t.Fatalf("prioUpdate(%d,%d)=%d reached the lane threshold %d; trailing updates must ride the deques", k, k+2, p, runtime.LanePriority)
 		}
 	}
 }

@@ -40,6 +40,11 @@ type Report struct {
 
 	// Trace is the recorded task graph (nil unless Config.Trace).
 	Trace []*runtime.TraceTask
+
+	// Sched aggregates the scheduler's dispatch counters for this run
+	// (lane hits, local deque hits, steals, remote releases, parks);
+	// always populated, tracing or not.
+	Sched runtime.SchedCounters
 }
 
 // FracLU returns the fraction of LU steps (the f_LU of Table II).

@@ -97,6 +97,7 @@ func Run(a *mat.Matrix, b []float64, cfg Config) (*Result, error) {
 	if c.Trace {
 		f.report.Trace = f.e.Trace()
 	}
+	f.report.Sched = f.e.SchedCounters()
 	f.e.Close()
 
 	for _, d := range f.report.Decisions {

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	goruntime "runtime"
+	"time"
+
+	"luqr/internal/core"
+	"luqr/internal/criteria"
+	"luqr/internal/flops"
+	"luqr/internal/matgen"
+	"luqr/internal/runtime"
+	"luqr/internal/tile"
+	"luqr/internal/tree"
+
+	"math/rand"
+)
+
+// SolverBenchEntry is one end-to-end factorization measurement at one worker
+// count: best-of-reps wall time and the paper's fake GFLOP/s ((2/3)N³ over
+// wall), plus the scheduler's dispatch accounting for that best run.
+type SolverBenchEntry struct {
+	Workers      int     `json:"workers"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	GFlops       float64 `json:"gflops"`
+	LaneHits     int64   `json:"lane_hits,omitempty"`
+	LocalHits    int64   `json:"local_hits,omitempty"`
+	Steals       int64   `json:"steals,omitempty"`
+	LocalHitRate float64 `json:"local_hit_rate,omitempty"`
+}
+
+// DispatchBenchEntry is one scheduler-overhead measurement: mean nanoseconds
+// per task for a flood of no-op tasks (the engine's bookkeeping cost with
+// zero kernel work to hide it).
+type DispatchBenchEntry struct {
+	Workers   int     `json:"workers"`
+	NsPerTask float64 `json:"ns_per_task"`
+}
+
+// SolverBenchReport is the schema of BENCH_solver.json: the committed
+// single-heap seed baseline next to freshly measured work-stealing numbers,
+// so the scheduler change's effect is visible from the file alone.
+// Regenerate with
+//
+//	go run ./cmd/luqr-bench -sweep-workers BENCH_solver.json
+type SolverBenchReport struct {
+	Schema       int                  `json:"schema"`
+	Go           string               `json:"go"`
+	GoArch       string               `json:"goarch"`
+	N            int                  `json:"n"`
+	NB           int                  `json:"nb"`
+	Grid         string               `json:"grid"`
+	Reps         int                  `json:"reps"`
+	SeedSolver   []SolverBenchEntry   `json:"seed_solver_baseline"`
+	Solver       []SolverBenchEntry   `json:"solver"`
+	SeedDispatch []DispatchBenchEntry `json:"seed_dispatch_baseline"`
+	Dispatch     []DispatchBenchEntry `json:"dispatch"`
+}
+
+// SolverBenchWorkers is the worker sweep of the scaling experiment.
+var SolverBenchWorkers = []int{1, 2, 4, 8, 16}
+
+// Canonical solver-bench configuration. NB=16 on N=768 (48×48 tiles, ~3.5k
+// tasks per run) is deliberately scheduler-bound: at the auto-tuned tile
+// orders the kernels dominate and the engine's dispatch cost is invisible.
+const (
+	solverBenchN  = 768
+	solverBenchNB = 16
+)
+
+// seedSolverBaseline records the worker sweep of the single-heap engine
+// (global mutex + cond.Broadcast on every completion) measured on the
+// reference host — a single-core Intel Xeon @ 2.10GHz, go1.24 — immediately
+// before the work-stealing rewrite, best of 5 reps at the canonical
+// configuration (N=768, nb=16, 2×2 grid, LUQR, RANDOM α=50, FlatTS/Fibonacci,
+// seed 1, tracing off). The single-heap engine had no dispatch counters, so
+// only wall/GFLOP/s are recorded.
+var seedSolverBaseline = []SolverBenchEntry{
+	{Workers: 1, WallSeconds: 0.1926, GFlops: 1.568},
+	{Workers: 2, WallSeconds: 0.1857, GFlops: 1.626},
+	{Workers: 4, WallSeconds: 0.1944, GFlops: 1.554},
+	{Workers: 8, WallSeconds: 0.1784, GFlops: 1.693},
+	{Workers: 16, WallSeconds: 0.2049, GFlops: 1.474},
+}
+
+// seedDispatchBaseline is the same host's single-heap per-task overhead:
+// 200000 no-op tasks, writes round-robin over 64 handles, best of 5.
+var seedDispatchBaseline = []DispatchBenchEntry{
+	{Workers: 1, NsPerTask: 432.1},
+	{Workers: 2, NsPerTask: 473.7},
+	{Workers: 4, NsPerTask: 466.7},
+	{Workers: 8, NsPerTask: 548.2},
+	{Workers: 16, NsPerTask: 474.3},
+}
+
+// dispatchTasks and dispatchHandles replicate the seed baseline's dispatch
+// harness exactly; changing either invalidates the before/after comparison.
+const (
+	dispatchTasks   = 200000
+	dispatchHandles = 64
+)
+
+// measureDispatch floods one engine with no-op writer tasks spread
+// round-robin over a pool of handles (64 independent WAW chains) and returns
+// the mean wall nanoseconds per task, best of reps.
+func measureDispatch(workers, reps int) float64 {
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		e := runtime.NewEngine(runtime.Config{Workers: workers})
+		hs := make([]*runtime.Handle, dispatchHandles)
+		for i := range hs {
+			hs[i] = e.NewHandle("x", 8, 0)
+		}
+		start := time.Now()
+		for i := 0; i < dispatchTasks; i++ {
+			e.Submit(runtime.TaskSpec{Name: "t", Accesses: []runtime.Access{runtime.W(hs[i%dispatchHandles])}})
+		}
+		e.Wait()
+		ns := float64(time.Since(start).Nanoseconds()) / dispatchTasks
+		e.Close()
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// WriteSolverBench runs the worker-scaling sweep (end-to-end hybrid
+// factorizations plus the dispatch microbenchmark) at the canonical
+// scheduler-bound configuration, writes the JSON report (seed baseline +
+// current) to out, and prints a human-readable table to table (which may be
+// nil). reps is the best-of repetition count per point.
+func WriteSolverBench(reps int, out, table io.Writer) error {
+	rep := SolverBenchReport{
+		Schema:       1,
+		Go:           goruntime.Version(),
+		GoArch:       goruntime.GOARCH,
+		N:            solverBenchN,
+		NB:           solverBenchNB,
+		Grid:         "2x2",
+		Reps:         reps,
+		SeedSolver:   seedSolverBaseline,
+		SeedDispatch: seedDispatchBaseline,
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	a := matgen.Random(solverBenchN, rng)
+	b := matgen.RandomVector(solverBenchN, rng)
+
+	if table != nil {
+		fmt.Fprintf(table, "# Worker scaling — N=%d nb=%d grid=%s, LUQR RANDOM(α=50), best of %d\n",
+			solverBenchN, solverBenchNB, rep.Grid, reps)
+		fmt.Fprintf(table, "%-8s  %-10s  %-8s  %-10s  %-10s  %-8s  %-9s  %s\n",
+			"workers", "wall(s)", "GF/s", "lane", "local", "steals", "local%", "vs seed")
+	}
+	for _, w := range SolverBenchWorkers {
+		var best SolverBenchEntry
+		for r := 0; r < reps; r++ {
+			res, err := core.Run(a, b, core.Config{
+				Alg: core.LUQR, NB: solverBenchNB, Grid: tile.NewGrid(2, 2),
+				Criterion: criteria.Random{Alpha: 50}, Seed: 1, Workers: w,
+				IntraTree: tree.FlatTS, InterTree: tree.Fibonacci,
+			})
+			if err != nil {
+				return err
+			}
+			wall := res.Report.WallTime.Seconds()
+			if best.WallSeconds == 0 || wall < best.WallSeconds {
+				c := res.Report.Sched
+				best = SolverBenchEntry{
+					Workers: w, WallSeconds: wall,
+					GFlops:   flops.GFlops(flops.LUTotal(solverBenchN), wall),
+					LaneHits: c.LaneHits, LocalHits: c.LocalHits, Steals: c.Steals,
+					LocalHitRate: c.LocalHitRate(),
+				}
+			}
+		}
+		rep.Solver = append(rep.Solver, best)
+		if table != nil {
+			vs := "-"
+			for _, s := range seedSolverBaseline {
+				if s.Workers == w && best.WallSeconds > 0 {
+					vs = fmt.Sprintf("%+.1f%%", 100*(s.WallSeconds-best.WallSeconds)/s.WallSeconds)
+				}
+			}
+			fmt.Fprintf(table, "%-8d  %-10.4f  %-8.3f  %-10d  %-10d  %-8d  %-9.1f  %s\n",
+				w, best.WallSeconds, best.GFlops, best.LaneHits, best.LocalHits, best.Steals,
+				100*best.LocalHitRate, vs)
+		}
+	}
+
+	if table != nil {
+		fmt.Fprintf(table, "\n# Dispatch overhead — %d no-op tasks over %d WAW chains, best of %d\n",
+			dispatchTasks, dispatchHandles, reps)
+		fmt.Fprintf(table, "%-8s  %-12s  %s\n", "workers", "ns/task", "vs seed")
+	}
+	for _, w := range SolverBenchWorkers {
+		ns := measureDispatch(w, reps)
+		rep.Dispatch = append(rep.Dispatch, DispatchBenchEntry{Workers: w, NsPerTask: ns})
+		if table != nil {
+			vs := "-"
+			for _, s := range seedDispatchBaseline {
+				if s.Workers == w && ns > 0 {
+					vs = fmt.Sprintf("%+.1f%%", 100*(s.NsPerTask-ns)/s.NsPerTask)
+				}
+			}
+			fmt.Fprintf(table, "%-8d  %-12.1f  %s\n", w, ns, vs)
+		}
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -71,6 +71,7 @@ func WriteChromeTrace(w io.Writer, trace []*TraceTask) error {
 			Args: map[string]any{
 				"id": t.ID, "kernel": t.Kernel, "node": t.Node,
 				"flops": t.Flops, "priority": t.Priority,
+				"dispatch": t.Dispatch.String(),
 			},
 		})
 		// One flow arrow per cross-node message: bind each Recv to the

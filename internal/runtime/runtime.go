@@ -4,8 +4,18 @@
 // Tasks declare the data handles they read and write; the engine derives the
 // read-after-write, write-after-read and write-after-write dependencies
 // automatically from the submission order, exactly as a sequential-task-flow
-// runtime does, and executes ready tasks on a pool of workers with
-// priority-ordered scheduling.
+// runtime does, and executes ready tasks on a pool of workers.
+//
+// Scheduling is work-stealing and locality-aware. Each worker owns a deque
+// of ready tasks (LIFO for the owner, FIFO for thieves); a shared priority
+// lane, polled before the deques, carries the panel-path tasks whose
+// progress bounds the whole factorization (the lookahead pipeline of §IV);
+// and a newly ready task is pushed to the deque of the worker that produced
+// the previous version of the tile it will write, so a tile's update chain
+// stays in one worker's cache. Workers park individually and are woken one
+// at a time, targeted at the worker whose deque just received work — there
+// is no global ready-heap, no engine-wide dispatch lock, and no broadcast
+// wakeup storm on task completion.
 //
 // The paper extends PaRSEC's static parameterized task graphs with dynamic
 // selection tasks (Backup Panel / Propagate, Fig. 1) so the LU and QR
@@ -13,9 +23,10 @@
 // same pattern through dynamic unfolding: a task's Then callback runs after
 // its kernel and may submit further tasks — the hybrid algorithm's decision
 // task evaluates the robustness criterion there and materializes either the
-// LU or the QR subgraph of the step. Because submission order is
-// deterministic, the task graph and every numerical result are independent
-// of the number of workers and of scheduling; only timing varies.
+// LU or the QR subgraph of the step. Submission (and with it dependency
+// derivation) stays serialized under one mutex, so the task graph and every
+// numerical result are independent of the number of workers and of
+// scheduling; only timing and the dispatch route of each task vary.
 //
 // For the distributed-memory reproduction the engine also performs
 // owner-computes accounting: each task carries the rank of the node it would
@@ -29,8 +40,19 @@ import (
 	"container/heap"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// LanePriority is the threshold of the shared priority lane: a task
+// submitted with Priority ≥ LanePriority is dispatched from a single
+// priority-ordered queue that every worker polls before its own deque, so
+// such tasks always outrun deque work regardless of which worker's deque
+// the deque work sits in. The solver maps its panel path (backup, trial
+// factorization, decision, restore, eliminations) above this threshold and
+// its trailing updates below it. Tasks below the threshold obey deque
+// order (local LIFO, steal FIFO), not priority order.
+const LanePriority = 1 << 26
 
 // Handle identifies one datum (typically a tile) tracked by the engine.
 type Handle struct {
@@ -38,7 +60,8 @@ type Handle struct {
 	name  string
 	bytes int
 
-	// Dependency state, guarded by the engine mutex.
+	// Dependency state, guarded by the engine mutex (only Submit touches
+	// it, and Submit is serialized).
 	lastWriter *task
 	readers    []*task
 	writerNode int // node holding the current version (−1: home)
@@ -82,6 +105,33 @@ type Message struct {
 	Bytes    int
 }
 
+// DispatchKind records how the executing worker obtained a task.
+type DispatchKind uint8
+
+const (
+	// DispatchLane: popped from the shared priority lane (panel path and
+	// ready-at-submit injections).
+	DispatchLane DispatchKind = iota
+	// DispatchLocal: popped from the worker's own deque (the locality hit —
+	// the task's input tiles were produced by this worker).
+	DispatchLocal
+	// DispatchSteal: stolen FIFO from another worker's deque.
+	DispatchSteal
+)
+
+// String names the dispatch route for traces and tables.
+func (d DispatchKind) String() string {
+	switch d {
+	case DispatchLane:
+		return "lane"
+	case DispatchLocal:
+		return "local"
+	case DispatchSteal:
+		return "steal"
+	}
+	return "?"
+}
+
 // TraceTask is the execution-trace record of one task, consumed by the
 // discrete-event simulator.
 type TraceTask struct {
@@ -110,8 +160,12 @@ type TraceTask struct {
 	EndNS   int64
 	// Worker is the ID (0-based) of the worker that executed the task.
 	Worker int
-	// QueueDepth is the number of ready tasks left in the queue at the
-	// moment this task was dispatched — a sample of scheduler pressure.
+	// Dispatch is the route the task took to its worker: the shared
+	// priority lane, the worker's own deque (a locality hit), or a steal.
+	Dispatch DispatchKind
+	// QueueDepth is the number of ready tasks left across the priority lane
+	// and all worker deques at the moment this task was dispatched — a
+	// sample of scheduler pressure.
 	QueueDepth int
 }
 
@@ -126,7 +180,7 @@ type TaskSpec struct {
 	Kernel   string  // kernel family, e.g. "GEMM" (for the trace)
 	Node     int     // owner-computes placement rank
 	Flops    float64 // operation count (for the trace / simulator)
-	Priority int     // higher runs earlier among ready tasks
+	Priority int     // ≥ LanePriority: shared priority lane; below: deques
 	Accesses []Access
 	// ExtraComm declares internal synchronous communication phases (see
 	// TraceTask.ExtraComm); only meaningful when tracing.
@@ -139,39 +193,217 @@ type TaskSpec struct {
 }
 
 type task struct {
-	id      int
-	spec    TaskSpec
-	nDeps   int // unresolved dependency count
-	succs   []*task
-	done    bool
-	trace   *TraceTask
-	heapIdx int
-	seq     int
+	id   int
+	spec TaskSpec
+
+	// nDeps is the count of unresolved dependencies plus one submission
+	// guard. The guard (taken at creation, dropped at the end of Submit)
+	// keeps a concurrently completing predecessor from seeing a transient
+	// zero while Submit is still attaching the remaining edges; whoever
+	// drops the count to zero — the final predecessor or Submit itself —
+	// releases the task.
+	nDeps atomic.Int32
+
+	// mu guards done and succs: Submit attaches successor edges while
+	// worker-side completion detaches the list, and the two race once
+	// dispatch no longer funnels through the engine mutex. doneA mirrors
+	// done, set after it under mu: a Submit that reads doneA == true may
+	// skip the lock entirely (the edge is trivially satisfied), which is
+	// the common case for dynamically unfolded subgraphs whose
+	// predecessors ran long before submission.
+	mu    sync.Mutex
+	done  bool
+	doneA atomic.Bool
+	succs []*task
+
+	// affinity is the submission-time last writer of the task's first
+	// written handle — the producer of the previous version of the tile
+	// this task will overwrite. When the task becomes ready it is pushed to
+	// that producer's deque (see release), so a tile's TRSM→GEMM→GEMM
+	// version chain stays in the cache of one worker. Nil when the task
+	// writes nothing or writes a fresh handle.
+	affinity *task
+	// execWorker is the worker that dispatched the task, recorded before
+	// Run. Readers (successor releases) are ordered after this task's
+	// completion, so the plain write is safe.
+	execWorker int32
+
+	trace *TraceTask
+}
+
+// worker is the per-worker scheduler state. The counters are written only by
+// the owning worker (or, for remoteReleases, by the releasing worker into
+// its own struct) but read by SchedCounters at any time, hence atomic.
+type worker struct {
+	dq deque
+	// wake carries at most one parking token: a waker pops the worker from
+	// the idle set and sends here; the worker consumes exactly one token
+	// per removal it did not perform itself.
+	wake chan struct{}
+
+	laneHits       atomic.Int64 // dispatches from the shared priority lane
+	localHits      atomic.Int64 // dispatches from the own deque
+	steals         atomic.Int64 // dispatches stolen from another deque
+	remoteReleases atomic.Int64 // successors pushed to another worker's deque
+	parks          atomic.Int64 // times this worker went to sleep
+}
+
+// lane is the shared priority queue for panel-path tasks and ready-at-submit
+// injections. The atomic length counter keeps the common dispatch path (lane
+// empty) down to one load, with no lock traffic.
+type lane struct {
+	mu sync.Mutex
+	q  laneHeap
+	n  atomic.Int64
+}
+
+func (l *lane) push(t *task) {
+	l.mu.Lock()
+	heap.Push(&l.q, t)
+	l.n.Add(1)
+	l.mu.Unlock()
+}
+
+func (l *lane) tryPop() *task {
+	if l.n.Load() == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	if len(l.q) == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	t := heap.Pop(&l.q).(*task)
+	l.n.Add(-1)
+	l.mu.Unlock()
+	return t
+}
+
+// laneHeap is a max-heap on (Priority, −id): higher priority first, FIFO in
+// submission order among equals.
+type laneHeap []*task
+
+func (q laneHeap) Len() int { return len(q) }
+func (q laneHeap) Less(i, j int) bool {
+	if q[i].spec.Priority != q[j].spec.Priority {
+		return q[i].spec.Priority > q[j].spec.Priority
+	}
+	return q[i].id < q[j].id
+}
+func (q laneHeap) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *laneHeap) Push(x any)   { *q = append(*q, x.(*task)) }
+func (q *laneHeap) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}
+
+// idleSet tracks parked workers as a stack: wakers pop the most recently
+// parked worker (warmest stack), or a specifically preferred one when the
+// work they just pushed has cache affinity for it.
+type idleSet struct {
+	mu  sync.Mutex
+	n   atomic.Int64
+	ids []int // preallocated to the worker count: parking never allocates
+}
+
+func (s *idleSet) push(id int) {
+	s.mu.Lock()
+	s.ids = append(s.ids, id)
+	s.n.Add(1)
+	s.mu.Unlock()
+}
+
+// remove takes id out of the set; it reports false when a waker already
+// popped it (in which case a wake token is in flight for it).
+func (s *idleSet) remove(id int) bool {
+	s.mu.Lock()
+	for i, v := range s.ids {
+		if v == id {
+			s.ids[i] = s.ids[len(s.ids)-1]
+			s.ids = s.ids[:len(s.ids)-1]
+			s.n.Add(-1)
+			s.mu.Unlock()
+			return true
+		}
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// pop removes and returns a parked worker: prefer if it is parked, the most
+// recently parked otherwise. The fast path (nobody parked) is one atomic
+// load.
+func (s *idleSet) pop(prefer int) (int, bool) {
+	if s.n.Load() == 0 {
+		return 0, false
+	}
+	s.mu.Lock()
+	if len(s.ids) == 0 {
+		s.mu.Unlock()
+		return 0, false
+	}
+	at := len(s.ids) - 1
+	if prefer >= 0 {
+		for i, v := range s.ids {
+			if v == prefer {
+				at = i
+				break
+			}
+		}
+	}
+	id := s.ids[at]
+	s.ids[at] = s.ids[len(s.ids)-1]
+	s.ids = s.ids[:len(s.ids)-1]
+	s.n.Add(-1)
+	s.mu.Unlock()
+	return id, true
 }
 
 // Engine executes a dynamically unfolding task graph.
 type Engine struct {
+	// mu serializes Submit and NewHandle: handle dependency state, task and
+	// handle ids, and the trace log. Dispatch, execution, completion and
+	// successor release never take it.
 	mu      sync.Mutex
-	cond    *sync.Cond
-	ready   readyQueue
-	pending int // submitted but not finished
 	nextID  int // task ids, in submission order
 	nextHdl int // handle ids
-	closed  bool
-	workers int
-	trace   []*TraceTask
-	tracing bool
-	start   time.Time // timestamp origin for BeginNS/EndNS
+	trace     []*TraceTask
+	tracing   bool
+	ownerLIFO bool
 	// depScratch is the per-Submit predecessor dedup set, reused across
 	// submissions (guarded by mu) so edge dedup costs no allocation.
 	depScratch []*task
-	wg         sync.WaitGroup
+
+	lane lane
+	ws   []*worker
+	idle idleSet
+
+	pending  atomic.Int64 // submitted but not finished
+	closed   atomic.Bool
+	waitMu   sync.Mutex
+	waitCond *sync.Cond
+
+	start time.Time // timestamp origin for BeginNS/EndNS
+	wg    sync.WaitGroup
 }
 
 // Config configures a new engine.
 type Config struct {
 	Workers int  // number of worker goroutines (≥ 1)
 	Trace   bool // record a TraceTask per task
+
+	// OwnerLIFO makes each worker pop its own deque newest-first (the
+	// classic Chase–Lev owner end) instead of the default oldest-first.
+	// LIFO maximizes producer→consumer cache reuse on short chains, but on
+	// the factorization DAG it strands early-step updates under newer
+	// pushes, and the panel of step k+1 then stalls on a buried column
+	// update; oldest-first drains the wavefront in pipeline order and
+	// measures faster end-to-end (see EXPERIMENTS.md, worker scaling).
+	OwnerLIFO bool
 }
 
 // NewEngine starts an engine with the given number of workers. Callers must
@@ -180,8 +412,15 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.Workers < 1 {
 		panic(fmt.Sprintf("runtime: need at least one worker, got %d", cfg.Workers))
 	}
-	e := &Engine{workers: cfg.Workers, tracing: cfg.Trace, start: time.Now()}
-	e.cond = sync.NewCond(&e.mu)
+	e := &Engine{tracing: cfg.Trace, ownerLIFO: cfg.OwnerLIFO, start: time.Now()}
+	e.waitCond = sync.NewCond(&e.waitMu)
+	e.lane.q = make(laneHeap, 0, dequeInitCap)
+	e.idle.ids = make([]int, 0, cfg.Workers)
+	e.ws = make([]*worker, cfg.Workers)
+	for i := range e.ws {
+		e.ws[i] = &worker{wake: make(chan struct{}, 1)}
+		e.ws[i].dq.init()
+	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker(i)
@@ -190,7 +429,7 @@ func NewEngine(cfg Config) *Engine {
 }
 
 // Workers returns the size of the worker pool.
-func (e *Engine) Workers() int { return e.workers }
+func (e *Engine) Workers() int { return len(e.ws) }
 
 // sinceStart returns nanoseconds since the engine started (monotonic).
 func (e *Engine) sinceStart() int64 { return int64(time.Since(e.start)) }
@@ -209,12 +448,13 @@ func (e *Engine) NewHandle(name string, bytes, home int) *Handle {
 func (e *Engine) Submit(spec TaskSpec) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		panic("runtime: Submit after Close")
 	}
-	t := &task{id: e.nextID, spec: spec, seq: e.nextID}
+	t := &task{id: e.nextID, spec: spec}
+	t.nDeps.Store(1) // submission guard, dropped at the end of Submit
 	e.nextID++
-	e.pending++
+	e.pending.Add(1)
 
 	var tr *TraceTask
 	if e.tracing {
@@ -248,17 +488,32 @@ func (e *Engine) Submit(spec TaskSpec) {
 		if tr != nil {
 			tr.Deps = append(tr.Deps, p.id)
 		}
-		if p.done {
+		// Lock-free fast path: a predecessor observed done can never gain
+		// the edge back, so the dependency is trivially satisfied.
+		if p.doneA.Load() {
 			return
 		}
-		p.succs = append(p.succs, t)
-		t.nDeps++
+		// The predecessor may be completing on a worker right now; its mu
+		// arbitrates between "edge attached before completion" (the
+		// completer will decrement) and "already done" (no edge, the
+		// dependency is trivially satisfied).
+		p.mu.Lock()
+		if !p.done {
+			p.succs = append(p.succs, t)
+			t.nDeps.Add(1)
+		}
+		p.mu.Unlock()
 	}
 
 	for ai, a := range spec.Accesses {
 		h := a.H
 		// RAW (and WAW for writes): depend on the last writer.
 		dep(h.lastWriter)
+		if a.Write && t.affinity == nil && h.lastWriter != t {
+			// Cache-affinity hint: the producer of the previous version of
+			// the first tile this task overwrites (see task.affinity).
+			t.affinity = h.lastWriter
+		}
 		// Record data movement for this version once per destination. The
 		// duplicate-handle dedup scans the access-list prefix instead of
 		// keeping a per-Submit map: access lists are short, and the scan
@@ -306,9 +561,14 @@ func (e *Engine) Submit(spec TaskSpec) {
 		}
 	}
 
-	if t.nDeps == 0 {
-		heap.Push(&e.ready, t)
-		e.cond.Broadcast()
+	// Drop the submission guard. A task ready at submit is injected into
+	// the shared lane regardless of priority — the submitter is not a
+	// worker (or is a worker unfolding a new subgraph), so there is no
+	// meaningful deque to push to, and lane injection preserves
+	// priority-then-submission order among simultaneously ready roots.
+	if t.nDeps.Add(-1) == 0 {
+		e.lane.push(t)
+		e.wake(-1)
 	}
 }
 
@@ -324,70 +584,234 @@ func accessSeen(accs []Access, idx int) bool {
 	return false
 }
 
+// wake unparks one worker, preferring the given id (the worker whose deque
+// just received work), if anyone is parked. The no-sleeper fast path is a
+// single atomic load.
+func (e *Engine) wake(prefer int) {
+	if id, ok := e.idle.pop(prefer); ok {
+		select {
+		case e.ws[id].wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// wakeID unparks worker id specifically, reporting false when it is not
+// parked (no token is sent; the worker is running and will reach its own
+// deque on its next poll).
+func (e *Engine) wakeID(id int) bool {
+	if e.idle.n.Load() == 0 || !e.idle.remove(id) {
+		return false
+	}
+	select {
+	case e.ws[id].wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// release routes a newly ready task to its queue and wakes a worker to run
+// it. byWorker is the worker whose task completion performed the release
+// (ready-at-submit tasks take the lane-injection path in Submit instead).
+func (e *Engine) release(s *task, byWorker int) {
+	if s.spec.Priority >= LanePriority {
+		e.lane.push(s)
+		e.wake(-1)
+		return
+	}
+	// Locality-aware placement: prefer the deque of the worker that
+	// produced the previous version of the tile this task writes — the
+	// worker whose cache holds the task's write target — falling back to
+	// the releasing worker (which just wrote one of the task's inputs).
+	target := byWorker
+	if s.affinity != nil {
+		// The affinity predecessor necessarily completed before s became
+		// ready, so its execWorker is set and stable.
+		target = int(s.affinity.execWorker)
+	}
+	e.ws[target].dq.push(s)
+	if target != byWorker {
+		e.ws[byWorker].remoteReleases.Add(1)
+		// Wake the target itself if it is parked; a busy target will drain
+		// its own deque, and waking some other sleeper would just steal the
+		// task straight off the cache it was placed for. Summon a thief
+		// only when the target has more queued than it can start next.
+		if !e.wakeID(target) && e.ws[target].dq.n.Load() > 1 {
+			e.wake(-1)
+		}
+		return
+	}
+	// Pushed onto our own deque: we will pop it ourselves shortly, so only
+	// summon help when there is surplus beyond that — waking a thief for a
+	// single-task deque would just migrate the chain off its cache.
+	if e.ws[byWorker].dq.n.Load() > 1 {
+		e.wake(-1)
+	}
+}
+
+// poll finds the next task for worker id: the shared priority lane first
+// (the panel path must outrun everything), then the worker's own deque
+// (oldest-first by default — wavefront order; newest-first under
+// Config.OwnerLIFO), then a FIFO steal sweep over the other deques in ring
+// order. Thieves always take the oldest end, leaving the recent
+// affinity-placed chain tasks at the tail for the owner.
+func (e *Engine) poll(id int) (*task, DispatchKind) {
+	if t := e.lane.tryPop(); t != nil {
+		return t, DispatchLane
+	}
+	if e.ownerLIFO {
+		if t := e.ws[id].dq.popTail(); t != nil {
+			return t, DispatchLocal
+		}
+	} else if t := e.ws[id].dq.popHead(); t != nil {
+		return t, DispatchLocal
+	}
+	nw := len(e.ws)
+	for i := 1; i < nw; i++ {
+		v := e.ws[(id+i)%nw]
+		if t := v.dq.popHead(); t != nil {
+			return t, DispatchSteal
+		}
+	}
+	return nil, 0
+}
+
+// workAvailable reports whether any queue holds a ready task — the parking
+// re-check that closes the race between a failed poll and idle registration.
+func (e *Engine) workAvailable() bool {
+	if e.lane.n.Load() > 0 {
+		return true
+	}
+	for _, w := range e.ws {
+		if w.dq.n.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// park blocks worker id until a waker hands it a token or work shows up.
+func (e *Engine) park(id int) {
+	w := e.ws[id]
+	// Drain a stale token (Close broadcasts unconditionally) so the
+	// at-most-one-token invariant holds for this parking cycle.
+	select {
+	case <-w.wake:
+	default:
+	}
+	e.idle.push(id)
+	// Re-check after registering: a producer that pushed work before we
+	// appeared in the idle set could not have woken us; its push is visible
+	// to us now (idle set and queue counters synchronize through their
+	// locks), so one of the two sides always acts.
+	if e.workAvailable() || e.closed.Load() {
+		if !e.idle.remove(id) {
+			// A waker claimed us concurrently; consume its token.
+			<-w.wake
+		}
+		return
+	}
+	w.parks.Add(1)
+	<-w.wake
+}
+
 func (e *Engine) worker(id int) {
 	defer e.wg.Done()
-	e.mu.Lock()
 	for {
-		for e.ready.Len() == 0 && !e.closed {
-			e.cond.Wait()
-		}
-		if e.closed && e.ready.Len() == 0 {
-			e.mu.Unlock()
-			return
-		}
-		t := heap.Pop(&e.ready).(*task)
-		if t.trace != nil {
-			// All measurement writes go into the TraceTask preallocated at
-			// Submit; with tracing off this is a single nil check, so the
-			// execution hot path stays allocation- and instrumentation-free.
-			t.trace.Worker = id
-			t.trace.QueueDepth = e.ready.Len()
-		}
-		e.mu.Unlock()
-
-		if t.trace != nil {
-			t.trace.BeginNS = e.sinceStart()
-		}
-		if t.spec.Run != nil {
-			t.spec.Run()
-		}
-		if t.spec.Then != nil {
-			t.spec.Then(e)
-		}
-		if t.trace != nil {
-			t.trace.EndNS = e.sinceStart()
-		}
-
-		e.mu.Lock()
-		t.done = true
-		for _, s := range t.succs {
-			s.nDeps--
-			if s.nDeps == 0 {
-				heap.Push(&e.ready, s)
+		t, src := e.poll(id)
+		if t == nil {
+			if e.closed.Load() {
+				return
 			}
+			e.park(id)
+			continue
 		}
-		e.pending--
-		e.cond.Broadcast()
+		e.execute(t, id, src)
+	}
+}
+
+// queuedLen samples the total number of ready tasks across the lane and all
+// deques (trace-only bookkeeping).
+func (e *Engine) queuedLen() int {
+	n := int(e.lane.n.Load())
+	for _, w := range e.ws {
+		n += int(w.dq.n.Load())
+	}
+	return n
+}
+
+// execute runs one dispatched task and completes it.
+func (e *Engine) execute(t *task, id int, src DispatchKind) {
+	w := e.ws[id]
+	t.execWorker = int32(id)
+	switch src {
+	case DispatchLane:
+		w.laneHits.Add(1)
+	case DispatchLocal:
+		w.localHits.Add(1)
+	case DispatchSteal:
+		w.steals.Add(1)
+	}
+	if t.trace != nil {
+		// All measurement writes go into the TraceTask preallocated at
+		// Submit; with tracing off this is a single nil check, so the
+		// execution hot path stays allocation- and instrumentation-free.
+		t.trace.Worker = id
+		t.trace.Dispatch = src
+		t.trace.QueueDepth = e.queuedLen()
+		t.trace.BeginNS = e.sinceStart()
+	}
+	if t.spec.Run != nil {
+		t.spec.Run()
+	}
+	if t.spec.Then != nil {
+		t.spec.Then(e)
+	}
+	if t.trace != nil {
+		t.trace.EndNS = e.sinceStart()
+	}
+
+	// Completion: close the task against new successor edges, then release
+	// every successor whose last unresolved dependency this was. None of
+	// this touches the engine mutex.
+	t.mu.Lock()
+	t.done = true
+	t.doneA.Store(true)
+	succs := t.succs
+	t.succs = nil
+	t.mu.Unlock()
+	for _, s := range succs {
+		if s.nDeps.Add(-1) == 0 {
+			e.release(s, id)
+		}
+	}
+	if e.pending.Add(-1) == 0 {
+		e.waitMu.Lock()
+		e.waitCond.Broadcast()
+		e.waitMu.Unlock()
 	}
 }
 
 // Wait blocks until every submitted task (including tasks submitted from
 // Then callbacks) has finished.
 func (e *Engine) Wait() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for e.pending > 0 {
-		e.cond.Wait()
+	e.waitMu.Lock()
+	defer e.waitMu.Unlock()
+	for e.pending.Load() > 0 {
+		e.waitCond.Wait()
 	}
 }
 
 // Close shuts the workers down. Pending tasks are drained first.
 func (e *Engine) Close() {
 	e.Wait()
-	e.mu.Lock()
-	e.closed = true
-	e.cond.Broadcast()
-	e.mu.Unlock()
+	e.closed.Store(true)
+	for _, w := range e.ws {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
 	e.wg.Wait()
 }
 
@@ -401,32 +825,47 @@ func (e *Engine) Trace() []*TraceTask {
 	return out
 }
 
-// readyQueue is a max-heap on (Priority, −seq): higher priority first, FIFO
-// among equals.
-type readyQueue []*task
+// SchedCounters aggregates the scheduler's dispatch accounting: how tasks
+// reached their workers and how the pool slept. Valid at any time; the
+// counts are exact once Wait has returned.
+type SchedCounters struct {
+	// LaneHits, LocalHits and Steals partition the dispatches: shared
+	// priority lane, own-deque pop, and steal respectively.
+	LaneHits  int64
+	LocalHits int64
+	Steals    int64
+	// RemoteReleases counts successors pushed to another worker's deque
+	// because their written tile's previous version lives in that worker's
+	// cache (the locality heuristic crossing workers).
+	RemoteReleases int64
+	// Parks counts worker sleep transitions — under the old single-heap
+	// engine every completion broadcast-woke the whole pool; here wakeups
+	// are targeted, so parks roughly track genuine idle periods.
+	Parks int64
+}
 
-func (q readyQueue) Len() int { return len(q) }
-func (q readyQueue) Less(i, j int) bool {
-	if q[i].spec.Priority != q[j].spec.Priority {
-		return q[i].spec.Priority > q[j].spec.Priority
+// Dispatches returns the total number of task dispatches.
+func (c SchedCounters) Dispatches() int64 { return c.LaneHits + c.LocalHits + c.Steals }
+
+// LocalHitRate returns the fraction of deque-path dispatches (everything
+// below LanePriority) that the owning worker served from its own deque —
+// the locality heuristic's hit rate.
+func (c SchedCounters) LocalHitRate() float64 {
+	if c.LocalHits+c.Steals == 0 {
+		return 0
 	}
-	return q[i].seq < q[j].seq
+	return float64(c.LocalHits) / float64(c.LocalHits+c.Steals)
 }
-func (q readyQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].heapIdx = i
-	q[j].heapIdx = j
-}
-func (q *readyQueue) Push(x any) {
-	t := x.(*task)
-	t.heapIdx = len(*q)
-	*q = append(*q, t)
-}
-func (q *readyQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return t
+
+// SchedCounters sums the per-worker scheduler counters.
+func (e *Engine) SchedCounters() SchedCounters {
+	var c SchedCounters
+	for _, w := range e.ws {
+		c.LaneHits += w.laneHits.Load()
+		c.LocalHits += w.localHits.Load()
+		c.Steals += w.steals.Load()
+		c.RemoteReleases += w.remoteReleases.Load()
+		c.Parks += w.parks.Load()
+	}
+	return c
 }

@@ -171,7 +171,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		return vals
 	}
 	want := run(1)
-	for _, w := range []int{2, 4, 8} {
+	for _, w := range []int{2, 4, 8, 16} {
 		got := run(w)
 		for i := range want {
 			if got[i] != want[i] {
@@ -182,13 +182,14 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestPriorityOrderWhenSerialized(t *testing.T) {
-	// With one worker and all tasks ready, higher priority must run first.
+	// With one worker and all tasks ready, lane tasks (Priority ≥
+	// LanePriority) must run in priority order, before any deque task.
 	e := NewEngine(Config{Workers: 1})
 	defer e.Close()
 	var mu sync.Mutex
 	var order []string
 	gate := e.NewHandle("gate", 8, 0)
-	// Block the single worker so the queue can fill up.
+	// Block the single worker so the queues can fill up.
 	release := make(chan struct{})
 	e.Submit(TaskSpec{Name: "gate", Accesses: []Access{W(gate)}, Run: func() { <-release }})
 	add := func(name string, prio int) {
@@ -198,13 +199,44 @@ func TestPriorityOrderWhenSerialized(t *testing.T) {
 			mu.Unlock()
 		}})
 	}
-	add("low", 0)
-	add("high", 10)
-	add("mid", 5)
+	add("low", 0) // below LanePriority: rides the worker deque
+	add("high", LanePriority+10)
+	add("mid", LanePriority+5)
 	close(release)
 	e.Wait()
 	if len(order) != 3 || order[0] != "high" || order[1] != "mid" || order[2] != "low" {
 		t.Fatalf("priority order %v", order)
+	}
+}
+
+func TestLanePriorityOrderAtSubmit(t *testing.T) {
+	// Ready-at-submit tasks are injected into the shared lane regardless of
+	// priority, so a burst of independent roots still runs highest-first
+	// when serialized on one worker.
+	e := NewEngine(Config{Workers: 1})
+	defer e.Close()
+	gate := e.NewHandle("gate", 8, 0)
+	release := make(chan struct{})
+	e.Submit(TaskSpec{Name: "gate", Accesses: []Access{W(gate)}, Run: func() { <-release }})
+	var mu sync.Mutex
+	var order []int
+	for _, prio := range []int{3, 9, 1, 7} {
+		prio := prio
+		// Independent tasks (no accesses) are ready at submit; the gate task
+		// keeps the worker busy while they pile up in the lane.
+		e.Submit(TaskSpec{Name: "root", Priority: prio, Run: func() {
+			mu.Lock()
+			order = append(order, prio)
+			mu.Unlock()
+		}})
+	}
+	close(release)
+	e.Wait()
+	want := []int{9, 7, 3, 1}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("lane order %v, want %v", order, want)
+		}
 	}
 }
 

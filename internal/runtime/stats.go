@@ -44,6 +44,22 @@ type Stats struct {
 	// sampled at every task dispatch.
 	QueueDepthMean float64
 	QueueDepthMax  int
+	// LaneHits, LocalHits and Steals partition the dispatches by route:
+	// shared priority lane, the executing worker's own deque, or a steal
+	// from another worker's deque.
+	LaneHits  int
+	LocalHits int
+	Steals    int
+}
+
+// LocalHitRate returns the fraction of deque-path dispatches the executing
+// worker served from its own deque — how often the locality-aware release
+// kept a task's tile chain on the worker that produced it.
+func (s *Stats) LocalHitRate() float64 {
+	if s.LocalHits+s.Steals == 0 {
+		return 0
+	}
+	return float64(s.LocalHits) / float64(s.LocalHits+s.Steals)
 }
 
 // Stats aggregates the engine's recorded trace. Only valid after Wait, and
@@ -77,6 +93,14 @@ func ComputeStats(trace []*TraceTask) *Stats {
 		depthSum += t.QueueDepth
 		if t.QueueDepth > s.QueueDepthMax {
 			s.QueueDepthMax = t.QueueDepth
+		}
+		switch t.Dispatch {
+		case DispatchLane:
+			s.LaneHits++
+		case DispatchLocal:
+			s.LocalHits++
+		case DispatchSteal:
+			s.Steals++
 		}
 
 		d := t.Duration()
@@ -189,4 +213,6 @@ func (s *Stats) WriteTable(w io.Writer) {
 		s.Tasks, s.Workers, s.Span.Round(time.Microsecond), total.Round(time.Microsecond),
 		100*s.Utilization(), s.CriticalPath.Round(time.Microsecond))
 	fmt.Fprintf(w, "ready-queue depth: mean %.1f, max %d\n", s.QueueDepthMean, s.QueueDepthMax)
+	fmt.Fprintf(w, "dispatch: lane %d, local %d, stolen %d (local-hit rate %.1f%%)\n",
+		s.LaneHits, s.LocalHits, s.Steals, 100*s.LocalHitRate())
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"luqr/internal/core"
+	"luqr/internal/criteria"
+	"luqr/internal/matgen"
+	"luqr/internal/runtime"
+	"luqr/internal/tile"
+	"luqr/internal/tree"
+)
+
+func main() {
+	mode := flag.String("mode", "solver", "solver or dispatch")
+	workers := flag.Int("workers", 8, "")
+	reps := flag.Int("reps", 3, "")
+	flag.Parse()
+	if *mode == "dispatch" {
+		best := 0.0
+		for r := 0; r < *reps; r++ {
+			e := runtime.NewEngine(runtime.Config{Workers: *workers})
+			hs := make([]*runtime.Handle, 64)
+			for i := range hs {
+				hs[i] = e.NewHandle("x", 8, 0)
+			}
+			start := time.Now()
+			for i := 0; i < 200000; i++ {
+				e.Submit(runtime.TaskSpec{Name: "t", Accesses: []runtime.Access{runtime.W(hs[i%64])}})
+			}
+			e.Wait()
+			ns := float64(time.Since(start).Nanoseconds()) / 200000
+			e.Close()
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		fmt.Printf("%.1f\n", best)
+		return
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := matgen.Random(768, rng)
+	b := matgen.RandomVector(768, rng)
+	best := 999.0
+	for r := 0; r < *reps; r++ {
+		res, err := core.Run(a, b, core.Config{
+			Alg: core.LUQR, NB: 16, Grid: tile.NewGrid(2, 2),
+			Criterion: criteria.Random{Alpha: 50}, Seed: 1, Workers: *workers,
+			IntraTree: tree.FlatTS, InterTree: tree.Fibonacci,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if w := res.Report.WallTime.Seconds(); w < best {
+			best = w
+		}
+	}
+	fmt.Printf("%.4f\n", best)
+}
