@@ -1,8 +1,9 @@
 GO ?= go
 
 # tier1 is the gate every change must keep green: vet, full build, full test
-# suite, and the race detector over the concurrent packages (the dataflow
-# engine and the solver core that runs on it).
+# suite (which includes the docs lint in docs_test.go), and the race detector
+# over the concurrent packages (the dataflow engine, the solver core that
+# runs on it, and the service layer in front of both).
 .PHONY: tier1
 tier1: vet build test race
 
@@ -20,7 +21,20 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/core/...
+	$(GO) test -race ./internal/runtime/... ./internal/core/... ./internal/service/...
+
+# docs-lint runs the documentation checks on their own: no PLACEHOLDER
+# markers in tracked *.md/*.json, no broken relative links in the curated
+# doc set. `make test` runs these too (they live in docs_test.go).
+.PHONY: docs-lint
+docs-lint:
+	$(GO) test -run 'TestDocs' .
+
+# service-smoke builds luqr-serve, drives the job + cached-solve + graceful
+# shutdown path over real HTTP, and checks /metrics agrees.
+.PHONY: service-smoke
+service-smoke:
+	./scripts/service_smoke.sh
 
 # bench regenerates the benchmark suite output (Tables/Figures as testing.B).
 .PHONY: bench

@@ -23,6 +23,11 @@
 //	                                    timeline as Chrome trace-event JSON (open in
 //	                                    chrome://tracing or Perfetto) and print the
 //	                                    measured per-kernel stats table
+//	luqr-bench -load http://host:8090   drive a running luqr-serve with a mixed
+//	                                    solve/submit/status workload and report
+//	                                    per-operation latency percentiles
+//	                                    (-load-clients, -load-requests, -load-n,
+//	                                    -load-nb, -load-matrices)
 //
 // Default sizes run in minutes on a laptop; pass -n/-nb (e.g. -n 20000
 // -nb 240) for the paper-scale experiment.
@@ -36,6 +41,7 @@ import (
 
 	"luqr/internal/experiments"
 	"luqr/internal/matgen"
+	"luqr/internal/service"
 	"luqr/internal/tile"
 )
 
@@ -52,8 +58,30 @@ func main() {
 		jsonOut      = flag.String("json", "", "write per-kernel GFLOP/s and ns/op as JSON to this path (e.g. BENCH_kernels.json) and exit")
 		sweepWorkers = flag.String("sweep-workers", "", "run the worker-scaling scheduler sweep, write JSON to this path (e.g. BENCH_solver.json), print the table, and exit")
 		timeline     = flag.String("timeline", "", "run one hybrid factorization, write its Chrome trace-event timeline to this path, print the per-kernel stats table, and exit")
+		loadURL      = flag.String("load", "", "drive a running luqr-serve at this base URL with a mixed workload, print latency percentiles, and exit")
+		loadClients  = flag.Int("load-clients", 4, "concurrent load-generator clients (with -load)")
+		loadRequests = flag.Int("load-requests", 64, "total load-generator requests (with -load)")
+		loadN        = flag.Int("load-n", 480, "matrix order of generated load (with -load)")
+		loadNB       = flag.Int("load-nb", 40, "tile order of generated load (with -load)")
+		loadMatrices = flag.Int("load-matrices", 4, "distinct operators cycled by the load generator; controls the attainable cache hit rate (with -load)")
 	)
 	flag.Parse()
+
+	if *loadURL != "" {
+		if _, err := service.RunLoad(service.LoadOptions{
+			URL:      *loadURL,
+			Clients:  *loadClients,
+			Requests: *loadRequests,
+			N:        *loadN,
+			NB:       *loadNB,
+			Matrices: *loadMatrices,
+			Seed:     *seed,
+		}, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *timeline != "" {
 		o := experiments.Options{

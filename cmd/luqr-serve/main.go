@@ -1,0 +1,90 @@
+// Command luqr-serve runs the solver as a long-lived HTTP service: a job
+// manager with a bounded submission queue in front of the work-stealing
+// runtime, a factorization cache so repeated solves against one operator
+// pay only the O(N²) replay + back-substitution, and an ops surface.
+//
+//	POST   /v1/jobs       submit an async factorization job (202; 429 when full)
+//	GET    /v1/jobs/{id}  job status, criterion decisions, stability report
+//	DELETE /v1/jobs/{id}  cancel a still-queued job
+//	POST   /v1/solve      synchronous solve, served from the cache when warm
+//	GET    /healthz       liveness
+//	GET    /metrics       queue depth, cache hit rate, jobs by state, kernel totals
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: intake stops (new work gets
+// 503), running and queued jobs drain under -drain, then the process exits.
+// See docs/API.md for the wire formats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"luqr/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8090", "listen address")
+		queue       = flag.Int("queue", 64, "submission queue depth (beyond it: HTTP 429)")
+		concurrency = flag.Int("concurrency", 2, "factorization jobs run in parallel")
+		cacheSize   = flag.Int("cache", 16, "factorization cache entries (LRU beyond)")
+		workers     = flag.Int("workers", 0, "runtime workers per factorization (0 = GOMAXPROCS)")
+		maxN        = flag.Int("max-n", 4096, "largest accepted matrix order")
+		maxBytes    = flag.Int64("max-bytes", service.DefaultMaxBodyBytes, "request body size limit (bytes; beyond it: HTTP 413)")
+		drain       = flag.Duration("drain", 60*time.Second, "graceful-shutdown deadline for draining jobs")
+		noTrace     = flag.Bool("no-trace", false, "disable per-job kernel tracing (drops per-kernel /metrics)")
+	)
+	flag.Parse()
+
+	m := service.NewManager(service.Options{
+		QueueSize:    *queue,
+		Concurrency:  *concurrency,
+		CacheEntries: *cacheSize,
+		Workers:      *workers,
+		MaxN:         *maxN,
+		NoTrace:      *noTrace,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(m, *maxBytes),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("luqr-serve: listening on http://%s (queue=%d concurrency=%d cache=%d max-n=%d)\n",
+		*addr, *queue, *concurrency, *cacheSize, *maxN)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "luqr-serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately via the default handler
+
+	fmt.Printf("luqr-serve: shutting down, draining jobs (deadline %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue. Shutdown
+	// waits for in-flight HTTP requests (e.g. a synchronous solve), so the
+	// two deadlines share dctx.
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "luqr-serve: http shutdown:", err)
+	}
+	if err := m.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "luqr-serve: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Println("luqr-serve: drained cleanly")
+}

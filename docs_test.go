@@ -1,0 +1,109 @@
+package luqr
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Docs lint, wired into `go test ./...` so the tier-1 gate enforces it:
+// no tracked markdown or JSON file may carry an unfilled PLACEHOLDER
+// marker, and every relative link in the documentation set must resolve.
+
+// skipDocsLint lists paths exempt from the placeholder scan. ISSUE.md is
+// the working task file and quotes the very marker this test bans.
+var skipDocsLint = map[string]bool{
+	"ISSUE.md": true,
+}
+
+func docFiles(t *testing.T, exts ...string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if skipDocsLint[filepath.ToSlash(path)] {
+			return nil
+		}
+		for _, ext := range exts {
+			if strings.HasSuffix(path, ext) {
+				files = append(files, path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("docs lint found no files to scan")
+	}
+	return files
+}
+
+// TestDocsNoPlaceholderMarkers fails when a PLACEHOLDER marker survives in
+// a tracked markdown or JSON file — every number and section the docs
+// promise must actually be there.
+func TestDocsNoPlaceholderMarkers(t *testing.T) {
+	re := regexp.MustCompile(`PLACEHOLDER[-_A-Z]*`)
+	for _, path := range docFiles(t, ".md", ".json") {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := re.FindString(line); m != "" {
+				t.Errorf("%s:%d: unfilled %s marker", path, i+1, m)
+			}
+		}
+	}
+}
+
+// TestDocsLinksResolve checks every relative markdown link in the curated
+// documentation set points at a file or directory that exists. PAPERS.md
+// and SNIPPETS.md are excluded: they quote retrieved external material
+// whose links refer to their source repositories, not to this tree.
+func TestDocsLinksResolve(t *testing.T) {
+	linkRe := regexp.MustCompile(`\]\(([^)#][^)]*)\)`)
+	var docSet []string
+	for _, path := range docFiles(t, ".md") {
+		base := filepath.ToSlash(path)
+		if base == "PAPERS.md" || base == "SNIPPETS.md" {
+			continue
+		}
+		docSet = append(docSet, path)
+	}
+	for _, path := range docSet {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue // external
+				}
+				target = strings.SplitN(target, "#", 2)[0]
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s:%d: broken link %q (%v)", path, i+1, m[1],
+						fmt.Errorf("stat %s: missing", resolved))
+				}
+			}
+		}
+	}
+}

@@ -9,6 +9,15 @@
 // steps submit their elimination and update tasks as decisions resolve,
 // trailing-matrix tasks of different steps overlap freely, and the recorded
 // trace drives the discrete-event performance simulation.
+//
+// A factorization is reusable: Run returns a Result that retains the
+// factored tiles and per-step decisions, and Result.Solve /
+// Result.SolveBatch replay the stored transformations on new right-hand
+// sides in O(N²) — the "second pass" of §II-D.1 — without re-factoring.
+// SolveBatch packs many right-hand sides as the columns of one tile.Vector
+// and pays a single replay plus one block back-substitution for the whole
+// batch; the service layer (internal/service) builds its factorization
+// cache on exactly this property.
 package core
 
 import (

@@ -16,29 +16,67 @@ import (
 // is stored in place of A, so one can apply the transformations on b during
 // a second pass") and back-substituting. The replay is serial — O(N²) — and
 // reproduces the in-flight RHS processing of the original Run bit for bit.
+//
+// Solve only reads the stored factors, so concurrent calls on the same
+// Result are safe.
 func (r *Result) Solve(b2 []float64) ([]float64, error) {
+	xs, err := r.SolveBatch([][]float64{b2})
+	if err != nil {
+		return nil, err
+	}
+	return xs[0], nil
+}
+
+// SolveBatch solves A·x_j = b_j for many right-hand sides at once: the
+// vectors are packed as the columns of one NB×w tiled RHS, every stored
+// per-step transformation is replayed once over the whole block, and a
+// single block back-substitution pass produces all solutions. Every replay
+// and solve kernel is rank-w BLAS instead of w separate rank-1 passes, so a
+// batch of w costs far less than w Solve calls — this is the amortization
+// the solver service's RHS batching rides on. Each returned xs[j] equals
+// Solve(bs[j]) exactly (column j of the block never mixes with the others).
+//
+// SolveBatch only reads the stored factors, so concurrent calls on the same
+// Result are safe.
+func (r *Result) SolveBatch(bs [][]float64) ([][]float64, error) {
 	f := r.f
 	if f == nil {
 		return nil, fmt.Errorf("core: Result does not carry factorization state")
 	}
+	if len(bs) == 0 {
+		return nil, nil
+	}
 	n := r.Report.N
-	if len(b2) != n {
-		return nil, fmt.Errorf("core: rhs length %d for N=%d", len(b2), n)
+	for j, b := range bs {
+		if len(b) != n {
+			return nil, fmt.Errorf("core: rhs %d has length %d for N=%d", j, len(b), n)
+		}
 	}
-	// Pad to the tiled order if the original system was padded (§II-D.2).
-	bp := b2
-	if f.nt*f.nb != n {
-		bp = make([]float64, f.nt*f.nb)
-		copy(bp, b2)
+	// Pack column-wise, padding to the tiled order if the original system
+	// was padded (§II-D.2): the pad rows stay zero, matching diag(A, I).
+	w := len(bs)
+	nb := f.nb
+	rhs := tile.NewVector(f.nt, nb, w)
+	for j, b := range bs {
+		for i, v := range b {
+			rhs.Tiles[i/nb].Set(i%nb, j, v)
+		}
 	}
-	rhs := tile.VectorFromSlice(bp, f.nb)
 	for k := 0; k < f.nt; k++ {
 		if err := f.replayStep(f.steps[k], rhs); err != nil {
 			return nil, err
 		}
 	}
-	x := backSubstitute(f.A, rhs, f.diagSolvers)
-	return x[:n], nil
+	backSubstituteBlock(f.A, rhs, f.diagSolvers)
+	xs := make([][]float64, w)
+	for j := range xs {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rhs.Tiles[i/nb].At(i%nb, j)
+		}
+		xs[j] = x
+	}
+	return xs, nil
 }
 
 // replayStep applies step k's transformation to a fresh RHS vector.

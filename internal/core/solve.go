@@ -18,6 +18,16 @@ import (
 // the default. The O(N²) solve is serial; its cost is negligible next to
 // the O(N³) factorization the paper measures (§II-D.1).
 func backSubstitute(a *tile.Matrix, rhs *tile.Vector, solvers []func(b *mat.Matrix)) []float64 {
+	backSubstituteBlock(a, rhs, solvers)
+	return rhs.ToSlice()
+}
+
+// backSubstituteBlock is the width-generic body of backSubstitute: rhs may
+// carry any number of columns (SolveBatch packs a whole batch of right-hand
+// sides), and every kernel below — GEMM, TRSM, and the stored block-LU
+// diagonal solvers — operates on the full NB×W tile, so one pass solves all
+// columns.
+func backSubstituteBlock(a *tile.Matrix, rhs *tile.Vector, solvers []func(b *mat.Matrix)) {
 	nt := a.NT
 	for k := nt - 1; k >= 0; k-- {
 		bk := rhs.Tile(k)
@@ -30,5 +40,4 @@ func backSubstitute(a *tile.Matrix, rhs *tile.Vector, solvers []func(b *mat.Matr
 		}
 		blas.Trsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, a.Tile(k, k), bk)
 	}
-	return rhs.ToSlice()
 }

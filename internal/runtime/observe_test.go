@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"reflect"
 	goruntime "runtime"
 	"sync/atomic"
 	"testing"
@@ -332,5 +333,53 @@ func BenchmarkTaskExecution(b *testing.B) {
 			}
 			e.Wait()
 		})
+	}
+}
+
+// TestStatsSnapshotExportAndMerge: the wire-form export must mirror the
+// aggregate exactly, survive a JSON round-trip, and fold additively.
+func TestStatsSnapshotExportAndMerge(t *testing.T) {
+	s := &Stats{
+		Tasks:        3,
+		Span:         10 * time.Millisecond,
+		CriticalPath: 4 * time.Millisecond,
+		Worker:       []WorkerStat{{Busy: 6 * time.Millisecond}, {Busy: 2 * time.Millisecond}},
+		Kernels: map[string]KernelStat{
+			"GEMM": {Count: 2, Total: 6 * time.Millisecond, Mean: 3 * time.Millisecond, Max: 4 * time.Millisecond, Flops: 20},
+			"TRSM": {Count: 1, Total: 2 * time.Millisecond, Mean: 2 * time.Millisecond, Max: 2 * time.Millisecond, Flops: 5},
+		},
+	}
+	snap := s.Snapshot()
+	if snap.Tasks != 3 || snap.SpanNS != int64(10*time.Millisecond) || snap.BusyNS != int64(8*time.Millisecond) {
+		t.Fatalf("snapshot header wrong: %+v", snap)
+	}
+	if g := snap.Kernels["GEMM"]; g.Count != 2 || g.TotalNS != int64(6*time.Millisecond) || g.Flops != 20 {
+		t.Fatalf("GEMM snapshot wrong: %+v", g)
+	}
+
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	var back StatsSnapshot
+	if err := json.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("JSON round-trip changed the snapshot:\n  out %+v\n  in  %+v", snap, back)
+	}
+
+	var acc StatsSnapshot
+	acc.Add(snap)
+	acc.Add(snap)
+	if acc.Tasks != 6 || acc.BusyNS != 2*snap.BusyNS {
+		t.Fatalf("merge totals wrong: %+v", acc)
+	}
+	g := acc.Kernels["GEMM"]
+	if g.Count != 4 || g.TotalNS != 2*int64(6*time.Millisecond) || g.MaxNS != int64(4*time.Millisecond) {
+		t.Fatalf("merged GEMM wrong: %+v", g)
+	}
+	if g.MeanNS != g.TotalNS/4 {
+		t.Fatalf("merged GEMM mean %d, want %d", g.MeanNS, g.TotalNS/4)
 	}
 }

@@ -161,6 +161,75 @@ func ComputeStats(trace []*TraceTask) *Stats {
 	return s
 }
 
+// KernelSnapshot is the JSON-serializable export of one kernel family's
+// aggregate (KernelStat with explicit nanosecond fields, so the wire format
+// is stable regardless of how time.Duration marshals).
+type KernelSnapshot struct {
+	Count   int     `json:"count"`
+	TotalNS int64   `json:"total_ns"`
+	MeanNS  int64   `json:"mean_ns"`
+	MaxNS   int64   `json:"max_ns"`
+	Flops   float64 `json:"flops"`
+}
+
+// StatsSnapshot is the JSON-serializable export of a Stats aggregate — the
+// shape the solver service's /metrics endpoint accumulates and serves.
+// Mergeable: Add folds another snapshot in, so long-running consumers can
+// keep one running total across many factorizations.
+type StatsSnapshot struct {
+	Tasks          int                       `json:"tasks"`
+	SpanNS         int64                     `json:"span_ns"`
+	BusyNS         int64                     `json:"busy_ns"`
+	CriticalPathNS int64                     `json:"critical_path_ns"`
+	Kernels        map[string]KernelSnapshot `json:"kernels"`
+}
+
+// Snapshot exports the aggregate in wire form.
+func (s *Stats) Snapshot() StatsSnapshot {
+	out := StatsSnapshot{
+		Tasks:          s.Tasks,
+		SpanNS:         int64(s.Span),
+		BusyNS:         int64(s.TotalBusy()),
+		CriticalPathNS: int64(s.CriticalPath),
+		Kernels:        make(map[string]KernelSnapshot, len(s.Kernels)),
+	}
+	for name, ks := range s.Kernels {
+		out.Kernels[name] = KernelSnapshot{
+			Count:   ks.Count,
+			TotalNS: int64(ks.Total),
+			MeanNS:  int64(ks.Mean),
+			MaxNS:   int64(ks.Max),
+			Flops:   ks.Flops,
+		}
+	}
+	return out
+}
+
+// Add folds another snapshot into this one (counts and totals sum, maxima
+// fold, per-kernel means are recomputed from the folded totals).
+func (s *StatsSnapshot) Add(o StatsSnapshot) {
+	s.Tasks += o.Tasks
+	s.SpanNS += o.SpanNS
+	s.BusyNS += o.BusyNS
+	s.CriticalPathNS += o.CriticalPathNS
+	if s.Kernels == nil {
+		s.Kernels = make(map[string]KernelSnapshot, len(o.Kernels))
+	}
+	for name, ks := range o.Kernels {
+		acc := s.Kernels[name]
+		acc.Count += ks.Count
+		acc.TotalNS += ks.TotalNS
+		acc.Flops += ks.Flops
+		if ks.MaxNS > acc.MaxNS {
+			acc.MaxNS = ks.MaxNS
+		}
+		if acc.Count > 0 {
+			acc.MeanNS = acc.TotalNS / int64(acc.Count)
+		}
+		s.Kernels[name] = acc
+	}
+}
+
 // TotalBusy returns the summed busy time of all workers (core-seconds).
 func (s *Stats) TotalBusy() time.Duration {
 	var b time.Duration

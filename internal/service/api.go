@@ -1,0 +1,167 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+
+	"luqr/internal/core"
+	"luqr/internal/criteria"
+	"luqr/internal/mat"
+	"luqr/internal/matgen"
+)
+
+// MatrixSpec names the operator of a request: either a generator from the
+// experiment set ("random", "fiedler", ...) with a seed, or explicit
+// row-major data. Generator-specified matrices cache by (gen, n, seed) and
+// never ship N² floats over the wire.
+type MatrixSpec struct {
+	N    int       `json:"n"`
+	Gen  string    `json:"gen,omitempty"`
+	Seed int64     `json:"seed,omitempty"`
+	Data []float64 `json:"data,omitempty"`
+}
+
+// ConfigSpec is the wire form of core.Config. Zero values take the library
+// defaults (alg=luqr, nb=40, 1x1 grid, max criterion with alpha=100).
+type ConfigSpec struct {
+	Alg       string  `json:"alg,omitempty"`
+	NB        int     `json:"nb,omitempty"`
+	P         int     `json:"p,omitempty"`
+	Q         int     `json:"q,omitempty"`
+	Criterion string  `json:"criterion,omitempty"`
+	Alpha     float64 `json:"alpha,omitempty"`
+	Variant   string  `json:"variant,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+}
+
+// SubmitRequest is the body of POST /v1/jobs. RHS is optional: jobs
+// factor and solve against it (default: the all-ones vector), and the
+// factorization lands in the cache either way.
+type SubmitRequest struct {
+	Matrix MatrixSpec `json:"matrix"`
+	Config ConfigSpec `json:"config"`
+	RHS    []float64  `json:"rhs,omitempty"`
+}
+
+// SolveRequest is the body of POST /v1/solve: solve A·x = rhs, reusing the
+// cached factorization of A when one exists.
+type SolveRequest struct {
+	Matrix MatrixSpec `json:"matrix"`
+	Config ConfigSpec `json:"config"`
+	RHS    []float64  `json:"rhs,omitempty"`
+}
+
+// parsedRequest is a validated, materialized request: the operator, the
+// right-hand side, the resolved core.Config, and the cache key its
+// factorization stores under.
+type parsedRequest struct {
+	a         *mat.Matrix
+	b         []float64
+	cfg       core.Config
+	key       string
+	criterion string
+}
+
+// parse validates a request against the service limits and materializes the
+// operator. maxN guards against a single request exhausting memory.
+func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int) (*parsedRequest, error) {
+	n := spec.N
+	if n <= 0 {
+		return nil, fmt.Errorf("matrix.n must be positive, got %d", n)
+	}
+	if n > maxN {
+		return nil, fmt.Errorf("matrix.n=%d exceeds the service limit %d", n, maxN)
+	}
+
+	var a *mat.Matrix
+	switch {
+	case spec.Gen != "" && spec.Data != nil:
+		return nil, fmt.Errorf("matrix.gen and matrix.data are mutually exclusive")
+	case spec.Gen != "":
+		e, err := matgen.ByName(spec.Gen)
+		if err != nil {
+			return nil, err
+		}
+		a = e.Gen(n, rand.New(rand.NewSource(spec.Seed)))
+	case spec.Data != nil:
+		if len(spec.Data) != n*n {
+			return nil, fmt.Errorf("matrix.data has %d entries, want n*n = %d", len(spec.Data), n*n)
+		}
+		a = mat.New(n, n)
+		copy(a.Data, spec.Data)
+	default:
+		return nil, fmt.Errorf("matrix needs either gen or data")
+	}
+
+	var cfg core.Config
+	if cs.Alg != "" {
+		alg, err := core.ParseAlgorithm(cs.Alg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Alg = alg
+	}
+	cfg.NB = cs.NB
+	if cfg.NB <= 0 {
+		cfg.NB = 40
+	}
+	if n%cfg.NB != 0 {
+		return nil, fmt.Errorf("n=%d is not a multiple of nb=%d", n, cfg.NB)
+	}
+	if (cs.P == 0) != (cs.Q == 0) {
+		return nil, fmt.Errorf("config.p and config.q must be set together")
+	}
+	if cs.P < 0 || cs.Q < 0 {
+		return nil, fmt.Errorf("config.p and config.q must be non-negative")
+	}
+	cfg.Grid.P, cfg.Grid.Q = cs.P, cs.Q
+	critName := cs.Criterion
+	if cfg.Alg == core.LUQR {
+		if critName == "" {
+			critName = "max"
+		}
+		alpha := cs.Alpha
+		if alpha == 0 {
+			alpha = 100
+		}
+		crit, err := criteria.Parse(critName, alpha)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Criterion = crit
+		critName = fmt.Sprintf("%s/%g", critName, alpha)
+	} else {
+		critName = ""
+	}
+	if cs.Variant != "" {
+		v, err := core.ParseVariant(cs.Variant)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Variant = v
+	}
+	if cs.Workers < 0 {
+		return nil, fmt.Errorf("config.workers must be non-negative")
+	}
+	cfg.Workers = cs.Workers
+	cfg.Seed = cs.Seed
+
+	b := rhs
+	if b == nil {
+		b = make([]float64, n)
+		for i := range b {
+			b[i] = 1
+		}
+	} else if len(b) != n {
+		return nil, fmt.Errorf("rhs has %d entries, want n = %d", len(b), n)
+	}
+
+	return &parsedRequest{
+		a:         a,
+		b:         b,
+		cfg:       cfg,
+		key:       digestKey(spec, cfg, critName),
+		criterion: critName,
+	}, nil
+}

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"luqr/internal/core"
+)
+
+// digestKey derives the factorization-cache key: a SHA-256 over the
+// operator identity and every config field that affects the stored factors.
+// Generator-specified matrices hash their (gen, n, seed) triple; explicit
+// matrices hash the raw float64 bits. Workers and tracing are deliberately
+// excluded — the runtime guarantees bit-identical factors for any worker
+// count, so they must not split the cache.
+func digestKey(spec MatrixSpec, cfg core.Config, criterion string) string {
+	h := sha256.New()
+	if spec.Gen != "" {
+		fmt.Fprintf(h, "gen:%s:%d:%d", spec.Gen, spec.N, spec.Seed)
+	} else {
+		fmt.Fprintf(h, "data:%d:", spec.N)
+		var buf [8]byte
+		for _, v := range spec.Data {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	fmt.Fprintf(h, "|alg=%s nb=%d grid=%dx%d crit=%s variant=%s scope=%d seed=%d",
+		cfg.Alg, cfg.NB, cfg.Grid.P, cfg.Grid.Q, criterion, cfg.Variant, cfg.Scope, cfg.Seed)
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// entry is one cached factorization. ready closes when the creator finishes
+// (res or err set); consumers wait on it, never re-factor. The batching
+// state collects right-hand sides that arrive while a solve pass is in
+// flight, so they share one block back-substitution.
+type entry struct {
+	key   string
+	ready chan struct{}
+	res   *core.Result
+	err   error
+
+	bmu     sync.Mutex
+	pending []pendingSolve
+	solving bool
+}
+
+type pendingSolve struct {
+	b  []float64
+	ch chan solveOut
+}
+
+type solveOut struct {
+	x     []float64
+	batch int
+	err   error
+}
+
+// complete publishes the factorization (or its error) and releases every
+// waiter. Called exactly once, by the creator.
+func (e *entry) complete(res *core.Result, err error) {
+	e.res = res
+	e.err = err
+	close(e.ready)
+}
+
+// solve runs b through the cached factorization, batching with any other
+// right-hand sides queued against it. Returns the solution and the size of
+// the batch it rode in. Only valid after ready has closed with err == nil.
+func (e *entry) solve(b []float64, met *Metrics) ([]float64, int, error) {
+	ps := pendingSolve{b: b, ch: make(chan solveOut, 1)}
+	e.bmu.Lock()
+	e.pending = append(e.pending, ps)
+	if !e.solving {
+		e.solving = true
+		go e.drainBatches(met)
+	}
+	e.bmu.Unlock()
+	out := <-ps.ch
+	return out.x, out.batch, out.err
+}
+
+// drainBatches is the per-entry solve leader: it repeatedly claims the
+// whole pending list and solves it in one core.Result.SolveBatch pass (one
+// transformation replay + one block back-substitution for the entire
+// batch), until no more right-hand sides are waiting.
+func (e *entry) drainBatches(met *Metrics) {
+	for {
+		e.bmu.Lock()
+		batch := e.pending
+		e.pending = nil
+		if len(batch) == 0 {
+			e.solving = false
+			e.bmu.Unlock()
+			return
+		}
+		e.bmu.Unlock()
+
+		bs := make([][]float64, len(batch))
+		for i := range batch {
+			bs[i] = batch[i].b
+		}
+		xs, err := e.res.SolveBatch(bs)
+		if met != nil {
+			met.SolveBatches.Add(1)
+			met.SolveBatchedRHS.Add(int64(len(batch)))
+			met.foldMaxBatch(int64(len(batch)))
+		}
+		for i := range batch {
+			if err != nil {
+				batch[i].ch <- solveOut{err: err}
+			} else {
+				batch[i].ch <- solveOut{x: xs[i], batch: len(batch)}
+			}
+		}
+	}
+}
+
+// cache is the LRU factorization cache. Only completed entries are evicted;
+// in-flight factorizations always survive until their creator completes
+// them.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	met     *Metrics
+	entries map[string]*entry
+	order   []string // LRU order: least recently used first
+}
+
+func newCache(capacity int, met *Metrics) *cache {
+	return &cache{cap: capacity, met: met, entries: make(map[string]*entry)}
+}
+
+// touch moves key to the most-recently-used end. Caller holds c.mu.
+func (c *cache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+	c.order = append(c.order, key)
+}
+
+// lookup returns the entry for key, marking it recently used.
+func (c *cache) lookup(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.touch(key)
+	}
+	return e, ok
+}
+
+// getOrCreate returns the entry for key, creating an in-flight one (ready
+// open) when absent; created reports whether this caller must factor and
+// complete it. Creation evicts the least-recently-used completed entry
+// beyond capacity.
+func (c *cache) getOrCreate(key string) (e *entry, created bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.touch(key)
+		return e, false
+	}
+	e = &entry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.touch(key)
+	for len(c.entries) > c.cap {
+		if !c.evictOldestDone() {
+			break // every older entry is in flight; allow transient over-cap
+		}
+	}
+	return e, true
+}
+
+// evictOldestDone removes the least-recently-used completed entry,
+// reporting whether one was found. Caller holds c.mu.
+func (c *cache) evictOldestDone() bool {
+	for i, k := range c.order {
+		e := c.entries[k]
+		select {
+		case <-e.ready:
+			delete(c.entries, k)
+			c.order = append(c.order[:i:i], c.order[i+1:]...)
+			if c.met != nil {
+				c.met.CacheEvictions.Add(1)
+			}
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// remove drops a (typically failed) entry.
+func (c *cache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		return
+	}
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// len reports the number of cached entries.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,194 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"luqr/internal/core"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The job lifecycle: queued → running → done/failed, or queued → canceled.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Job is one factorization request moving through the Manager.
+type Job struct {
+	ID  string
+	req *parsedRequest
+
+	// ctx is canceled by Cancel or by the manager's shutdown; a job whose
+	// context is canceled before it starts never runs.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	err       error
+	res       *core.Result
+	submitted time.Time
+	started   time.Time
+	finishedT time.Time
+}
+
+func newJob(seq int64, p *parsedRequest, root context.Context) *Job {
+	ctx, cancel := context.WithCancel(root)
+	return &Job{
+		ID:        fmt.Sprintf("j-%06d", seq),
+		req:       p,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+}
+
+// markRunning transitions queued → running; false when the job was canceled
+// while queued (it must not run).
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// tryCancel cancels a still-queued job; false once it is running or done.
+func (j *Job) tryCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateCanceled
+	j.finishedT = time.Now()
+	j.err = errors.New("service: canceled")
+	j.cancel()
+	close(j.done)
+	return true
+}
+
+// finish records the terminal state and releases every waiter.
+func (j *Job) finish(res *core.Result, err error) {
+	j.mu.Lock()
+	if j.state == StateCanceled { // already terminal (raced with cancel)
+		j.mu.Unlock()
+		return
+	}
+	j.res = res
+	j.err = err
+	if err != nil {
+		j.state = StateFailed
+	} else {
+		j.state = StateDone
+	}
+	j.finishedT = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+	close(j.done)
+}
+
+// Err returns the job's terminal error (nil while running or on success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// ReportView is the JSON shape of a finished job's run report: the per-step
+// LU/QR choices the criterion made, the stability and growth metrics, and
+// the measured wall time.
+type ReportView struct {
+	Alg       string   `json:"alg"`
+	N         int      `json:"n"`
+	NB        int      `json:"nb"`
+	GridP     int      `json:"grid_p"`
+	GridQ     int      `json:"grid_q"`
+	Criterion string   `json:"criterion,omitempty"`
+	Decisions []string `json:"decisions"`
+	LUSteps   int      `json:"lu_steps"`
+	QRSteps   int      `json:"qr_steps"`
+	FracLU    float64  `json:"frac_lu"`
+	HPL3      float64  `json:"hpl3"`
+	Growth    float64  `json:"growth"`
+	Breakdown bool     `json:"breakdown,omitempty"`
+	WallMS    float64  `json:"wall_ms"`
+}
+
+// JobView is the JSON shape of GET /v1/jobs/{id}.
+type JobView struct {
+	ID          string      `json:"id"`
+	State       State       `json:"state"`
+	Error       string      `json:"error,omitempty"`
+	CacheKey    string      `json:"cache_key"`
+	SubmittedMS int64       `json:"submitted_unix_ms"`
+	StartedMS   int64       `json:"started_unix_ms,omitempty"`
+	FinishedMS  int64       `json:"finished_unix_ms,omitempty"`
+	Report      *ReportView `json:"report,omitempty"`
+}
+
+// View snapshots the job for the status endpoint.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.ID,
+		State:       j.state,
+		CacheKey:    j.req.key,
+		SubmittedMS: j.submitted.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		v.StartedMS = j.started.UnixMilli()
+	}
+	if !j.finishedT.IsZero() {
+		v.FinishedMS = j.finishedT.UnixMilli()
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.res != nil {
+		r := j.res.Report
+		rv := &ReportView{
+			Alg: r.Alg.String(), N: r.N, NB: r.NB,
+			GridP: r.GridP, GridQ: r.GridQ,
+			Criterion: j.req.criterion,
+			LUSteps:   r.LUSteps, QRSteps: r.QRSteps, FracLU: r.FracLU(),
+			HPL3: r.HPL3, Growth: r.Growth, Breakdown: r.Breakdown,
+			WallMS: float64(r.WallTime.Microseconds()) / 1000,
+		}
+		rv.Decisions = make([]string, len(r.Decisions))
+		for k, lu := range r.Decisions {
+			if lu {
+				rv.Decisions[k] = "lu"
+			} else {
+				rv.Decisions[k] = "qr"
+			}
+		}
+		v.Report = rv
+	}
+	return v
+}

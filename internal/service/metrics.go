@@ -1,0 +1,172 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"luqr/internal/runtime"
+)
+
+// Metrics is the service's running counter set. All counters are atomic;
+// the kernel/scheduler aggregates are folded under a mutex by the job
+// workers and read by /metrics.
+type Metrics struct {
+	Submitted atomic.Int64
+	Rejected  atomic.Int64 // queue-full and draining refusals (429/503)
+	Done      atomic.Int64
+	Failed    atomic.Int64
+	Canceled  atomic.Int64
+
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheEvictions atomic.Int64
+
+	SolveRequests   atomic.Int64
+	SolveBatches    atomic.Int64
+	SolveBatchedRHS atomic.Int64
+	SolveMaxBatch   atomic.Int64
+
+	mu      sync.Mutex
+	kernels runtime.StatsSnapshot
+	sched   runtime.SchedCounters
+}
+
+// AddKernels folds one run's measured per-kernel totals into the aggregate.
+func (m *Metrics) AddKernels(s runtime.StatsSnapshot) {
+	m.mu.Lock()
+	m.kernels.Add(s)
+	m.mu.Unlock()
+}
+
+// AddSched folds one run's scheduler dispatch counters into the aggregate.
+func (m *Metrics) AddSched(c runtime.SchedCounters) {
+	m.mu.Lock()
+	m.sched.LaneHits += c.LaneHits
+	m.sched.LocalHits += c.LocalHits
+	m.sched.Steals += c.Steals
+	m.sched.RemoteReleases += c.RemoteReleases
+	m.sched.Parks += c.Parks
+	m.mu.Unlock()
+}
+
+// foldMaxBatch records a batch size into the running maximum.
+func (m *Metrics) foldMaxBatch(n int64) {
+	for {
+		cur := m.SolveMaxBatch.Load()
+		if n <= cur || m.SolveMaxBatch.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// MetricsSnapshot is the JSON shape of GET /metrics.
+type MetricsSnapshot struct {
+	UptimeS float64 `json:"uptime_s"`
+
+	Queue struct {
+		Depth    int   `json:"depth"`
+		Capacity int   `json:"capacity"`
+		Rejected int64 `json:"rejected_total"`
+	} `json:"queue"`
+
+	Jobs struct {
+		Submitted int64 `json:"submitted_total"`
+		Queued    int   `json:"queued"`
+		Running   int   `json:"running"`
+		Done      int64 `json:"done_total"`
+		Failed    int64 `json:"failed_total"`
+		Canceled  int64 `json:"canceled_total"`
+	} `json:"jobs"`
+
+	Cache struct {
+		Entries   int     `json:"entries"`
+		Capacity  int     `json:"capacity"`
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		HitRate   float64 `json:"hit_rate"`
+		Evictions int64   `json:"evictions"`
+	} `json:"cache"`
+
+	Solve struct {
+		Requests   int64   `json:"requests"`
+		Batches    int64   `json:"batches"`
+		BatchedRHS int64   `json:"batched_rhs"`
+		MeanBatch  float64 `json:"mean_batch"`
+		MaxBatch   int64   `json:"max_batch"`
+	} `json:"solve"`
+
+	Kernels runtime.StatsSnapshot `json:"kernels"`
+
+	Sched struct {
+		LaneHits       int64   `json:"lane_hits"`
+		LocalHits      int64   `json:"local_hits"`
+		Steals         int64   `json:"steals"`
+		RemoteReleases int64   `json:"remote_releases"`
+		Parks          int64   `json:"parks"`
+		LocalHitRate   float64 `json:"local_hit_rate"`
+	} `json:"sched"`
+}
+
+// MetricsSnapshot assembles the ops view: counters, queue depth, jobs by
+// state, cache occupancy and hit rate, solve batching, and the accumulated
+// per-kernel measured totals of every factorization run so far.
+func (m *Manager) MetricsSnapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	s.UptimeS = m.Uptime().Seconds()
+
+	s.Queue.Depth = m.QueueDepth()
+	s.Queue.Capacity = m.opts.QueueSize
+	s.Queue.Rejected = m.met.Rejected.Load()
+
+	s.Jobs.Submitted = m.met.Submitted.Load()
+	s.Jobs.Done = m.met.Done.Load()
+	s.Jobs.Failed = m.met.Failed.Load()
+	s.Jobs.Canceled = m.met.Canceled.Load()
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch j.State() {
+		case StateQueued:
+			s.Jobs.Queued++
+		case StateRunning:
+			s.Jobs.Running++
+		}
+	}
+	m.mu.Unlock()
+
+	s.Cache.Entries = m.cache.len()
+	s.Cache.Capacity = m.opts.CacheEntries
+	s.Cache.Hits = m.met.CacheHits.Load()
+	s.Cache.Misses = m.met.CacheMisses.Load()
+	if tot := s.Cache.Hits + s.Cache.Misses; tot > 0 {
+		s.Cache.HitRate = float64(s.Cache.Hits) / float64(tot)
+	}
+	s.Cache.Evictions = m.met.CacheEvictions.Load()
+
+	s.Solve.Requests = m.met.SolveRequests.Load()
+	s.Solve.Batches = m.met.SolveBatches.Load()
+	s.Solve.BatchedRHS = m.met.SolveBatchedRHS.Load()
+	if s.Solve.Batches > 0 {
+		s.Solve.MeanBatch = float64(s.Solve.BatchedRHS) / float64(s.Solve.Batches)
+	}
+	s.Solve.MaxBatch = m.met.SolveMaxBatch.Load()
+
+	m.met.mu.Lock()
+	s.Kernels = m.met.kernels
+	if s.Kernels.Kernels != nil {
+		// Copy the map so the snapshot is stable while workers keep folding.
+		ks := make(map[string]runtime.KernelSnapshot, len(s.Kernels.Kernels))
+		for k, v := range s.Kernels.Kernels {
+			ks[k] = v
+		}
+		s.Kernels.Kernels = ks
+	}
+	c := m.met.sched
+	m.met.mu.Unlock()
+	s.Sched.LaneHits = c.LaneHits
+	s.Sched.LocalHits = c.LocalHits
+	s.Sched.Steals = c.Steals
+	s.Sched.RemoteReleases = c.RemoteReleases
+	s.Sched.Parks = c.Parks
+	s.Sched.LocalHitRate = c.LocalHitRate()
+	return s
+}

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// DefaultMaxBodyBytes bounds request bodies (an explicit 2048×2048 float64
+// matrix in JSON is ~80 MB; the default allows it with headroom).
+const DefaultMaxBodyBytes = 128 << 20
+
+// Server is the HTTP surface over a Manager. It holds no state of its own,
+// so one instance may serve any number of concurrent requests.
+type Server struct {
+	m        *Manager
+	maxBytes int64
+	mux      *http.ServeMux
+}
+
+// NewServer builds the HTTP handler for m. maxBytes bounds request bodies
+// (0 = DefaultMaxBodyBytes).
+func NewServer(m *Manager, maxBytes int64) *Server {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{m: m, maxBytes: maxBytes, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the uniform error shape: {"error": "..."}.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decodeBody reads a size-limited JSON body into v, mapping an oversized
+// body to 413 and malformed JSON to 400. Reports whether decoding succeeded;
+// on failure the response has been written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return false
+	}
+	return true
+}
+
+// submitResponse is the body of a 202 from POST /v1/jobs.
+type submitResponse struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	CacheKey string `json:"cache_key"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	p, err := parse(req.Matrix, req.Config, req.RHS, s.m.Options().MaxN)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.m.Submit(p)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, State: j.State(), CacheKey: p.key})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, canceled, err := s.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if !canceled {
+		// Already running or terminal; report the state with 409.
+		writeJSON(w, http.StatusConflict, j.View())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// solveResponse is the body of a 200 from POST /v1/solve.
+type solveResponse struct {
+	X        []float64 `json:"x"`
+	CacheHit bool      `json:"cache_hit"`
+	Batched  int       `json:"batched"`
+	JobID    string    `json:"job_id,omitempty"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	p, err := parse(req.Matrix, req.Config, req.RHS, s.m.Options().MaxN)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	x, hit, batch, jobID, err := s.m.Solve(r.Context(), p, p.b)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse{X: x, CacheHit: hit, Batched: batch, JobID: jobID})
+}
+
+// healthResponse is the body of GET /healthz.
+type healthResponse struct {
+	Status   string  `json:"status"`
+	Draining bool    `json:"draining"`
+	UptimeS  float64 `json:"uptime_s"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:   "ok",
+		Draining: s.m.draining.Load(),
+		UptimeS:  s.m.Uptime().Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.MetricsSnapshot())
+}

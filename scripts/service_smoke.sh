@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Service smoke test: build luqr-serve, run it, exercise the full job +
+# cached-solve + graceful-shutdown path over HTTP, and fail on any
+# divergence. CI runs this inside the tier-1 gate.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18099}"
+BASE="http://$ADDR"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"; [ -n "${PID:-}" ] && kill -9 "$PID" 2>/dev/null || true' EXIT
+
+echo "== build"
+go build -o "$DIR/luqr-serve" ./cmd/luqr-serve
+go build -o "$DIR/luqr-bench" ./cmd/luqr-bench
+
+echo "== start"
+"$DIR/luqr-serve" -addr "$ADDR" -concurrency 2 -queue 8 -drain 30s >"$DIR/serve.log" 2>&1 &
+PID=$!
+
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "server never became healthy"; cat "$DIR/serve.log"; exit 1; }
+  sleep 0.1
+done
+echo "healthy"
+
+echo "== submit job"
+BODY='{"matrix":{"n":240,"gen":"random","seed":5},"config":{"alg":"luqr","nb":40}}'
+JOB=$(curl -sf -X POST -d "$BODY" "$BASE/v1/jobs" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+echo "job $JOB"
+
+echo "== poll to completion"
+for i in $(seq 1 100); do
+  STATE=$(curl -sf "$BASE/v1/jobs/$JOB" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+  [ "$STATE" = done ] && break
+  [ "$STATE" = failed ] && { echo "job failed"; curl -s "$BASE/v1/jobs/$JOB"; exit 1; }
+  [ "$i" = 100 ] && { echo "job never finished (state=$STATE)"; exit 1; }
+  sleep 0.2
+done
+curl -sf "$BASE/v1/jobs/$JOB" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+assert v["report"]["decisions"], "done job carries no per-step decisions"
+print("decisions:", " ".join(v["report"]["decisions"]))'
+
+echo "== solve twice against the cached factorization"
+SOLVE='{"matrix":{"n":240,"gen":"random","seed":5},"config":{"alg":"luqr","nb":40}}'
+for i in 1 2; do
+  curl -sf -X POST -d "$SOLVE" "$BASE/v1/solve" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+assert v["cache_hit"], "solve was not served from the factorization cache"
+assert len(v["x"]) == 240, "wrong solution length"
+print("solve '"$i"': cache_hit, |x| ok")'
+done
+
+curl -sf "$BASE/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+misses, hits = m["cache"]["misses"], m["cache"]["hits"]
+assert misses == 1, "expected exactly 1 factorization, got %d" % misses
+assert hits >= 2, "expected >=2 cache hits, got %d" % hits
+assert m["jobs"]["done_total"] >= 1
+print("metrics: misses=1, hits=%d" % m["cache"]["hits"])'
+
+echo "== load generator"
+"$DIR/luqr-bench" -load "$BASE" -load-requests 16 -load-clients 2 -load-n 160 -load-matrices 2
+
+echo "== graceful shutdown (SIGTERM drains)"
+kill -TERM "$PID"
+for i in $(seq 1 100); do
+  kill -0 "$PID" 2>/dev/null || break
+  [ "$i" = 100 ] && { echo "server did not exit after SIGTERM"; cat "$DIR/serve.log"; exit 1; }
+  sleep 0.2
+done
+wait "$PID" 2>/dev/null && RC=0 || RC=$?
+grep -q "drained cleanly" "$DIR/serve.log" || { echo "no clean drain in log:"; cat "$DIR/serve.log"; exit 1; }
+[ "$RC" = 0 ] || { echo "server exited with $RC"; cat "$DIR/serve.log"; exit 1; }
+PID=
+echo "service smoke: OK"
