@@ -40,17 +40,25 @@ func main() {
 		maxBytes    = flag.Int64("max-bytes", service.DefaultMaxBodyBytes, "request body size limit (bytes; beyond it: HTTP 413)")
 		drain       = flag.Duration("drain", 60*time.Second, "graceful-shutdown deadline for draining jobs")
 		noTrace     = flag.Bool("no-trace", false, "disable per-job kernel tracing (drops per-kernel /metrics)")
+		storeDir    = flag.String("store-dir", "", "directory for the disk-backed factor store (empty = no persistence)")
+		storeMax    = flag.Int64("store-max-bytes", 1<<30, "factor-store size cap in bytes (coldest files evicted beyond)")
 	)
 	flag.Parse()
 
-	m := service.NewManager(service.Options{
-		QueueSize:    *queue,
-		Concurrency:  *concurrency,
-		CacheEntries: *cacheSize,
-		Workers:      *workers,
-		MaxN:         *maxN,
-		NoTrace:      *noTrace,
+	m, err := service.NewManager(service.Options{
+		QueueSize:     *queue,
+		Concurrency:   *concurrency,
+		CacheEntries:  *cacheSize,
+		Workers:       *workers,
+		MaxN:          *maxN,
+		NoTrace:       *noTrace,
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMax,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "luqr-serve:", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           service.NewServer(m, *maxBytes),
@@ -62,8 +70,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("luqr-serve: listening on http://%s (queue=%d concurrency=%d cache=%d max-n=%d)\n",
-		*addr, *queue, *concurrency, *cacheSize, *maxN)
+	persist := "off"
+	if *storeDir != "" {
+		persist = *storeDir
+	}
+	fmt.Printf("luqr-serve: listening on http://%s (queue=%d concurrency=%d cache=%d max-n=%d store=%s)\n",
+		*addr, *queue, *concurrency, *cacheSize, *maxN, persist)
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"luqr/internal/blas"
+	"luqr/internal/criteria"
+	"luqr/internal/lapack"
+	"luqr/internal/mat"
+	"luqr/internal/tile"
+	"luqr/internal/tree"
+)
+
+// This file implements the versioned serialization of a finished
+// factorization: everything Result.Solve / Result.SolveBatch need to replay
+// the stored per-step transformations on new right-hand sides — the factored
+// tile payloads, pivot vectors, per-step LU/QR decisions and reflector
+// blocks, and the numerically relevant configuration — but none of the
+// runtime machinery (engine, handles, workspace pools), which exists only
+// while the factorization is in flight.
+//
+// The wire layout is a small fixed header followed by a gob payload:
+//
+//	magic   [8]byte  "LUQRFACT"
+//	version uint32   factEncodingVersion, little endian
+//	length  uint64   payload length in bytes
+//	sha256  [32]byte checksum of the payload
+//	payload []byte   gob(facPayload)
+//
+// The checksum makes torn or bit-rotted files detectable before the gob
+// decoder sees them, and the version field turns any format change into an
+// explicit "version skew" error instead of a silent misread. Callers that
+// persist encoded factorizations (the service's factor store) treat every
+// decode error the same way: discard and re-factor.
+
+// factEncodingVersion is bumped whenever the payload layout — or the replay
+// semantics it feeds — changes incompatibly. Decoding any other version
+// fails.
+const factEncodingVersion = 1
+
+var factMagic = [8]byte{'L', 'U', 'Q', 'R', 'F', 'A', 'C', 'T'}
+
+// factHeaderLen is the fixed prefix before the gob payload.
+const factHeaderLen = 8 + 4 + 8 + sha256.Size
+
+func init() {
+	// The criterion travels inside the payload as an interface value, so the
+	// concrete types must be registered. All implementations are small value
+	// structs with exported fields.
+	gob.Register(criteria.Max{})
+	gob.Register(criteria.Sum{})
+	gob.Register(criteria.MUMPS{})
+	gob.Register(criteria.Random{})
+	gob.Register(criteria.Always{})
+	gob.Register(criteria.Never{})
+}
+
+// facMatrix is a densely packed matrix. The zero value (Rows == Cols == 0)
+// encodes an absent matrix, which keeps every payload field a gob-friendly
+// value type (gob rejects nil pointers inside slices).
+type facMatrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// facKeyed is one sparse (index → matrix) association, used for the QR
+// reflector maps and the per-row factor slices of IncPiv/HLU.
+type facKeyed struct {
+	I   int
+	M   facMatrix
+	Piv []int // meaning depends on context; empty when unused
+}
+
+// facOp mirrors tree.Op.
+type facOp struct {
+	Kind, I, Piv int
+}
+
+// facInc is the serialized incState of one incremental-pivoting step.
+type facInc struct {
+	L0   facMatrix
+	PivK []int      // the diagonal GETRF's pivots (is.piv[k])
+	Rows []facKeyed // per killed row: stacked L factors + pivots
+}
+
+// facHLU is the serialized hluState of one multi-eliminator LU step.
+type facHLU struct {
+	Ops   []facOp
+	Heads []facKeyed // local GETRF factors + pivots, by row
+	Pairs []facKeyed // pair-merge stacks + pivots, by killed row
+}
+
+// facStep is the replay-relevant subset of one stepState.
+type facStep struct {
+	K       int
+	Rows    []int
+	Piv     []int
+	Stack   facMatrix
+	Variant int
+	TGeqrt  []facKeyed
+	TKill   []facKeyed
+	HasInc  bool
+	Inc     facInc
+	HasHLU  bool
+	HLU     facHLU
+}
+
+// facPayload is the complete serialized factorization.
+type facPayload struct {
+	// Numerically relevant config. Workers/Trace are deliberately absent:
+	// the runtime produces bit-identical factors at any worker count.
+	Alg       int
+	NB        int
+	GridP     int
+	GridQ     int
+	Scope     int
+	Variant   int
+	IntraTree int
+	InterTree int
+	Seed      int64
+	Criterion criteria.Criterion
+
+	// Factored tiles, tile-major: tile (i, j) occupies the NB·NB elements
+	// starting at (i*NT+j)*NB*NB, row-major within the tile.
+	MT, NT int
+	Tiles  []float64
+
+	// Per-step replay state and the criterion's decisions.
+	Decisions []bool
+	Steps     []facStep
+
+	// Report scalars (Trace and Sched do not survive serialization).
+	N          int // original order, before any tile padding
+	LUSteps    int
+	QRSteps    int
+	Breakdown  bool
+	WallNS     int64
+	HPL3       float64
+	Growth     float64
+	PeakGrowth float64
+
+	// X is the solution of the original run, kept so a warm-loaded Result is
+	// indistinguishable from the in-memory one.
+	X []float64
+}
+
+// packMatrix copies m (which may be a strided view) into a tight facMatrix.
+func packMatrix(m *mat.Matrix) facMatrix {
+	if m == nil {
+		return facMatrix{}
+	}
+	out := facMatrix{Rows: m.Rows, Cols: m.Cols, Data: make([]float64, m.Rows*m.Cols)}
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Data[i*m.Cols:(i+1)*m.Cols], m.Row(i)[:m.Cols])
+	}
+	return out
+}
+
+// unpackMatrix inverts packMatrix; the zero facMatrix yields nil.
+func unpackMatrix(f facMatrix) (*mat.Matrix, error) {
+	if f.Rows == 0 && f.Cols == 0 {
+		return nil, nil
+	}
+	if f.Rows < 0 || f.Cols < 0 || len(f.Data) != f.Rows*f.Cols {
+		return nil, fmt.Errorf("core: matrix payload %dx%d with %d elements", f.Rows, f.Cols, len(f.Data))
+	}
+	return &mat.Matrix{Rows: f.Rows, Cols: f.Cols, Stride: f.Cols, Data: f.Data}, nil
+}
+
+// packKeyedMap flattens a reflector map in ascending key order (gob encodes
+// maps in random order; a sorted slice keeps the payload deterministic).
+func packKeyedMap(m map[int]*mat.Matrix) []facKeyed {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]int, 0, len(m))
+	for i := range m {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	out := make([]facKeyed, 0, len(keys))
+	for _, i := range keys {
+		out = append(out, facKeyed{I: i, M: packMatrix(m[i])})
+	}
+	return out
+}
+
+// EncodeFactorization serializes the factorization state retained by the
+// Result into a self-describing, checksummed byte stream. The encoding
+// captures exactly what Solve/SolveBatch replay — DecodeFactorization
+// returns a Result whose solves are bit-identical to this one's — and omits
+// the trace and scheduler counters. It only reads the stored factors, so it
+// is safe to call concurrently with Solve/SolveBatch.
+func (r *Result) EncodeFactorization() ([]byte, error) {
+	f := r.f
+	if f == nil {
+		return nil, fmt.Errorf("core: Result does not carry factorization state")
+	}
+	p := facPayload{
+		Alg:       int(f.cfg.Alg),
+		NB:        f.nb,
+		GridP:     f.cfg.Grid.P,
+		GridQ:     f.cfg.Grid.Q,
+		Scope:     int(f.cfg.Scope),
+		Variant:   int(f.cfg.Variant),
+		IntraTree: int(f.cfg.IntraTree),
+		InterTree: int(f.cfg.InterTree),
+		Seed:      f.cfg.Seed,
+		Criterion: f.cfg.Criterion,
+
+		MT:    f.A.MT,
+		NT:    f.A.NT,
+		Tiles: make([]float64, f.A.MT*f.A.NT*f.nb*f.nb),
+
+		Decisions: append([]bool(nil), f.report.Decisions...),
+		Steps:     make([]facStep, len(f.steps)),
+
+		N:          r.Report.N,
+		LUSteps:    r.Report.LUSteps,
+		QRSteps:    r.Report.QRSteps,
+		Breakdown:  r.Report.Breakdown,
+		WallNS:     r.Report.WallTime.Nanoseconds(),
+		HPL3:       r.Report.HPL3,
+		Growth:     r.Report.Growth,
+		PeakGrowth: r.Report.PeakGrowth,
+
+		X: append([]float64(nil), r.X...),
+	}
+	tb := f.nb * f.nb
+	for i := 0; i < f.A.MT; i++ {
+		for j := 0; j < f.A.NT; j++ {
+			t := packMatrix(f.A.Tile(i, j))
+			copy(p.Tiles[(i*f.A.NT+j)*tb:], t.Data)
+		}
+	}
+	for k, st := range f.steps {
+		if st == nil {
+			return nil, fmt.Errorf("core: step %d has no state to encode", k)
+		}
+		fs := facStep{
+			K:       st.k,
+			Rows:    append([]int(nil), st.rows...),
+			Variant: int(st.variant),
+			TGeqrt:  packKeyedMap(st.tGeqrt),
+			TKill:   packKeyedMap(st.tKill),
+		}
+		if f.report.Decisions[k] {
+			// The stacked panel factors and pivots matter only for the LU
+			// replay; a restored (QR-decided) trial would be dead weight.
+			fs.Piv = append([]int(nil), st.piv...)
+			fs.Stack = packMatrix(st.stack)
+		}
+		if st.inc != nil {
+			fs.HasInc = true
+			fs.Inc = facInc{L0: packMatrix(st.inc.l0), PivK: append([]int(nil), st.inc.piv[st.k]...)}
+			for i := st.k + 1; i < f.nt; i++ {
+				if st.inc.l[i] == nil {
+					continue
+				}
+				fs.Inc.Rows = append(fs.Inc.Rows, facKeyed{
+					I: i, M: packMatrix(st.inc.l[i]), Piv: append([]int(nil), st.inc.piv[i]...),
+				})
+			}
+		}
+		if st.hlu != nil {
+			fs.HasHLU = true
+			for _, op := range st.hlu.ops {
+				fs.HLU.Ops = append(fs.HLU.Ops, facOp{Kind: int(op.Kind), I: op.I, Piv: op.Piv})
+			}
+			for i, l := range st.hlu.headL {
+				if l == nil {
+					continue
+				}
+				fs.HLU.Heads = append(fs.HLU.Heads, facKeyed{
+					I: i, M: packMatrix(l), Piv: append([]int(nil), st.hlu.headPiv[i]...),
+				})
+			}
+			for i, pr := range st.hlu.pairs {
+				if pr == nil {
+					continue
+				}
+				fs.HLU.Pairs = append(fs.HLU.Pairs, facKeyed{
+					I: i, M: packMatrix(pr.s), Piv: append([]int(nil), pr.piv...),
+				})
+			}
+		}
+		p.Steps[k] = fs
+	}
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&p); err != nil {
+		return nil, fmt.Errorf("core: encoding factorization: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	out := bytes.NewBuffer(make([]byte, 0, factHeaderLen+payload.Len()))
+	out.Write(factMagic[:])
+	binary.Write(out, binary.LittleEndian, uint32(factEncodingVersion))
+	binary.Write(out, binary.LittleEndian, uint64(payload.Len()))
+	out.Write(sum[:])
+	out.Write(payload.Bytes())
+	return out.Bytes(), nil
+}
+
+// DecodeFactorization reconstructs a Result from a stream produced by
+// EncodeFactorization. The returned Result solves new right-hand sides via
+// Solve/SolveBatch exactly as the original would have (bit-identically); it
+// carries no trace and cannot be re-factored. A truncated, corrupted, or
+// version-skewed stream fails with a descriptive error and never yields a
+// partially initialized Result.
+func DecodeFactorization(data []byte) (*Result, error) {
+	if len(data) < factHeaderLen {
+		return nil, fmt.Errorf("core: factorization stream truncated: %d bytes, header needs %d", len(data), factHeaderLen)
+	}
+	if !bytes.Equal(data[:8], factMagic[:]) {
+		return nil, fmt.Errorf("core: not a factorization stream (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != factEncodingVersion {
+		return nil, fmt.Errorf("core: factorization version skew: stream v%d, this build reads v%d", v, factEncodingVersion)
+	}
+	plen := binary.LittleEndian.Uint64(data[12:20])
+	if uint64(len(data)-factHeaderLen) != plen {
+		return nil, fmt.Errorf("core: factorization stream truncated: %d payload bytes, header promises %d", len(data)-factHeaderLen, plen)
+	}
+	payload := data[factHeaderLen:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], data[20:20+sha256.Size]) {
+		return nil, fmt.Errorf("core: factorization checksum mismatch (corrupted payload)")
+	}
+
+	var p facPayload
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decoding factorization: %w", err)
+	}
+	if p.NB <= 0 || p.MT < 0 || p.NT < 0 {
+		return nil, fmt.Errorf("core: factorization payload with invalid shape mt=%d nt=%d nb=%d", p.MT, p.NT, p.NB)
+	}
+	tb := p.NB * p.NB
+	if len(p.Tiles) != p.MT*p.NT*tb {
+		return nil, fmt.Errorf("core: factorization payload holds %d tile elements, want %d", len(p.Tiles), p.MT*p.NT*tb)
+	}
+	if len(p.Decisions) != p.NT || len(p.Steps) != p.NT {
+		return nil, fmt.Errorf("core: factorization payload has %d decisions / %d steps for nt=%d", len(p.Decisions), len(p.Steps), p.NT)
+	}
+	if p.N < 0 || p.N > p.NT*p.NB {
+		return nil, fmt.Errorf("core: factorization payload order n=%d exceeds tiled order %d", p.N, p.NT*p.NB)
+	}
+
+	ta := tile.New(p.MT, p.NT, p.NB)
+	for i := 0; i < p.MT; i++ {
+		for j := 0; j < p.NT; j++ {
+			copy(ta.Tile(i, j).Data, p.Tiles[(i*p.NT+j)*tb:(i*p.NT+j+1)*tb])
+		}
+	}
+
+	f := &fact{
+		cfg: Config{
+			Alg:       Algorithm(p.Alg),
+			NB:        p.NB,
+			Grid:      tile.Grid{P: p.GridP, Q: p.GridQ},
+			Criterion: p.Criterion,
+			Scope:     Scope(p.Scope),
+			Variant:   LUVariant(p.Variant),
+			IntraTree: tree.Tree(p.IntraTree),
+			InterTree: tree.Tree(p.InterTree),
+			Seed:      p.Seed,
+		},
+		A:           ta,
+		nt:          p.NT,
+		nb:          p.NB,
+		steps:       make([]*stepState, p.NT),
+		diagSolvers: make([]func(b *mat.Matrix), p.NT),
+		report: &Report{
+			Alg: Algorithm(p.Alg), N: p.N, NB: p.NB, NT: p.NT,
+			GridP: p.GridP, GridQ: p.GridQ,
+			Decisions: append([]bool(nil), p.Decisions...),
+			LUSteps:   p.LUSteps, QRSteps: p.QRSteps,
+			Breakdown: p.Breakdown,
+			WallTime:  time.Duration(p.WallNS),
+			HPL3:      p.HPL3, Growth: p.Growth, PeakGrowth: p.PeakGrowth,
+		},
+	}
+
+	for k := range p.Steps {
+		st, err := unpackStep(&p.Steps[k], p.NT)
+		if err != nil {
+			return nil, fmt.Errorf("core: step %d: %w", k, err)
+		}
+		st.decision = p.Decisions[k]
+		f.steps[k] = st
+		// The B variants leave block-triangular factors; reinstall the
+		// diagonal solver exactly as submitVariantLUStep does.
+		if p.Decisions[k] && Algorithm(p.Alg) == LUQR {
+			f.installDiagSolver(st)
+		}
+	}
+
+	return &Result{X: p.X, Factored: ta, Report: f.report, f: f}, nil
+}
+
+// unpackStep inverts the facStep packing.
+func unpackStep(fs *facStep, nt int) (*stepState, error) {
+	st := &stepState{
+		k:       fs.K,
+		rows:    fs.Rows,
+		piv:     fs.Piv,
+		variant: LUVariant(fs.Variant),
+	}
+	var err error
+	if st.stack, err = unpackMatrix(fs.Stack); err != nil {
+		return nil, err
+	}
+	if len(fs.TGeqrt) > 0 || len(fs.TKill) > 0 {
+		st.tGeqrt = make(map[int]*mat.Matrix, len(fs.TGeqrt))
+		st.tKill = make(map[int]*mat.Matrix, len(fs.TKill))
+		for _, kv := range fs.TGeqrt {
+			if st.tGeqrt[kv.I], err = unpackMatrix(kv.M); err != nil {
+				return nil, err
+			}
+		}
+		for _, kv := range fs.TKill {
+			if st.tKill[kv.I], err = unpackMatrix(kv.M); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if fs.HasInc {
+		is := &incState{l: make([]*mat.Matrix, nt), piv: make([][]int, nt)}
+		if is.l0, err = unpackMatrix(fs.Inc.L0); err != nil {
+			return nil, err
+		}
+		if fs.K < 0 || fs.K >= nt {
+			return nil, fmt.Errorf("step index %d out of range", fs.K)
+		}
+		is.piv[fs.K] = fs.Inc.PivK
+		for _, kv := range fs.Inc.Rows {
+			if kv.I < 0 || kv.I >= nt {
+				return nil, fmt.Errorf("incpiv row %d out of range", kv.I)
+			}
+			if is.l[kv.I], err = unpackMatrix(kv.M); err != nil {
+				return nil, err
+			}
+			is.piv[kv.I] = kv.Piv
+		}
+		st.inc = is
+	}
+	if fs.HasHLU {
+		hs := &hluState{
+			headPiv: make([][]int, nt),
+			headL:   make([]*mat.Matrix, nt),
+			pairs:   make([]*pairLU, nt),
+		}
+		for _, op := range fs.HLU.Ops {
+			hs.ops = append(hs.ops, tree.Op{Kind: tree.Kind(op.Kind), I: op.I, Piv: op.Piv})
+		}
+		for _, kv := range fs.HLU.Heads {
+			if kv.I < 0 || kv.I >= nt {
+				return nil, fmt.Errorf("hlu head row %d out of range", kv.I)
+			}
+			if hs.headL[kv.I], err = unpackMatrix(kv.M); err != nil {
+				return nil, err
+			}
+			hs.headPiv[kv.I] = kv.Piv
+		}
+		for _, kv := range fs.HLU.Pairs {
+			if kv.I < 0 || kv.I >= nt {
+				return nil, fmt.Errorf("hlu pair row %d out of range", kv.I)
+			}
+			s, err := unpackMatrix(kv.M)
+			if err != nil {
+				return nil, err
+			}
+			hs.pairs[kv.I] = &pairLU{s: s, piv: kv.Piv}
+		}
+		st.hlu = hs
+	}
+	return st, nil
+}
+
+// installDiagSolver recreates the stored block-LU diagonal solver of a
+// decoded (B1)/(B2) LU step — the same closures submitVariantLUStep installs
+// during a live factorization.
+func (f *fact) installDiagSolver(st *stepState) {
+	k := st.k
+	switch st.variant {
+	case VarB1:
+		f.diagSolvers[k] = func(b *mat.Matrix) {
+			lapack.Getrs(blas.NoTrans, f.A.Tile(k, k), st.piv, b)
+		}
+	case VarB2:
+		t := st.tGeqrt[k]
+		f.diagSolvers[k] = func(b *mat.Matrix) {
+			lapack.Unmqr(blas.Trans, f.A.Tile(k, k), t, b)
+			blas.Trsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, f.A.Tile(k, k), b)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"luqr/internal/criteria"
+	"luqr/internal/mat"
+	"luqr/internal/matgen"
+	"luqr/internal/tile"
+)
+
+// roundTrip encodes res, decodes the stream, and fails the test on any
+// divergence in the carried solution or report scalars.
+func roundTrip(t *testing.T, res *Result) *Result {
+	t.Helper()
+	data, err := res.EncodeFactorization()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeFactorization(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.X) != len(res.X) {
+		t.Fatalf("decoded X has length %d, want %d", len(got.X), len(res.X))
+	}
+	for i := range res.X {
+		if got.X[i] != res.X[i] {
+			t.Fatalf("decoded X[%d] = %g, want %g", i, got.X[i], res.X[i])
+		}
+	}
+	r1, r2 := res.Report, got.Report
+	if r2.N != r1.N || r2.NB != r1.NB || r2.NT != r1.NT || r2.LUSteps != r1.LUSteps ||
+		r2.QRSteps != r1.QRSteps || r2.Breakdown != r1.Breakdown ||
+		r2.HPL3 != r1.HPL3 || r2.Growth != r1.Growth {
+		t.Fatalf("decoded report %+v diverges from %+v", r2, r1)
+	}
+	if len(r2.Decisions) != len(r1.Decisions) {
+		t.Fatalf("decoded %d decisions, want %d", len(r2.Decisions), len(r1.Decisions))
+	}
+	for k := range r1.Decisions {
+		if r2.Decisions[k] != r1.Decisions[k] {
+			t.Fatalf("decoded decision[%d] = %v, want %v", k, r2.Decisions[k], r1.Decisions[k])
+		}
+	}
+	return got
+}
+
+// assertReplaysIdentically drives both Results through Solve and SolveBatch
+// on fresh right-hand sides and demands bit-identical solutions — the
+// contract a warm-loaded service cache entry must honor.
+func assertReplaysIdentically(t *testing.T, want, got *Result, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b1 := matgen.RandomVector(n, rng)
+	x1, err := want.Solve(b1)
+	if err != nil {
+		t.Fatalf("original Solve: %v", err)
+	}
+	x2, err := got.Solve(b1)
+	if err != nil {
+		t.Fatalf("decoded Solve: %v", err)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("Solve diverges at x[%d]: %g vs %g", i, x1[i], x2[i])
+		}
+	}
+	bs := [][]float64{matgen.RandomVector(n, rng), matgen.RandomVector(n, rng), matgen.RandomVector(n, rng)}
+	xs1, err := want.SolveBatch(bs)
+	if err != nil {
+		t.Fatalf("original SolveBatch: %v", err)
+	}
+	xs2, err := got.SolveBatch(bs)
+	if err != nil {
+		t.Fatalf("decoded SolveBatch: %v", err)
+	}
+	for j := range xs1 {
+		for i := range xs1[j] {
+			if xs1[j][i] != xs2[j][i] {
+				t.Fatalf("SolveBatch diverges at x[%d][%d]: %g vs %g", j, i, xs1[j][i], xs2[j][i])
+			}
+		}
+	}
+}
+
+// TestSerializeRoundTripAllAlgorithms: every algorithm's replay state must
+// survive encode/decode bit-identically. The LUQR entries force mixed LU/QR
+// decision sequences (including pure-QR via alpha 0), and the grid entries
+// exercise multi-domain panels.
+func TestSerializeRoundTripAllAlgorithms(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"lunopiv", Config{Alg: LUNoPiv, NB: 16}},
+		{"lupp", Config{Alg: LUPP, NB: 16, Grid: tile.NewGrid(2, 2)}},
+		{"luincpiv", Config{Alg: LUIncPiv, NB: 16}},
+		{"hqr", Config{Alg: HQR, NB: 16, Grid: tile.NewGrid(2, 1)}},
+		{"calu", Config{Alg: CALU, NB: 16, Grid: tile.NewGrid(2, 1)}},
+		{"hlu", Config{Alg: HLU, NB: 16, Grid: tile.NewGrid(2, 1)}},
+		{"luqr-a1", Config{Alg: LUQR, NB: 16, Grid: tile.NewGrid(2, 2), Criterion: criteria.Max{Alpha: 1.5}}},
+		{"luqr-a1-pure-qr", Config{Alg: LUQR, NB: 16, Criterion: criteria.Max{Alpha: 0}}},
+		{"luqr-a2", Config{Alg: LUQR, NB: 16, Variant: VarA2, Criterion: criteria.Max{Alpha: 2}}},
+		{"luqr-b1", Config{Alg: LUQR, NB: 16, Variant: VarB1, Criterion: criteria.Max{Alpha: 2}}},
+		{"luqr-b2", Config{Alg: LUQR, NB: 16, Variant: VarB2, Criterion: criteria.Max{Alpha: 2}}},
+		{"luqr-random", Config{Alg: LUQR, NB: 16, Criterion: criteria.Random{Alpha: 50}, Seed: 11}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 64
+			rng := rand.New(rand.NewSource(77))
+			a := matgen.Random(n, rng)
+			b := matgen.RandomVector(n, rng)
+			res := runOn(t, a, b, tc.cfg)
+			got := roundTrip(t, res)
+			assertReplaysIdentically(t, res, got, n, 400)
+		})
+	}
+}
+
+// TestSerializeRoundTripPadded: a system whose order is not a tile multiple
+// is padded internally (§II-D.2); the decoded Result must keep solving at
+// the original order.
+func TestSerializeRoundTripPadded(t *testing.T) {
+	n := 50 // NB defaults to 40 → padded to 80
+	rng := rand.New(rand.NewSource(78))
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	res, err := Run(a, b, Config{Alg: LUQR, Criterion: criteria.Max{Alpha: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, res)
+	if got.Report.N != n {
+		t.Fatalf("decoded Report.N = %d, want %d", got.Report.N, n)
+	}
+	assertReplaysIdentically(t, res, got, n, 401)
+}
+
+// TestSerializeRejectsDamage: every class of on-disk damage — truncation,
+// bad magic, version skew, and payload corruption — must fail decoding with
+// a descriptive error, never a wrong Result.
+func TestSerializeRejectsDamage(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	n := 32
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	res := runOn(t, a, b, Config{Alg: LUNoPiv, NB: 16})
+	data, err := res.EncodeFactorization()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty", func(d []byte) []byte { return nil }, "truncated"},
+		{"header-only", func(d []byte) []byte { return d[:20] }, "truncated"},
+		{"truncated-payload", func(d []byte) []byte { return d[:len(d)-7] }, "truncated"},
+		{"bad-magic", func(d []byte) []byte {
+			d[0] = 'X'
+			return d
+		}, "bad magic"},
+		{"version-skew", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[8:12], factEncodingVersion+1)
+			return d
+		}, "version skew"},
+		{"flipped-payload-byte", func(d []byte) []byte {
+			d[len(d)-1] ^= 0x40
+			return d
+		}, "checksum"},
+		{"flipped-checksum-byte", func(d []byte) []byte {
+			d[24] ^= 0x01
+			return d
+		}, "checksum"},
+	}
+	for _, tc := range damage {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.mutate(append([]byte(nil), data...))
+			if _, err := DecodeFactorization(d); err == nil {
+				t.Fatal("decode accepted damaged stream")
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// The undamaged copy still decodes after all that slicing around.
+	if _, err := DecodeFactorization(data); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+}
+
+// TestSerializeDeterministic: encoding the same Result twice yields the same
+// bytes — map iteration order and other nondeterminism must not leak into
+// the stream (the service stores and checksums these files).
+func TestSerializeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	n := 64
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	// HQR has the richest reflector maps (tGeqrt + tKill per step).
+	res := runOn(t, a, b, Config{Alg: HQR, NB: 16, Grid: tile.NewGrid(2, 1)})
+	d1, err := res.EncodeFactorization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := res.EncodeFactorization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("two encodings of one Result differ")
+	}
+}
+
+// TestSerializeCriterionSurvives: the decoded config carries the criterion
+// (type and threshold), which the service reports in job views.
+func TestSerializeCriterionSurvives(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	n := 32
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	res := runOn(t, a, b, Config{Alg: LUQR, NB: 16, Criterion: criteria.Sum{Alpha: 7.5}})
+	got := roundTrip(t, res)
+	c, ok := got.f.cfg.Criterion.(criteria.Sum)
+	if !ok {
+		t.Fatalf("decoded criterion has type %T, want criteria.Sum", got.f.cfg.Criterion)
+	}
+	if c.Alpha != 7.5 {
+		t.Fatalf("decoded alpha = %g, want 7.5", c.Alpha)
+	}
+}
+
+// TestSerializeResultWithoutState: a Result that carries no factorization
+// state (never produced by Run, but constructible) must refuse to encode.
+func TestSerializeResultWithoutState(t *testing.T) {
+	if _, err := (&Result{X: []float64{1}}).EncodeFactorization(); err == nil {
+		t.Fatal("encode of a state-less Result succeeded")
+	}
+}
+
+// TestSerializeRefineWorks: the decoded factorization also backs iterative
+// refinement (it goes through Solve).
+func TestSerializeRefineWorks(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	n := 32
+	a := matgen.Random(n, rng)
+	xTrue := matgen.RandomVector(n, rng)
+	b := mat.MulVec(a, xTrue)
+	res := runOn(t, a, b, Config{Alg: LUPP, NB: 16})
+	got := roundTrip(t, res)
+	refined, err := got.Refine(a, b, got.X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refined) != n {
+		t.Fatalf("refined solution has length %d, want %d", len(refined), n)
+	}
+}

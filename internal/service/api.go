@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"luqr/internal/core"
@@ -23,16 +24,21 @@ type MatrixSpec struct {
 
 // ConfigSpec is the wire form of core.Config. Zero values take the library
 // defaults (alg=luqr, nb=40, 1x1 grid, max criterion with alpha=100).
+//
+// Alpha is a pointer so an explicit `"alpha": 0` — the α = 0 degenerate
+// case of §III, where every criterion refuses LU and the run is pure HQR —
+// is distinguishable from the field being absent (default α = 100). A plain
+// float64 silently remapped requested-0 to 100.
 type ConfigSpec struct {
-	Alg       string  `json:"alg,omitempty"`
-	NB        int     `json:"nb,omitempty"`
-	P         int     `json:"p,omitempty"`
-	Q         int     `json:"q,omitempty"`
-	Criterion string  `json:"criterion,omitempty"`
-	Alpha     float64 `json:"alpha,omitempty"`
-	Variant   string  `json:"variant,omitempty"`
-	Workers   int     `json:"workers,omitempty"`
-	Seed      int64   `json:"seed,omitempty"`
+	Alg       string   `json:"alg,omitempty"`
+	NB        int      `json:"nb,omitempty"`
+	P         int      `json:"p,omitempty"`
+	Q         int      `json:"q,omitempty"`
+	Criterion string   `json:"criterion,omitempty"`
+	Alpha     *float64 `json:"alpha,omitempty"`
+	Variant   string   `json:"variant,omitempty"`
+	Workers   int      `json:"workers,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
 }
 
 // SubmitRequest is the body of POST /v1/jobs. RHS is optional: jobs
@@ -116,14 +122,19 @@ func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int) (*parsedRequ
 		return nil, fmt.Errorf("config.p and config.q must be non-negative")
 	}
 	cfg.Grid.P, cfg.Grid.Q = cs.P, cs.Q
+	if cs.Alpha != nil && (*cs.Alpha < 0 || math.IsNaN(*cs.Alpha)) {
+		return nil, fmt.Errorf("config.alpha must be non-negative, got %g", *cs.Alpha)
+	}
 	critName := cs.Criterion
 	if cfg.Alg == core.LUQR {
 		if critName == "" {
 			critName = "max"
 		}
-		alpha := cs.Alpha
-		if alpha == 0 {
-			alpha = 100
+		// An absent alpha takes the paper's default threshold 100; an
+		// explicit 0 is honored (pure HQR: no pivot ever clears α·reference).
+		alpha := 100.0
+		if cs.Alpha != nil {
+			alpha = *cs.Alpha
 		}
 		crit, err := criteria.Parse(critName, alpha)
 		if err != nil {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -10,12 +11,18 @@ import (
 	"luqr/internal/core"
 )
 
-// digestKey derives the factorization-cache key: a SHA-256 over the
-// operator identity and every config field that affects the stored factors.
-// Generator-specified matrices hash their (gen, n, seed) triple; explicit
-// matrices hash the raw float64 bits. Workers and tracing are deliberately
-// excluded — the runtime guarantees bit-identical factors for any worker
-// count, so they must not split the cache.
+// digestKey derives the factorization-cache key: the full SHA-256 (64 hex
+// chars) over the operator identity and every config field that affects the
+// stored factors. Generator-specified matrices hash their (gen, n, seed)
+// triple; explicit matrices hash the raw float64 bits. Workers and tracing
+// are deliberately excluded — the runtime guarantees bit-identical factors
+// for any worker count, so they must not split the cache.
+//
+// The full digest is used everywhere a key identifies a factorization:
+// in-memory cache entries, job status views, and the on-disk factor store's
+// filenames (which outlive the process, so truncation-induced collisions
+// would silently serve one operator's factors for another). Display
+// surfaces may shorten it with ShortDigest.
 func digestKey(spec MatrixSpec, cfg core.Config, criterion string) string {
 	h := sha256.New()
 	if spec.Gen != "" {
@@ -30,7 +37,17 @@ func digestKey(spec MatrixSpec, cfg core.Config, criterion string) string {
 	}
 	fmt.Fprintf(h, "|alg=%s nb=%d grid=%dx%d crit=%s variant=%s scope=%d seed=%d",
 		cfg.Alg, cfg.NB, cfg.Grid.P, cfg.Grid.Q, criterion, cfg.Variant, cfg.Scope, cfg.Seed)
-	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// ShortDigest is the documented display form of a cache key: the first 12
+// hex characters, for logs and human-facing views only. Never use it to
+// address a factorization — only the full digest is collision-safe.
+func ShortDigest(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // entry is one cached factorization. ready closes when the creator finishes
@@ -119,60 +136,73 @@ func (e *entry) drainBatches(met *Metrics) {
 	}
 }
 
-// cache is the LRU factorization cache. Only completed entries are evicted;
-// in-flight factorizations always survive until their creator completes
-// them.
+// cache is the LRU factorization cache, optionally backed by a disk store.
+// Only completed entries are evicted; in-flight factorizations always
+// survive until their creator completes them. Recency is tracked with a
+// container/list so lookups touch in O(1) instead of scanning an order
+// slice.
 type cache struct {
 	mu      sync.Mutex
 	cap     int
 	met     *Metrics
-	entries map[string]*entry
-	order   []string // LRU order: least recently used first
+	entries map[string]*list.Element // key → element; element value is *entry
+	lru     *list.List               // front = least recently used
+
+	store  *store // nil when persistence is disabled
+	spills sync.WaitGroup
 }
 
 func newCache(capacity int, met *Metrics) *cache {
-	return &cache{cap: capacity, met: met, entries: make(map[string]*entry)}
-}
-
-// touch moves key to the most-recently-used end. Caller holds c.mu.
-func (c *cache) touch(key string) {
-	for i, k := range c.order {
-		if k == key {
-			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
-			return
-		}
+	return &cache{
+		cap:     capacity,
+		met:     met,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
 	}
-	c.order = append(c.order, key)
 }
 
 // lookup returns the entry for key, marking it recently used.
 func (c *cache) lookup(key string) (*entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[key]
-	if ok {
-		c.touch(key)
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
 	}
-	return e, ok
+	c.lru.MoveToBack(el)
+	return el.Value.(*entry), true
 }
 
 // getOrCreate returns the entry for key, creating an in-flight one (ready
 // open) when absent; created reports whether this caller must factor and
-// complete it. Creation evicts the least-recently-used completed entry
-// beyond capacity.
+// complete it. A freshly created entry is first offered a lazy warm load
+// from the disk store (when one is configured): on success the entry
+// completes immediately and created is false — the caller treats it exactly
+// like an in-memory hit. Creation evicts the least-recently-used completed
+// entry beyond capacity.
 func (c *cache) getOrCreate(key string) (e *entry, created bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok {
-		c.touch(key)
-		return e, false
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToBack(el)
+		c.mu.Unlock()
+		return el.Value.(*entry), false
 	}
 	e = &entry{key: key, ready: make(chan struct{})}
-	c.entries[key] = e
-	c.touch(key)
+	c.entries[key] = c.lru.PushBack(e)
 	for len(c.entries) > c.cap {
 		if !c.evictOldestDone() {
 			break // every older entry is in flight; allow transient over-cap
+		}
+	}
+	c.mu.Unlock()
+
+	// Warm load outside the cache lock: disk I/O and gob decoding must not
+	// stall unrelated lookups. Concurrent callers for this key share the
+	// in-flight entry and wait on ready either way.
+	if c.store != nil {
+		if res, ok := c.store.loadResult(key); ok {
+			e.complete(res, nil)
+			return e, false
 		}
 	}
 	return e, true
@@ -181,12 +211,12 @@ func (c *cache) getOrCreate(key string) (e *entry, created bool) {
 // evictOldestDone removes the least-recently-used completed entry,
 // reporting whether one was found. Caller holds c.mu.
 func (c *cache) evictOldestDone() bool {
-	for i, k := range c.order {
-		e := c.entries[k]
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
 		select {
 		case <-e.ready:
-			delete(c.entries, k)
-			c.order = append(c.order[:i:i], c.order[i+1:]...)
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
 			if c.met != nil {
 				c.met.CacheEvictions.Add(1)
 			}
@@ -201,17 +231,30 @@ func (c *cache) evictOldestDone() bool {
 func (c *cache) remove(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; !ok {
+	el, ok := c.entries[key]
+	if !ok {
 		return
 	}
+	c.lru.Remove(el)
 	delete(c.entries, key)
-	for i, k := range c.order {
-		if k == key {
-			c.order = append(c.order[:i:i], c.order[i+1:]...)
-			break
-		}
-	}
 }
+
+// spill asynchronously persists a freshly computed factorization to the
+// disk store. A no-op without a store. The spill WaitGroup lets Drain flush
+// in-flight spills before the process exits.
+func (c *cache) spill(key string, res *core.Result) {
+	if c.store == nil || res == nil {
+		return
+	}
+	c.spills.Add(1)
+	go func() {
+		defer c.spills.Done()
+		c.store.spill(key, res)
+	}()
+}
+
+// waitSpills blocks until every in-flight spill has landed (or failed).
+func (c *cache) waitSpills() { c.spills.Wait() }
 
 // len reports the number of cached entries.
 func (c *cache) len() int {

@@ -139,16 +139,19 @@ type ReportView struct {
 	WallMS    float64  `json:"wall_ms"`
 }
 
-// JobView is the JSON shape of GET /v1/jobs/{id}.
+// JobView is the JSON shape of GET /v1/jobs/{id}. CacheKey is the full
+// SHA-256 digest — it names the factorization in the cache and the disk
+// store; CacheKeyShort is the documented 12-hex display form.
 type JobView struct {
-	ID          string      `json:"id"`
-	State       State       `json:"state"`
-	Error       string      `json:"error,omitempty"`
-	CacheKey    string      `json:"cache_key"`
-	SubmittedMS int64       `json:"submitted_unix_ms"`
-	StartedMS   int64       `json:"started_unix_ms,omitempty"`
-	FinishedMS  int64       `json:"finished_unix_ms,omitempty"`
-	Report      *ReportView `json:"report,omitempty"`
+	ID            string      `json:"id"`
+	State         State       `json:"state"`
+	Error         string      `json:"error,omitempty"`
+	CacheKey      string      `json:"cache_key"`
+	CacheKeyShort string      `json:"cache_key_short"`
+	SubmittedMS   int64       `json:"submitted_unix_ms"`
+	StartedMS     int64       `json:"started_unix_ms,omitempty"`
+	FinishedMS    int64       `json:"finished_unix_ms,omitempty"`
+	Report        *ReportView `json:"report,omitempty"`
 }
 
 // View snapshots the job for the status endpoint.
@@ -156,10 +159,11 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:          j.ID,
-		State:       j.state,
-		CacheKey:    j.req.key,
-		SubmittedMS: j.submitted.UnixMilli(),
+		ID:            j.ID,
+		State:         j.state,
+		CacheKey:      j.req.key,
+		CacheKeyShort: ShortDigest(j.req.key),
+		SubmittedMS:   j.submitted.UnixMilli(),
 	}
 	if !j.started.IsZero() {
 		v.StartedMS = j.started.UnixMilli()

@@ -26,6 +26,17 @@ type Metrics struct {
 	SolveBatchedRHS atomic.Int64
 	SolveMaxBatch   atomic.Int64
 
+	// Factor-store counters (all zero when persistence is disabled).
+	StoreWarmHits    atomic.Int64 // cache misses served by a disk load
+	StoreLoadErrors  atomic.Int64 // damaged/unreadable files (quarantined)
+	StoreLoadBytes   atomic.Int64
+	StoreLoadNS      atomic.Int64
+	StoreSpills      atomic.Int64
+	StoreSpillErrors atomic.Int64
+	StoreSpillBytes  atomic.Int64
+	StoreSpillNS     atomic.Int64
+	StoreEvictions   atomic.Int64 // files evicted by the byte cap
+
 	mu      sync.Mutex
 	kernels runtime.StatsSnapshot
 	sched   runtime.SchedCounters
@@ -95,6 +106,22 @@ type MetricsSnapshot struct {
 		MaxBatch   int64   `json:"max_batch"`
 	} `json:"solve"`
 
+	Store struct {
+		Enabled     bool    `json:"enabled"`
+		Files       int     `json:"files"`
+		Bytes       int64   `json:"bytes"`
+		MaxBytes    int64   `json:"max_bytes"`
+		WarmHits    int64   `json:"warm_hits"`
+		LoadErrors  int64   `json:"load_errors"`
+		LoadBytes   int64   `json:"load_bytes"`
+		MeanLoadMS  float64 `json:"mean_load_ms"`
+		Spills      int64   `json:"spills"`
+		SpillErrors int64   `json:"spill_errors"`
+		SpillBytes  int64   `json:"spill_bytes"`
+		MeanSpillMS float64 `json:"mean_spill_ms"`
+		Evictions   int64   `json:"evictions"`
+	} `json:"store"`
+
 	Kernels runtime.StatsSnapshot `json:"kernels"`
 
 	Sched struct {
@@ -149,6 +176,25 @@ func (m *Manager) MetricsSnapshot() MetricsSnapshot {
 		s.Solve.MeanBatch = float64(s.Solve.BatchedRHS) / float64(s.Solve.Batches)
 	}
 	s.Solve.MaxBatch = m.met.SolveMaxBatch.Load()
+
+	if st := m.cache.store; st != nil {
+		s.Store.Enabled = true
+		s.Store.Files, s.Store.Bytes = st.stats()
+		s.Store.MaxBytes = st.maxBytes
+		s.Store.WarmHits = m.met.StoreWarmHits.Load()
+		s.Store.LoadErrors = m.met.StoreLoadErrors.Load()
+		s.Store.LoadBytes = m.met.StoreLoadBytes.Load()
+		if s.Store.WarmHits > 0 {
+			s.Store.MeanLoadMS = float64(m.met.StoreLoadNS.Load()) / float64(s.Store.WarmHits) / 1e6
+		}
+		s.Store.Spills = m.met.StoreSpills.Load()
+		s.Store.SpillErrors = m.met.StoreSpillErrors.Load()
+		s.Store.SpillBytes = m.met.StoreSpillBytes.Load()
+		if s.Store.Spills > 0 {
+			s.Store.MeanSpillMS = float64(m.met.StoreSpillNS.Load()) / float64(s.Store.Spills) / 1e6
+		}
+		s.Store.Evictions = m.met.StoreEvictions.Load()
+	}
 
 	m.met.mu.Lock()
 	s.Kernels = m.met.kernels

@@ -75,6 +75,14 @@ type Options struct {
 	// NoTrace disables per-job tracing. By default jobs run with tracing on
 	// and the measured per-kernel totals accumulate into /metrics.
 	NoTrace bool
+	// StoreDir enables the disk-backed factor store: completed
+	// factorizations spill to <StoreDir>/<digest>.fact and warm-load on a
+	// cache miss after a restart. Empty disables persistence.
+	StoreDir string
+	// StoreMaxBytes caps the factor store's total on-disk size; the coldest
+	// files are evicted beyond it. Default 1 GiB. Only meaningful with
+	// StoreDir.
+	StoreMaxBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +100,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 1024
+	}
+	if o.StoreMaxBytes <= 0 {
+		o.StoreMaxBytes = 1 << 30
 	}
 	return o
 }
@@ -116,8 +127,11 @@ type Manager struct {
 	wg       sync.WaitGroup
 }
 
-// NewManager starts a manager with opts.Concurrency job workers.
-func NewManager(opts Options) *Manager {
+// NewManager starts a manager with opts.Concurrency job workers. With
+// Options.StoreDir set, it also opens the disk-backed factor store (creating
+// the directory, adopting existing spills, cleaning up crashed writes) —
+// failure there fails construction.
+func NewManager(opts Options) (*Manager, error) {
 	opts = opts.withDefaults()
 	m := &Manager{
 		opts:    opts,
@@ -127,12 +141,19 @@ func NewManager(opts Options) *Manager {
 		start:   time.Now(),
 	}
 	m.cache = newCache(opts.CacheEntries, &m.met)
+	if opts.StoreDir != "" {
+		st, err := newStore(opts.StoreDir, opts.StoreMaxBytes, &m.met)
+		if err != nil {
+			return nil, err
+		}
+		m.cache.store = st
+	}
 	m.root, m.cancel = context.WithCancel(context.Background())
 	m.wg.Add(opts.Concurrency)
 	for i := 0; i < opts.Concurrency; i++ {
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
 
 // Options returns the effective (defaulted) options.
@@ -264,6 +285,8 @@ func (m *Manager) runJob(j *Job) {
 			res.Report.Trace = nil
 		}
 		m.met.AddSched(res.Report.Sched)
+		// Persist the fresh factorization (async; Drain flushes stragglers).
+		m.cache.spill(j.req.key, res)
 	}
 	e.complete(res, err)
 	if err != nil {
@@ -341,6 +364,11 @@ func (m *Manager) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()
+		// Flush in-flight factor spills before declaring the drain complete:
+		// a restart should find everything the old process factored. Each
+		// spill starts before its worker exits, so the WaitGroup ordering
+		// holds.
+		m.cache.waitSpills()
 		close(done)
 	}()
 	select {

@@ -18,6 +18,17 @@ import (
 	"luqr/internal/matgen"
 )
 
+// mustManager builds a Manager or fails the test (NewManager can only fail
+// on factor-store setup, which these options don't use).
+func mustManager(t *testing.T, opts Options) *Manager {
+	t.Helper()
+	m, err := NewManager(opts)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
 func postJSON(t *testing.T, client *http.Client, url string, body any) (int, []byte) {
 	t.Helper()
 	buf, err := json.Marshal(body)
@@ -54,7 +65,7 @@ func getJSON(t *testing.T, client *http.Client, url string, v any) int {
 // solve calls against the now-cached factorization and assert via /metrics
 // that neither re-factored.
 func TestServiceEndToEnd(t *testing.T) {
-	m := NewManager(Options{QueueSize: 8, Concurrency: 2, CacheEntries: 4})
+	m := mustManager(t, Options{QueueSize: 8, Concurrency: 2, CacheEntries: 4})
 	defer m.Drain(context.Background())
 	ts := httptest.NewServer(NewServer(m, 0))
 	defer ts.Close()
@@ -181,7 +192,7 @@ func TestServiceEndToEnd(t *testing.T) {
 // TestQueueFull429 fills a 1-slot queue behind a single busy worker and
 // asserts the service answers 429 rather than queueing unboundedly.
 func TestQueueFull429(t *testing.T) {
-	m := NewManager(Options{QueueSize: 1, Concurrency: 1, CacheEntries: 4})
+	m := mustManager(t, Options{QueueSize: 1, Concurrency: 1, CacheEntries: 4})
 	defer m.Drain(context.Background())
 	ts := httptest.NewServer(NewServer(m, 0))
 	defer ts.Close()
@@ -225,7 +236,7 @@ func TestQueueFull429(t *testing.T) {
 // TestDrainCompletesRunningJobs starts work, then drains: the running and
 // queued jobs must finish, and post-drain submissions must be refused.
 func TestDrainCompletesRunningJobs(t *testing.T) {
-	m := NewManager(Options{QueueSize: 4, Concurrency: 1, CacheEntries: 4})
+	m := mustManager(t, Options{QueueSize: 4, Concurrency: 1, CacheEntries: 4})
 	var jobs []*Job
 	for i := 0; i < 2; i++ {
 		p, err := parse(MatrixSpec{N: 480, Gen: "random", Seed: int64(200 + i)},
@@ -261,7 +272,7 @@ func TestDrainCompletesRunningJobs(t *testing.T) {
 // TestCancelQueuedJob cancels a job stuck behind a busy worker before it
 // runs.
 func TestCancelQueuedJob(t *testing.T) {
-	m := NewManager(Options{QueueSize: 4, Concurrency: 1, CacheEntries: 4})
+	m := mustManager(t, Options{QueueSize: 4, Concurrency: 1, CacheEntries: 4})
 	defer m.Drain(context.Background())
 	ts := httptest.NewServer(NewServer(m, 0))
 	defer ts.Close()
@@ -361,7 +372,7 @@ func TestSolveBatchingDeterministic(t *testing.T) {
 // TestConcurrentSolvesShareOneFactorization fires many concurrent solves of
 // one cold operator; exactly one factorization may run.
 func TestConcurrentSolvesShareOneFactorization(t *testing.T) {
-	m := NewManager(Options{QueueSize: 16, Concurrency: 2, CacheEntries: 4})
+	m := mustManager(t, Options{QueueSize: 16, Concurrency: 2, CacheEntries: 4})
 	defer m.Drain(context.Background())
 
 	const n, workers = 480, 6
@@ -423,11 +434,12 @@ func TestDigestKey(t *testing.T) {
 		t.Fatal("worker count split the cache key")
 	}
 	// Anything numerically relevant must split it.
+	alpha50 := 50.0
 	for name, cs := range map[string]ConfigSpec{
 		"nb":        {NB: 80},
 		"alg":       {NB: 40, Alg: "hqr"},
 		"criterion": {NB: 40, Criterion: "sum"},
-		"alpha":     {NB: 40, Alpha: 50},
+		"alpha":     {NB: 40, Alpha: &alpha50},
 		"grid":      {NB: 40, P: 2, Q: 2},
 	} {
 		p, err := parse(MatrixSpec{N: 160, Gen: "random", Seed: 1}, cs, nil, 4096)
@@ -497,7 +509,7 @@ func TestCacheLRUEvictsOnlyCompleted(t *testing.T) {
 }
 
 func TestHTTPValidation(t *testing.T) {
-	m := NewManager(Options{QueueSize: 4, Concurrency: 1, MaxN: 512})
+	m := mustManager(t, Options{QueueSize: 4, Concurrency: 1, MaxN: 512})
 	defer m.Drain(context.Background())
 	ts := httptest.NewServer(NewServer(m, 2048)) // tiny body limit for the 413 case
 	defer ts.Close()

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"luqr/internal/core"
+)
+
+// store is the disk-backed factor store: completed factorizations are
+// serialized via core.EncodeFactorization and spilled to
+// <dir>/<full-digest>.fact, so a restarted server warm-loads them instead of
+// re-paying O(N³). The store is byte-capped: an LRU over the files (seeded
+// from modification times at startup, maintained by touches afterwards)
+// evicts the coldest factorizations once the cap is exceeded.
+//
+// Durability posture: writes are crash-safe (temp file in the same
+// directory + rename, so a file either exists completely or not at all) and
+// every load re-verifies the stream's checksum/version header. Any damaged,
+// truncated, or version-skewed file is logged, quarantined (deleted), and
+// treated as a cache miss — the service re-factors; it never serves a wrong
+// answer from disk.
+type store struct {
+	dir      string
+	maxBytes int64
+	met      *Metrics
+
+	mu    sync.Mutex
+	size  int64
+	files map[string]*list.Element // digest → element in lru
+	lru   *list.List               // front = coldest, back = hottest; values *storeFile
+}
+
+// storeFile is the accounting record of one spilled factorization.
+type storeFile struct {
+	key  string
+	size int64
+}
+
+const factExt = ".fact"
+
+// newStore opens (creating if needed) the factor store at dir. Leftover
+// temp files from a crashed writer are removed, existing .fact files are
+// adopted into the LRU ordered by modification time, and the byte cap is
+// enforced immediately.
+func newStore(dir string, maxBytes int64, met *Metrics) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating store dir: %w", err)
+	}
+	s := &store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		met:      met,
+		files:    make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: scanning store dir: %w", err)
+	}
+	type found struct {
+		key  string
+		size int64
+		mod  time.Time
+	}
+	var adopt []found
+	for _, de := range entries {
+		name := de.Name()
+		switch {
+		case de.IsDir():
+			continue
+		case strings.HasSuffix(name, ".tmp"):
+			// A writer died mid-spill; the rename never happened.
+			_ = os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, factExt):
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			adopt = append(adopt, found{
+				key:  strings.TrimSuffix(name, factExt),
+				size: info.Size(),
+				mod:  info.ModTime(),
+			})
+		}
+	}
+	sort.Slice(adopt, func(i, j int) bool { return adopt[i].mod.Before(adopt[j].mod) })
+	for _, f := range adopt {
+		s.files[f.key] = s.lru.PushBack(&storeFile{key: f.key, size: f.size})
+		s.size += f.size
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+func (s *store) path(key string) string { return filepath.Join(s.dir, key+factExt) }
+
+// spill serializes res and writes it under key, crash-safely. Errors are
+// logged and counted, never propagated: a failed spill only costs a future
+// warm start.
+func (s *store) spill(key string, res *core.Result) {
+	start := time.Now()
+	data, err := res.EncodeFactorization()
+	if err != nil {
+		log.Printf("luqr-serve: store: encoding %s: %v", ShortDigest(key), err)
+		s.met.StoreSpillErrors.Add(1)
+		return
+	}
+	if int64(len(data)) > s.maxBytes {
+		// The file would be evicted the moment it lands; don't write it.
+		log.Printf("luqr-serve: store: %s is %d bytes, over the %d-byte cap; not spilling",
+			ShortDigest(key), len(data), s.maxBytes)
+		s.met.StoreSpillErrors.Add(1)
+		return
+	}
+	if err := s.writeFile(key, data); err != nil {
+		log.Printf("luqr-serve: store: writing %s: %v", ShortDigest(key), err)
+		s.met.StoreSpillErrors.Add(1)
+		return
+	}
+	s.met.StoreSpills.Add(1)
+	s.met.StoreSpillBytes.Add(int64(len(data)))
+	s.met.StoreSpillNS.Add(time.Since(start).Nanoseconds())
+}
+
+// writeFile lands data at path(key) via temp-file + rename in the same
+// directory, then folds the file into the accounting and enforces the cap.
+func (s *store) writeFile(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".spill-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Sync before rename: otherwise a crash can leave the *renamed* file
+	// with torn contents, which the checksum would catch but a full sync
+	// avoids having to.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.mu.Lock()
+	if el, ok := s.files[key]; ok {
+		// Replaced an existing spill (e.g. re-factored after an in-memory
+		// eviction): swap the accounting instead of double-counting.
+		s.size -= el.Value.(*storeFile).size
+		s.lru.Remove(el)
+	}
+	s.files[key] = s.lru.PushBack(&storeFile{key: key, size: int64(len(data))})
+	s.size += int64(len(data))
+	s.evictLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// loadResult attempts a warm load of key from disk. A missing file is a
+// plain miss; a damaged one (torn write, bit rot, version skew) is logged,
+// quarantined, and reported as a miss so the caller re-factors.
+func (s *store) loadResult(key string) (*core.Result, bool) {
+	start := time.Now()
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Printf("luqr-serve: store: reading %s: %v", ShortDigest(key), err)
+			s.met.StoreLoadErrors.Add(1)
+		}
+		return nil, false
+	}
+	res, err := core.DecodeFactorization(data)
+	if err != nil {
+		log.Printf("luqr-serve: store: quarantining %s: %v", ShortDigest(key), err)
+		s.met.StoreLoadErrors.Add(1)
+		s.removeFile(key)
+		return nil, false
+	}
+	s.mu.Lock()
+	if el, ok := s.files[key]; ok {
+		s.lru.MoveToBack(el)
+	}
+	s.mu.Unlock()
+	s.met.StoreWarmHits.Add(1)
+	s.met.StoreLoadBytes.Add(int64(len(data)))
+	s.met.StoreLoadNS.Add(time.Since(start).Nanoseconds())
+	return res, true
+}
+
+// removeFile deletes key's spill and drops it from the accounting.
+func (s *store) removeFile(key string) {
+	s.mu.Lock()
+	if el, ok := s.files[key]; ok {
+		s.size -= el.Value.(*storeFile).size
+		s.lru.Remove(el)
+		delete(s.files, key)
+	}
+	s.mu.Unlock()
+	_ = os.Remove(s.path(key))
+}
+
+// evictLocked deletes coldest-first until the store fits the byte cap.
+// Caller holds s.mu.
+func (s *store) evictLocked() {
+	for s.size > s.maxBytes {
+		el := s.lru.Front()
+		if el == nil {
+			return
+		}
+		f := el.Value.(*storeFile)
+		s.lru.Remove(el)
+		delete(s.files, f.key)
+		s.size -= f.size
+		_ = os.Remove(s.path(f.key))
+		s.met.StoreEvictions.Add(1)
+	}
+}
+
+// stats samples the store occupancy for /metrics.
+func (s *store) stats() (files int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.files), s.size
+}

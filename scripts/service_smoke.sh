@@ -77,4 +77,54 @@ wait "$PID" 2>/dev/null && RC=0 || RC=$?
 grep -q "drained cleanly" "$DIR/serve.log" || { echo "no clean drain in log:"; cat "$DIR/serve.log"; exit 1; }
 [ "$RC" = 0 ] || { echo "server exited with $RC"; cat "$DIR/serve.log"; exit 1; }
 PID=
+
+echo "== warm restart (factor store survives SIGTERM)"
+STORE="$DIR/store"
+"$DIR/luqr-serve" -addr "$ADDR" -concurrency 2 -queue 8 -drain 30s -store-dir "$STORE" >"$DIR/serve2.log" 2>&1 &
+PID=$!
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "store-backed server never became healthy"; cat "$DIR/serve2.log"; exit 1; }
+  sleep 0.1
+done
+curl -sf -X POST -d "$SOLVE" "$BASE/v1/solve" >"$DIR/x1.json"
+kill -TERM "$PID"
+for i in $(seq 1 100); do
+  kill -0 "$PID" 2>/dev/null || break
+  [ "$i" = 100 ] && { echo "store-backed server did not exit after SIGTERM"; cat "$DIR/serve2.log"; exit 1; }
+  sleep 0.2
+done
+wait "$PID" 2>/dev/null || true
+PID=
+ls "$STORE"/*.fact >/dev/null 2>&1 || { echo "no .fact spill in $STORE after drain"; ls -la "$STORE"; exit 1; }
+
+"$DIR/luqr-serve" -addr "$ADDR" -concurrency 2 -queue 8 -drain 30s -store-dir "$STORE" >"$DIR/serve3.log" 2>&1 &
+PID=$!
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "restarted server never became healthy"; cat "$DIR/serve3.log"; exit 1; }
+  sleep 0.1
+done
+curl -sf -X POST -d "$SOLVE" "$BASE/v1/solve" >"$DIR/x2.json"
+python3 -c '
+import json
+x1 = json.load(open("'"$DIR"'/x1.json"))["x"]
+x2 = json.load(open("'"$DIR"'/x2.json"))["x"]
+assert x1 == x2, "warm-restarted solve is not bit-identical to the original"
+print("restart: solution bit-identical across restart (%d entries)" % len(x2))'
+curl -sf "$BASE/metrics" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)
+st = m["store"]
+assert st["enabled"], "store not enabled despite -store-dir"
+assert st["warm_hits"] >= 1, "restart did not warm-load from disk (warm_hits=%d)" % st["warm_hits"]
+assert m["cache"]["misses"] == 0, "restart re-factored instead of warm-loading (misses=%d)" % m["cache"]["misses"]
+print("restart: warm_hits=%d misses=0 files=%d" % (st["warm_hits"], st["files"]))'
+kill -TERM "$PID"
+for i in $(seq 1 100); do
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.2
+done
+wait "$PID" 2>/dev/null || true
+PID=
 echo "service smoke: OK"
