@@ -46,8 +46,30 @@ bench:
 bench-kernels:
 	$(GO) run ./cmd/luqr-bench -json BENCH_kernels.json
 
-# bench-solver regenerates the worker-scaling scheduler baseline
-# (end-to-end wall/GFLOP/s and dispatch ns/task vs. the single-heap seed).
+# bench-solver regenerates the schema-2 solver baseline at production sizes
+# (default N=4096 nb=192): measured worker + tile-order sweeps, the simulated
+# DAG-scaling curve, and dispatch ns/task vs. the single-heap seed.
 .PHONY: bench-solver
 bench-solver:
-	$(GO) run ./cmd/luqr-bench -sweep-workers BENCH_solver.json -reps 8
+	$(GO) run ./cmd/luqr-bench -sweep-workers BENCH_solver.json -reps 3
+
+# bench-solver-smoke is the non-gating CI check: a small sweep plus the
+# autotuner probe (persisted on first run, table hit on the second), then the
+# generated file is validated against the schema-2 contract. Numbers are not
+# gated — only the machinery is.
+.PHONY: bench-solver-smoke
+bench-solver-smoke:
+	$(GO) run ./cmd/luqr-bench -sweep-workers bench_solver_smoke.json -n 512 -nb 64 -reps 1
+	$(GO) run ./cmd/luqr-bench -validate-solver bench_solver_smoke.json
+	$(GO) run ./cmd/luqr-bench -tune-probe -n 256 -tune-file tune_smoke.json
+	$(GO) run ./cmd/luqr-bench -tune-probe -n 256 -tune-file tune_smoke.json | grep -q 'probe skipped'
+	rm -f bench_solver_smoke.json tune_smoke.json
+
+# bench-diff prints a benchstat-style kernel before/after table. With no
+# arguments it compares BENCH_kernels.json's committed seed baseline against
+# its current section; pass OLD=path [NEW=path] to diff two generated files.
+OLD ?=
+NEW ?= BENCH_kernels.json
+.PHONY: bench-diff
+bench-diff:
+	$(GO) run ./cmd/luqr-bench -diff-kernels $(NEW) $(if $(OLD),-diff-baseline $(OLD))

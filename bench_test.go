@@ -7,6 +7,9 @@
 //	BenchmarkFig3Special*     Figure 3  special-matrix runs
 //	BenchmarkAblation*        DESIGN.md ablations: reduction trees, pivot
 //	                          scope, decision-path overhead
+//	BenchmarkPanel*           blocked GETRF/GEQRT panels at production tile
+//	                          orders (GFLOP/s reported per op)
+//	BenchmarkSolverProduction end-to-end hybrid solve at nb=192
 //
 // Absolute numbers are pure-Go on the local host; the shapes (LU vs QR cost
 // ratio, tree critical paths, criterion overhead) are the reproduction
@@ -21,6 +24,7 @@ import (
 	"luqr/internal/blas"
 	"luqr/internal/core"
 	"luqr/internal/criteria"
+	"luqr/internal/flops"
 	"luqr/internal/lapack"
 	"luqr/internal/mat"
 	"luqr/internal/matgen"
@@ -171,6 +175,80 @@ func BenchmarkTable1KernelTTMQR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		lapack.Ttmqr(blas.Trans, r2, t, c1, c2)
 	}
+}
+
+// --- Blocked panel kernels at production tile orders ----------------------
+//
+// The blocked (ib-partitioned) GETRF/GEQRT forms route the O(nb³) panel work
+// through the packed GEMM path; these benchmarks report GFLOP/s directly so
+// the panel-vs-update gap is visible from `go test -bench Panel`.
+
+func benchGetrfNB(b *testing.B, nb int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(10))
+	a := benchTile(rng, nb)
+	work := a.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work.CopyFrom(a)
+		if _, err := lapack.Getrf(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	gflops := 2.0 / 3.0 * float64(nb) * float64(nb) * float64(nb) / 1e9
+	b.ReportMetric(gflops*float64(b.N)/b.Elapsed().Seconds(), "GFLOP/s")
+}
+
+func BenchmarkPanelGETRF128(b *testing.B) { benchGetrfNB(b, 128) }
+func BenchmarkPanelGETRF192(b *testing.B) { benchGetrfNB(b, 192) }
+func BenchmarkPanelGETRF256(b *testing.B) { benchGetrfNB(b, 256) }
+
+func benchGeqrtNB(b *testing.B, nb int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	a := benchTile(rng, nb)
+	t := mat.New(nb, nb)
+	work := a.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work.CopyFrom(a)
+		lapack.Geqrt(work, t)
+	}
+	b.StopTimer()
+	gflops := 4.0 / 3.0 * float64(nb) * float64(nb) * float64(nb) / 1e9
+	b.ReportMetric(gflops*float64(b.N)/b.Elapsed().Seconds(), "GFLOP/s")
+}
+
+func BenchmarkPanelGEQRT128(b *testing.B) { benchGeqrtNB(b, 128) }
+func BenchmarkPanelGEQRT192(b *testing.B) { benchGeqrtNB(b, 192) }
+
+// BenchmarkSolverProductionTiles is the end-to-end headline shape at a
+// production tile order (the BENCH_solver.json configuration scaled down to
+// bench-friendly wall time), reporting sustained GFLOP/s per op.
+func BenchmarkSolverProductionTiles(b *testing.B) {
+	const n, nb = 1536, 192
+	rng := rand.New(rand.NewSource(12))
+	a := matgen.Random(n, rng)
+	rhs := matgen.RandomVector(n, rng)
+	cfg := core.Config{
+		Alg: core.LUQR, NB: nb, Grid: tile.NewGrid(2, 2),
+		Criterion: criteria.Random{Alpha: 50}, Seed: 1,
+		IntraTree: tree.FlatTS, InterTree: tree.Fibonacci,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(a, rhs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.IsNaN(res.Report.HPL3) {
+			b.Fatal("NaN result")
+		}
+	}
+	b.StopTimer()
+	gflops := flops.GFlops(flops.LUTotal(n), b.Elapsed().Seconds()/float64(b.N))
+	b.ReportMetric(gflops, "GFLOP/s")
 }
 
 // --- Table II: the algorithm ladder --------------------------------------

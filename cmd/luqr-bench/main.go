@@ -16,9 +16,22 @@
 //	luqr-bench -exp all                 everything
 //	luqr-bench -json BENCH_kernels.json machine-readable kernel rates (GFLOP/s, ns/op)
 //	luqr-bench -sweep-workers BENCH_solver.json
-//	                                    worker-scaling sweep of the work-stealing
-//	                                    scheduler (end-to-end wall/GFLOP/s + dispatch
-//	                                    ns/task vs. the single-heap seed baseline)
+//	                                    schema-2 solver benchmark at production sizes
+//	                                    (default N=4096 nb=192; -n/-nb override):
+//	                                    measured worker + tile-order sweeps, the
+//	                                    simulated DAG-scaling curve, and dispatch
+//	                                    ns/task vs. the single-heap seed baseline
+//	luqr-bench -validate-solver BENCH_solver.json
+//	                                    check a solver bench file against the
+//	                                    schema-2 contract (the CI smoke gate)
+//	luqr-bench -diff-kernels BENCH_kernels.json [-diff-baseline OLD.json]
+//	                                    benchstat-style kernel before/after table;
+//	                                    without -diff-baseline, compares the file's
+//	                                    committed seed baseline vs. its current run
+//	luqr-bench -tune-probe -n 512 [-tune-file tuning.json]
+//	                                    run the nb/ib/workers autotuner probe for
+//	                                    one matrix class, print the chosen point,
+//	                                    and persist/reuse the tuning table
 //	luqr-bench -timeline out.json       run one hybrid factorization, write the task
 //	                                    timeline as Chrome trace-event JSON (open in
 //	                                    chrome://tracing or Perfetto) and print the
@@ -36,6 +49,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -43,6 +57,7 @@ import (
 	"luqr/internal/matgen"
 	"luqr/internal/service"
 	"luqr/internal/tile"
+	"luqr/internal/tune"
 )
 
 func main() {
@@ -56,7 +71,12 @@ func main() {
 		seed         = flag.Int64("seed", 1, "base random seed")
 		workers      = flag.Int("workers", 0, "runtime workers (0 = GOMAXPROCS)")
 		jsonOut      = flag.String("json", "", "write per-kernel GFLOP/s and ns/op as JSON to this path (e.g. BENCH_kernels.json) and exit")
-		sweepWorkers = flag.String("sweep-workers", "", "run the worker-scaling scheduler sweep, write JSON to this path (e.g. BENCH_solver.json), print the table, and exit")
+		sweepWorkers = flag.String("sweep-workers", "", "run the schema-2 solver benchmark (defaults N=4096 nb=192; -n/-nb override), write JSON to this path (e.g. BENCH_solver.json), print the tables, and exit")
+		validateFile = flag.String("validate-solver", "", "validate this BENCH_solver.json against the schema-2 contract and exit")
+		diffKernels  = flag.String("diff-kernels", "", "print a benchstat-style kernel comparison for this BENCH_kernels.json and exit")
+		diffBaseline = flag.String("diff-baseline", "", "older BENCH_kernels.json to diff against (with -diff-kernels; default: the file's own seed baseline)")
+		tuneProbe    = flag.Bool("tune-probe", false, "run the autotuner probe for the class (-n, luqr), print the chosen point, and exit")
+		tuneFile     = flag.String("tune-file", "", "tuning-table path for -tune-probe (empty = in-memory only)")
 		timeline     = flag.String("timeline", "", "run one hybrid factorization, write its Chrome trace-event timeline to this path, print the per-kernel stats table, and exit")
 		loadURL      = flag.String("load", "", "drive a running luqr-serve at this base URL with a mixed workload, print latency percentiles, and exit")
 		loadClients  = flag.Int("load-clients", 4, "concurrent load-generator clients (with -load)")
@@ -66,6 +86,84 @@ func main() {
 		loadMatrices = flag.Int("load-matrices", 4, "distinct operators cycled by the load generator; controls the attainable cache hit rate (with -load)")
 	)
 	flag.Parse()
+
+	// The sweep has its own production-size defaults (N=4096, nb=192):
+	// the global -n/-nb defaults (480/40) suit the §V table experiments but
+	// reproduce the old scheduler-bound sweep. Explicit flags still win.
+	nSet, nbSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "n":
+			nSet = true
+		case "nb":
+			nbSet = true
+		}
+	})
+
+	if *tuneProbe {
+		tuner := tune.New(tune.Options{Path: *tuneFile, Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "luqr-bench: "+format+"\n", args...)
+		}})
+		e, probed, err := tuner.Tune(*n, "luqr")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+			os.Exit(1)
+		}
+		action := "table hit (probe skipped)"
+		if probed {
+			action = "probed"
+		}
+		fmt.Printf("tune: class luqr/n%d %s → %s (%.2f GF/s, machine %s)\n",
+			*n, action, e.Point, e.GFlops, tune.MachineID())
+		if *tuneFile != "" {
+			fmt.Printf("tuning table: %s\n", *tuneFile)
+		}
+		return
+	}
+
+	if *validateFile != "" {
+		f, err := os.Open(*validateFile)
+		if err == nil {
+			var rep *experiments.SolverBenchReport
+			rep, err = experiments.ValidateSolverBench(f)
+			f.Close()
+			if err == nil {
+				fmt.Printf("%s: valid schema-%d solver bench (N=%d nb=%d, %d measured points, %d simulated)\n",
+					*validateFile, rep.Schema, rep.N, rep.NB, len(rep.Solver), len(rep.SimSolver))
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *diffKernels != "" {
+		newF, err := os.Open(*diffKernels)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+			os.Exit(1)
+		}
+		defer newF.Close()
+		var oldF *os.File
+		if *diffBaseline != "" {
+			if oldF, err = os.Open(*diffBaseline); err != nil {
+				fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+				os.Exit(1)
+			}
+			defer oldF.Close()
+		}
+		var oldR io.Reader
+		if oldF != nil {
+			oldR = oldF
+		}
+		if err := experiments.KernelBenchDiff(oldR, newF, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *loadURL != "" {
 		if _, err := service.RunLoad(service.LoadOptions{
@@ -104,9 +202,17 @@ func main() {
 	}
 
 	if *sweepWorkers != "" {
+		o := experiments.SolverBenchOptions{Reps: *reps}
+		if nSet {
+			o.N = *n
+		}
+		if nbSet {
+			o.NB = *nb
+			o.NBs = []int{*nb}
+		}
 		f, err := os.Create(*sweepWorkers)
 		if err == nil {
-			err = experiments.WriteSolverBench(*reps, f, os.Stdout)
+			err = experiments.WriteSolverBench(o, f, os.Stdout)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}

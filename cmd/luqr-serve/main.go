@@ -20,13 +20,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"luqr/internal/service"
+	"luqr/internal/tune"
 )
 
 func main() {
@@ -42,8 +45,21 @@ func main() {
 		noTrace     = flag.Bool("no-trace", false, "disable per-job kernel tracing (drops per-kernel /metrics)")
 		storeDir    = flag.String("store-dir", "", "directory for the disk-backed factor store (empty = no persistence)")
 		storeMax    = flag.Int64("store-max-bytes", 1<<30, "factor-store size cap in bytes (coldest files evicted beyond)")
+		tuneOn      = flag.Bool("tune", true, "autotune nb/ib/workers for requests that leave nb unset")
+		tuneFile    = flag.String("tune-file", "", "tuning-table path (default <store-dir>/tuning.json when -store-dir is set, else in-memory only)")
 	)
 	flag.Parse()
+
+	var tuner *tune.Tuner
+	if *tuneOn {
+		path := *tuneFile
+		if path == "" && *storeDir != "" {
+			// Keep the tuning table next to the factor store: both survive a
+			// restart together.
+			path = filepath.Join(*storeDir, "tuning.json")
+		}
+		tuner = tune.New(tune.Options{Path: path, Logf: log.Printf})
+	}
 
 	m, err := service.NewManager(service.Options{
 		QueueSize:     *queue,
@@ -54,6 +70,7 @@ func main() {
 		NoTrace:       *noTrace,
 		StoreDir:      *storeDir,
 		StoreMaxBytes: *storeMax,
+		Tuner:         tuner,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "luqr-serve:", err)

@@ -51,10 +51,30 @@ const (
 	Trans
 )
 
+// axpyKernel and dotKernel are the SIMD level-1 kernels, nil on hosts
+// without AVX2+FMA (selection in microkernel_amd64.go). Vector lengths
+// below simdMin stay on the scalar loops: the call/setup overhead of the
+// assembly outweighs 4-wide FMAs for very short vectors.
+var (
+	axpyKernel func(alpha float64, x, y []float64)
+	dotKernel  func(x, y []float64) float64
+)
+
+const simdMin = 8
+
+// SimdAccelerated reports whether the SIMD (AVX2+FMA) kernels are active on
+// this host. Part of the autotuner's machine fingerprint: a tuning table
+// probed with vector kernels must not be reused on a host running the
+// generic paths.
+func SimdAccelerated() bool { return axpyKernel != nil }
+
 // Dot returns xᵀy.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("blas: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	if dotKernel != nil && len(x) >= simdMin {
+		return dotKernel(x, y)
 	}
 	s := 0.0
 	for i, v := range x {
@@ -69,6 +89,10 @@ func Axpy(alpha float64, x, y []float64) {
 		panic(fmt.Sprintf("blas: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
 	if alpha == 0 {
+		return
+	}
+	if axpyKernel != nil && len(x) >= simdMin {
+		axpyKernel(alpha, x, y)
 		return
 	}
 	for i, v := range x {

@@ -102,9 +102,21 @@ func opShape(m *mat.Matrix, t Transpose) (rows, cols int) {
 	return m.Rows, m.Cols
 }
 
+// triBlock is the diagonal-block order of the blocked triangular drivers
+// (Trsm/Trmm). Only a triBlock-wide band of the work runs through the
+// unblocked substitution loops; everything off the diagonal is a rank-
+// triBlock GEMM update through the packed micro-kernel path, so a large
+// triangular solve runs at a large fraction of GEMM speed.
+const triBlock = 32
+
 // Trsm solves op(T)·X = alpha·B (Side == Left) or X·op(T) = alpha·B
 // (Side == Right) in place: B is overwritten with X. T is triangular as
 // described by uplo/diag.
+//
+// The solve is blocked: the triangle is partitioned into triBlock-order
+// diagonal blocks solved by forward/back substitution, and the coupling
+// between blocks is applied as GEMM updates, so most flops run through the
+// packed micro-kernel path.
 func Trsm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b *mat.Matrix) {
 	n := t.Rows
 	if t.Cols != n {
@@ -121,6 +133,84 @@ func Trsm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b 
 			Scal(alpha, b.Row(i))
 		}
 	}
+	if n <= triBlock {
+		trsmBasic(side, uplo, trans, diag, t, b)
+		return
+	}
+	// Effective orientation of op(T): a transposed triangle lives on the
+	// opposite side of the diagonal.
+	effLower := (uplo == Lower) != (trans == Trans)
+	if side == Left {
+		// Block rows of X in dependency order: forward when op(T) is lower,
+		// backward when upper. Each block first subtracts the coupling with
+		// the already-solved blocks (one GEMM), then solves its diagonal
+		// block by substitution.
+		k := b.Cols
+		if effLower {
+			for i0 := 0; i0 < n; i0 += triBlock {
+				bs := min(triBlock, n-i0)
+				bi := b.View(i0, 0, bs, k)
+				if i0 > 0 {
+					if trans == NoTrans {
+						Gemm(NoTrans, NoTrans, -1, t.View(i0, 0, bs, i0), b.View(0, 0, i0, k), 1, bi)
+					} else {
+						Gemm(Trans, NoTrans, -1, t.View(0, i0, i0, bs), b.View(0, 0, i0, k), 1, bi)
+					}
+				}
+				trsmBasic(Left, uplo, trans, diag, t.View(i0, i0, bs, bs), bi)
+			}
+			return
+		}
+		for i0 := ((n - 1) / triBlock) * triBlock; i0 >= 0; i0 -= triBlock {
+			bs := min(triBlock, n-i0)
+			bi := b.View(i0, 0, bs, k)
+			if rest := n - i0 - bs; rest > 0 {
+				if trans == NoTrans {
+					Gemm(NoTrans, NoTrans, -1, t.View(i0, i0+bs, bs, rest), b.View(i0+bs, 0, rest, k), 1, bi)
+				} else {
+					Gemm(Trans, NoTrans, -1, t.View(i0+bs, i0, rest, bs), b.View(i0+bs, 0, rest, k), 1, bi)
+				}
+			}
+			trsmBasic(Left, uplo, trans, diag, t.View(i0, i0, bs, bs), bi)
+		}
+		return
+	}
+	// Right side: column blocks of X in dependency order — forward when
+	// op(T) is upper, backward when lower.
+	m := b.Rows
+	if !effLower {
+		for j0 := 0; j0 < n; j0 += triBlock {
+			bs := min(triBlock, n-j0)
+			bj := b.View(0, j0, m, bs)
+			if j0 > 0 {
+				if trans == NoTrans {
+					Gemm(NoTrans, NoTrans, -1, b.View(0, 0, m, j0), t.View(0, j0, j0, bs), 1, bj)
+				} else {
+					Gemm(NoTrans, Trans, -1, b.View(0, 0, m, j0), t.View(j0, 0, bs, j0), 1, bj)
+				}
+			}
+			trsmBasic(Right, uplo, trans, diag, t.View(j0, j0, bs, bs), bj)
+		}
+		return
+	}
+	for j0 := ((n - 1) / triBlock) * triBlock; j0 >= 0; j0 -= triBlock {
+		bs := min(triBlock, n-j0)
+		bj := b.View(0, j0, m, bs)
+		if rest := n - j0 - bs; rest > 0 {
+			if trans == NoTrans {
+				Gemm(NoTrans, NoTrans, -1, b.View(0, j0+bs, m, rest), t.View(j0+bs, j0, rest, bs), 1, bj)
+			} else {
+				Gemm(NoTrans, Trans, -1, b.View(0, j0+bs, m, rest), t.View(j0, j0+bs, bs, rest), 1, bj)
+			}
+		}
+		trsmBasic(Right, uplo, trans, diag, t.View(j0, j0, bs, bs), bj)
+	}
+}
+
+// trsmBasic is the unblocked substitution kernel behind Trsm: it solves one
+// diagonal block (alpha already applied by the caller).
+func trsmBasic(side Side, uplo Uplo, trans Transpose, diag Diag, t, b *mat.Matrix) {
+	n := t.Rows
 	// Reduce the transposed cases to the non-transposed triangle on the
 	// opposite side of the diagonal; element access goes through get().
 	lower := uplo == Lower
@@ -173,14 +263,8 @@ func Trsm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b 
 					if diag == NonUnit {
 						row[p] /= t.At(p, p)
 					}
-					v := row[p]
-					if v == 0 {
-						continue
-					}
-					trow := t.Row(p)[:p]
-					head := row[:p]
-					for j, tv := range trow {
-						head[j] -= v * tv
+					if v := row[p]; v != 0 {
+						Axpy(-v, t.Row(p)[:p], row[:p])
 					}
 				}
 			} else {
@@ -188,42 +272,32 @@ func Trsm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b 
 					if diag == NonUnit {
 						row[p] /= t.At(p, p)
 					}
-					v := row[p]
-					if v == 0 {
-						continue
-					}
-					trow := t.Row(p)[p+1 : n]
-					tail := row[p+1 : n]
-					for j, tv := range trow {
-						tail[j] -= v * tv
+					if v := row[p]; v != 0 {
+						Axpy(-v, t.Row(p)[p+1:n], row[p+1:n])
 					}
 				}
 			}
 		}
 		return
 	}
+	// Transposed right side: op(T)[p, j] = t[j, p], so each x_j is a dot
+	// product against the contiguous row j of t.
 	for r := 0; r < b.Rows; r++ {
 		row := b.Row(r)
 		if lower {
-			// op(T) lower: x_j computed from last to first.
+			// op(T) lower ⇒ t upper: x_j from last to first.
 			for j := n - 1; j >= 0; j-- {
-				s := row[j]
-				for p := j + 1; p < n; p++ {
-					s -= row[p] * get(p, j)
-				}
+				s := row[j] - Dot(row[j+1:n], t.Row(j)[j+1:n])
 				if diag == NonUnit {
-					s /= get(j, j)
+					s /= t.At(j, j)
 				}
 				row[j] = s
 			}
 		} else {
 			for j := 0; j < n; j++ {
-				s := row[j]
-				for p := 0; p < j; p++ {
-					s -= row[p] * get(p, j)
-				}
+				s := row[j] - Dot(row[:j], t.Row(j)[:j])
 				if diag == NonUnit {
-					s /= get(j, j)
+					s /= t.At(j, j)
 				}
 				row[j] = s
 			}
@@ -233,6 +307,9 @@ func Trsm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b 
 
 // Trmm computes B = alpha·op(T)·B (Side == Left) or B = alpha·B·op(T)
 // (Side == Right) in place, with T triangular.
+//
+// Like Trsm, the multiply is blocked: diagonal blocks of order triBlock go
+// through the unblocked kernel and the off-diagonal coupling is GEMM.
 func Trmm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b *mat.Matrix) {
 	n := t.Rows
 	if t.Cols != n {
@@ -244,6 +321,83 @@ func Trmm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b 
 	if side == Right && b.Cols != n {
 		panic(fmt.Sprintf("blas: Trmm Right shape mismatch T=%d B=%dx%d", n, b.Rows, b.Cols))
 	}
+	if n <= triBlock {
+		trmmBasic(side, uplo, trans, diag, alpha, t, b)
+		return
+	}
+	effLower := (uplo == Lower) != (trans == Trans)
+	if side == Left {
+		// Row block i of the result couples with the original rows on op(T)'s
+		// nonzero side. Processing order keeps those rows unmodified when the
+		// GEMM reads them: top-down for an upper op(T), bottom-up for lower.
+		k := b.Cols
+		if !effLower {
+			for i0 := 0; i0 < n; i0 += triBlock {
+				bs := min(triBlock, n-i0)
+				bi := b.View(i0, 0, bs, k)
+				rest := n - i0 - bs
+				trmmBasic(Left, uplo, trans, diag, alpha, t.View(i0, i0, bs, bs), bi)
+				if rest > 0 {
+					if trans == NoTrans {
+						Gemm(NoTrans, NoTrans, alpha, t.View(i0, i0+bs, bs, rest), b.View(i0+bs, 0, rest, k), 1, bi)
+					} else {
+						Gemm(Trans, NoTrans, alpha, t.View(i0+bs, i0, rest, bs), b.View(i0+bs, 0, rest, k), 1, bi)
+					}
+				}
+			}
+			return
+		}
+		for i0 := ((n - 1) / triBlock) * triBlock; i0 >= 0; i0 -= triBlock {
+			bs := min(triBlock, n-i0)
+			bi := b.View(i0, 0, bs, k)
+			trmmBasic(Left, uplo, trans, diag, alpha, t.View(i0, i0, bs, bs), bi)
+			if i0 > 0 {
+				if trans == NoTrans {
+					Gemm(NoTrans, NoTrans, alpha, t.View(i0, 0, bs, i0), b.View(0, 0, i0, k), 1, bi)
+				} else {
+					Gemm(Trans, NoTrans, alpha, t.View(0, i0, i0, bs), b.View(0, 0, i0, k), 1, bi)
+				}
+			}
+		}
+		return
+	}
+	// Right side: column block j of B·op(T) couples with the original
+	// columns on op(T)'s nonzero side — right-to-left for upper, left-to-
+	// right for lower.
+	m := b.Rows
+	if !effLower {
+		for j0 := ((n - 1) / triBlock) * triBlock; j0 >= 0; j0 -= triBlock {
+			bs := min(triBlock, n-j0)
+			bj := b.View(0, j0, m, bs)
+			trmmBasic(Right, uplo, trans, diag, alpha, t.View(j0, j0, bs, bs), bj)
+			if j0 > 0 {
+				if trans == NoTrans {
+					Gemm(NoTrans, NoTrans, alpha, b.View(0, 0, m, j0), t.View(0, j0, j0, bs), 1, bj)
+				} else {
+					Gemm(NoTrans, Trans, alpha, b.View(0, 0, m, j0), t.View(j0, 0, bs, j0), 1, bj)
+				}
+			}
+		}
+		return
+	}
+	for j0 := 0; j0 < n; j0 += triBlock {
+		bs := min(triBlock, n-j0)
+		bj := b.View(0, j0, m, bs)
+		rest := n - j0 - bs
+		trmmBasic(Right, uplo, trans, diag, alpha, t.View(j0, j0, bs, bs), bj)
+		if rest > 0 {
+			if trans == NoTrans {
+				Gemm(NoTrans, NoTrans, alpha, b.View(0, j0+bs, m, rest), t.View(j0+bs, j0, rest, bs), 1, bj)
+			} else {
+				Gemm(NoTrans, Trans, alpha, b.View(0, j0+bs, m, rest), t.View(j0, j0+bs, bs, rest), 1, bj)
+			}
+		}
+	}
+}
+
+// trmmBasic is the unblocked triangular-multiply kernel behind Trmm.
+func trmmBasic(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b *mat.Matrix) {
+	n := t.Rows
 	lower := uplo == Lower
 	if trans == Trans {
 		lower = !lower
@@ -283,34 +437,72 @@ func Trmm(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b 
 		return
 	}
 	// Right side: operate on each row independently.
+	if trans == Trans {
+		// op(T)[p, j] = t[j, p]: each result entry is a dot product against
+		// the contiguous row j of t. The in-place order follows the
+		// dependency direction (ascending reads x[j:], descending x[:j]).
+		for r := 0; r < b.Rows; r++ {
+			row := b.Row(r)
+			if lower {
+				for j := 0; j < n; j++ {
+					s := Dot(row[j+1:n], t.Row(j)[j+1:n])
+					if diag == NonUnit {
+						s += row[j] * t.At(j, j)
+					} else {
+						s += row[j]
+					}
+					row[j] = alpha * s
+				}
+			} else {
+				for j := n - 1; j >= 0; j-- {
+					s := Dot(row[:j], t.Row(j)[:j])
+					if diag == NonUnit {
+						s += row[j] * t.At(j, j)
+					} else {
+						s += row[j]
+					}
+					row[j] = alpha * s
+				}
+			}
+		}
+		return
+	}
+	// Untransposed: accumulate x·T into a scratch row with Axpy over t's
+	// contiguous rows, then write back.
+	buf := mat.GetBuf(n)
+	defer mat.PutBuf(buf)
+	tmp := buf.Data[:n]
 	for r := 0; r < b.Rows; r++ {
 		row := b.Row(r)
-		if !lower {
-			// Column j of the result depends on columns 0..j: right-to-left.
-			for j := n - 1; j >= 0; j-- {
-				s := 0.0
-				if diag == NonUnit {
-					s = row[j] * get(j, j)
-				} else {
-					s = row[j]
-				}
-				for p := 0; p < j; p++ {
-					s += row[p] * get(p, j)
-				}
-				row[j] = alpha * s
+		for j := range tmp {
+			tmp[j] = 0
+		}
+		for p := 0; p < n; p++ {
+			v := row[p]
+			if v == 0 {
+				continue
 			}
-		} else {
-			for j := 0; j < n; j++ {
-				s := 0.0
+			if !lower {
 				if diag == NonUnit {
-					s = row[j] * get(j, j)
+					Axpy(v, t.Row(p)[p:n], tmp[p:n])
 				} else {
-					s = row[j]
+					tmp[p] += v
+					Axpy(v, t.Row(p)[p+1:n], tmp[p+1:n])
 				}
-				for p := j + 1; p < n; p++ {
-					s += row[p] * get(p, j)
+			} else {
+				if diag == NonUnit {
+					Axpy(v, t.Row(p)[:p+1], tmp[:p+1])
+				} else {
+					Axpy(v, t.Row(p)[:p], tmp[:p])
+					tmp[p] += v
 				}
-				row[j] = alpha * s
+			}
+		}
+		if alpha == 1 {
+			copy(row, tmp)
+		} else {
+			for j := range row {
+				row[j] = alpha * tmp[j]
 			}
 		}
 	}

@@ -21,10 +21,26 @@ func xgetbv0() (eax, edx uint32)
 //go:noescape
 func kernel6x8FMA(kc int, a, b, c *float64, ldc int)
 
+// axpyFMA computes y[0:n] += alpha·x[0:n] with AVX2 FMAs.
+//
+//go:noescape
+func axpyFMA(alpha float64, x, y *float64, n int)
+
+// dotFMA returns x[0:n]ᵀ·y[0:n] with AVX2 FMAs.
+//
+//go:noescape
+func dotFMA(x, y *float64, n int) float64
+
 func init() {
 	if hasAVX2FMA() {
 		gemmMR, gemmNR = 6, 8
 		gemmKernel = kernelAVX6x8
+		axpyKernel = func(alpha float64, x, y []float64) {
+			axpyFMA(alpha, &x[0], &y[0], len(x))
+		}
+		dotKernel = func(x, y []float64) float64 {
+			return dotFMA(&x[0], &y[0], len(x))
+		}
 	}
 }
 

@@ -140,3 +140,103 @@ done:
 
 	VZEROUPPER
 	RET
+
+// func axpyFMA(alpha float64, x, y *float64, n int)
+//
+// y[0:n] += alpha·x[0:n], 16 elements per iteration (4 YMM FMAs with the x
+// operand taken straight from memory), scalar tail.
+TEXT ·axpyFMA(SB), NOSPLIT, $0-32
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVQ CX, DX
+	SHRQ $4, DX
+	JZ   tail
+
+loop16:
+	VMOVUPD (DI), Y1
+	VMOVUPD 32(DI), Y2
+	VMOVUPD 64(DI), Y3
+	VMOVUPD 96(DI), Y4
+	VFMADD231PD (SI), Y0, Y1
+	VFMADD231PD 32(SI), Y0, Y2
+	VFMADD231PD 64(SI), Y0, Y3
+	VFMADD231PD 96(SI), Y0, Y4
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	VMOVUPD Y3, 64(DI)
+	VMOVUPD Y4, 96(DI)
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ DX
+	JNZ  loop16
+
+tail:
+	ANDQ $15, CX
+	JZ   axpydone
+
+scalar:
+	VMOVSD (DI), X1
+	VFMADD231SD (SI), X0, X1
+	VMOVSD X1, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  scalar
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func dotFMA(x, y *float64, n int) float64
+//
+// Returns xᵀy with 4 independent YMM accumulators (16 elements/iteration).
+TEXT ·dotFMA(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ y+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	MOVQ CX, DX
+	SHRQ $4, DX
+	JZ   dottail
+
+dotloop:
+	VMOVUPD (SI), Y5
+	VMOVUPD 32(SI), Y6
+	VMOVUPD 64(SI), Y7
+	VMOVUPD 96(SI), Y8
+	VFMADD231PD (DI), Y5, Y1
+	VFMADD231PD 32(DI), Y6, Y2
+	VFMADD231PD 64(DI), Y7, Y3
+	VFMADD231PD 96(DI), Y8, Y4
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ DX
+	JNZ  dotloop
+
+dottail:
+	VADDPD Y2, Y1, Y1
+	VADDPD Y4, Y3, Y3
+	VADDPD Y3, Y1, Y1
+	VEXTRACTF128 $1, Y1, X2
+	VADDPD X2, X1, X1
+	VHADDPD X1, X1, X1
+	ANDQ $15, CX
+	JZ   dotdone
+
+dotscalar:
+	VMOVSD (SI), X5
+	VFMADD231SD (DI), X5, X1
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  dotscalar
+
+dotdone:
+	VMOVSD X1, ret+24(FP)
+	VZEROUPPER
+	RET

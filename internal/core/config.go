@@ -23,8 +23,10 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"luqr/internal/criteria"
+	"luqr/internal/lapack"
 	"luqr/internal/tile"
 	"luqr/internal/tree"
 )
@@ -189,8 +191,55 @@ type Config struct {
 	Seed int64
 }
 
+// NBAuto as Config.NB asks withDefaults to resolve the tile size through the
+// registered autotuner (SetAutoTuner) instead of the static default. Without
+// a tuner — or when the tuner declines — the largest production-size divisor
+// of N is used, falling back to the historical default of 40.
+const NBAuto = -1
+
+// AutoTuner resolves tuned parameters for an n×n factorization: the tile
+// order nb (which must divide n), the kernels' inner block size ib, and the
+// worker-pool size. ok == false declines, leaving the defaults in force.
+// internal/tune provides the implementation; the indirection keeps core free
+// of the tuner's persistence machinery.
+type AutoTuner func(n int, alg string) (nb, ib, workers int, ok bool)
+
+var autoTuner atomic.Value // AutoTuner
+
+// SetAutoTuner installs the process-wide autotuner consulted for runs with
+// NB == NBAuto. Passing nil removes it.
+func SetAutoTuner(f AutoTuner) { autoTuner.Store(f) }
+
+// autoNB picks the static fallback tile size for NBAuto without a tuner:
+// the largest production candidate dividing n, else the historical 40 (whose
+// divisibility error path reports the mismatch).
+func autoNB(n int) int {
+	for _, nb := range []int{256, 192, 128, 64, 40, 32, 16, 8, 4, 2, 1} {
+		if nb <= n && n%nb == 0 {
+			return nb
+		}
+	}
+	return 40
+}
+
 func (c *Config) withDefaults(n int) (Config, error) {
 	cfg := *c
+	if cfg.NB == NBAuto {
+		if f, _ := autoTuner.Load().(AutoTuner); f != nil {
+			if nb, ib, workers, ok := f(n, cfg.Alg.String()); ok && nb > 0 && n%nb == 0 {
+				cfg.NB = nb
+				if ib > 0 {
+					lapack.SetPanelIB(ib)
+				}
+				if cfg.Workers <= 0 && workers > 0 {
+					cfg.Workers = workers
+				}
+			}
+		}
+		if cfg.NB == NBAuto {
+			cfg.NB = autoNB(n)
+		}
+	}
 	if cfg.NB <= 0 {
 		cfg.NB = 40
 	}

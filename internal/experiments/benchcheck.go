@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// ValidateSolverBench parses a BENCH_solver.json and checks it against the
+// schema-2 contract: the CI smoke runs this on a freshly generated file so a
+// generator regression (empty section, zero rate, missing sim curve) is
+// caught without gating on the absolute numbers, which are host-dependent.
+func ValidateSolverBench(r io.Reader) (*SolverBenchReport, error) {
+	var rep SolverBenchReport
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("solver bench: %w", err)
+	}
+	if rep.Schema != 2 {
+		return nil, fmt.Errorf("solver bench: schema %d, want 2", rep.Schema)
+	}
+	if rep.N < rep.NB || rep.NB <= 0 {
+		return nil, fmt.Errorf("solver bench: bad configuration n=%d nb=%d", rep.N, rep.NB)
+	}
+	if len(rep.Solver) == 0 || len(rep.NBSweep) == 0 || len(rep.SimSolver) == 0 || len(rep.Dispatch) == 0 {
+		return nil, fmt.Errorf("solver bench: empty section (solver=%d nb_sweep=%d solver_simulated=%d dispatch=%d)",
+			len(rep.Solver), len(rep.NBSweep), len(rep.SimSolver), len(rep.Dispatch))
+	}
+	for _, e := range rep.Solver {
+		if e.Workers <= 0 || e.WallSeconds <= 0 || e.GFlops <= 0 {
+			return nil, fmt.Errorf("solver bench: degenerate solver entry %+v", e)
+		}
+	}
+	for _, e := range rep.NBSweep {
+		if e.NB <= 0 || e.Tiles != (rep.N+e.NB-1)/e.NB || e.GFlops <= 0 {
+			return nil, fmt.Errorf("solver bench: degenerate nb_sweep entry %+v", e)
+		}
+	}
+	if rep.SimNote == "" || rep.SimCriticalPath <= 0 || rep.SimParallelism <= 0 {
+		return nil, fmt.Errorf("solver bench: simulated section missing its provenance (note=%q cp=%g par=%g)",
+			rep.SimNote, rep.SimCriticalPath, rep.SimParallelism)
+	}
+	prev := 0.0
+	for i, e := range rep.SimSolver {
+		if e.Workers <= 0 || e.MakespanSeconds <= 0 || e.Speedup <= 0 {
+			return nil, fmt.Errorf("solver bench: degenerate simulated entry %+v", e)
+		}
+		// More model cores can never slow the simulated DAG down.
+		if i > 0 && e.Speedup < prev-1e-9 {
+			return nil, fmt.Errorf("solver bench: simulated speedup not monotone at w=%d (%.3f after %.3f)",
+				e.Workers, e.Speedup, prev)
+		}
+		prev = e.Speedup
+	}
+	for _, e := range rep.Dispatch {
+		if e.Workers <= 0 || e.NsPerTask <= 0 {
+			return nil, fmt.Errorf("solver bench: degenerate dispatch entry %+v", e)
+		}
+	}
+	return &rep, nil
+}
+
+// KernelBenchDiff prints a benchstat-style before/after comparison of two
+// kernel benchmark files, aligned on (kernel, nb). When old is nil, the
+// comparison is new's committed seed baseline vs. its current section — the
+// in-file before/after of BENCH_kernels.json.
+func KernelBenchDiff(oldR, newR io.Reader, out io.Writer) error {
+	var newRep KernelBenchReport
+	if err := json.NewDecoder(newR).Decode(&newRep); err != nil {
+		return fmt.Errorf("kernel diff: new: %w", err)
+	}
+	oldEntries := newRep.Seed
+	oldLabel := "seed baseline"
+	if oldR != nil {
+		var oldRep KernelBenchReport
+		if err := json.NewDecoder(oldR).Decode(&oldRep); err != nil {
+			return fmt.Errorf("kernel diff: old: %w", err)
+		}
+		oldEntries = oldRep.Current
+		oldLabel = "old"
+	}
+
+	type key struct {
+		Kernel string
+		NB     int
+	}
+	olds := make(map[key]KernelBenchEntry, len(oldEntries))
+	for _, e := range oldEntries {
+		olds[key{e.Kernel, e.NB}] = e
+	}
+	// Keep the current file's order, kernels grouped per nb.
+	entries := append([]KernelBenchEntry(nil), newRep.Current...)
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Kernel != entries[j].Kernel {
+			return entries[i].Kernel < entries[j].Kernel
+		}
+		return entries[i].NB < entries[j].NB
+	})
+
+	tw := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "kernel\tnb\t%s GF/s\tnew GF/s\tdelta\t\n", oldLabel)
+	matched := 0
+	for _, e := range entries {
+		o, ok := olds[key{e.Kernel, e.NB}]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t%d\t-\t%.3f\t(new)\t\n", e.Kernel, e.NB, e.GFlops)
+			continue
+		}
+		matched++
+		delta := "~"
+		if o.GFlops > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(e.GFlops-o.GFlops)/o.GFlops)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%s\t\n", e.Kernel, e.NB, o.GFlops, e.GFlops, delta)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if matched == 0 {
+		return fmt.Errorf("kernel diff: no (kernel, nb) pair appears in both files")
+	}
+	return nil
+}

@@ -104,6 +104,14 @@ func Breakdown(o Options, out io.Writer) (*runtime.Stats, error) {
 	fmt.Fprintf(out, "measured: span %v on %d workers, utilization %.1f%%, critical path %v\n",
 		meas.Span.Round(time.Microsecond), meas.Workers, 100*meas.Utilization(),
 		meas.CriticalPath.Round(time.Microsecond))
+	// Gap attribution: how much of the remaining wall time is structural.
+	// Critical-path occupancy says how much of the span the serial panel
+	// chain covers; Σbusy / critical-path is the DAG's speedup ceiling no
+	// scheduler can beat.
+	if span, cp := meas.Span.Seconds(), meas.CriticalPath.Seconds(); span > 0 && cp > 0 {
+		fmt.Fprintf(out, "gap attribution: critical-path occupancy %.1f%% of span; average parallelism %.1f (Σbusy/critical-path = speedup ceiling)\n",
+			100*cp/span, meas.TotalBusy().Seconds()/cp)
+	}
 	fmt.Fprintf(out, "simulated on %s: makespan %.4fs, critical path %.4fs, %d messages, %.2f MB\n",
 		o.Machine.Name, sr.Makespan, sim.CriticalPath(trace, o.Machine.CoreGFlops),
 		sr.Messages, float64(sr.CommBytes)/1e6)

@@ -41,8 +41,9 @@ var seedKernelBaseline = []KernelBenchEntry{
 }
 
 // KernelBenchNBs are the tile orders measured by WriteKernelBench: the two
-// seed-baseline sizes plus the default experiment tile order.
-var KernelBenchNBs = []int{40, 128, 256}
+// seed-baseline sizes, the historical default experiment tile order (40),
+// and the solver sweep's production default (192).
+var KernelBenchNBs = []int{40, 128, 192, 256}
 
 // WriteKernelBench measures every Table I kernel at each tile order in nbs
 // and writes the JSON report (seed baseline + current) to out. GFLOP/s uses

@@ -1,0 +1,79 @@
+package lapack
+
+import (
+	"sync/atomic"
+
+	"luqr/internal/blas"
+	"luqr/internal/mat"
+)
+
+// panelIBv is the inner block size of the blocked panel kernels (GEQRT,
+// TSQRT, TTQRT): reflectors are generated ib columns at a time by the
+// unblocked leaf, and everything to the right of the ib-wide strip is
+// updated through the block-reflector (GEMM/TRMM) path. Atomic so the
+// autotuner can adjust it while worker goroutines are running kernels.
+var panelIBv atomic.Int32
+
+const defaultPanelIB = 32
+
+// PanelIB returns the current inner block size used by the blocked panel
+// kernels.
+func PanelIB() int {
+	if v := panelIBv.Load(); v > 0 {
+		return int(v)
+	}
+	return defaultPanelIB
+}
+
+// SetPanelIB sets the inner block size of the blocked panel kernels.
+// Values < 1 reset to the default. Safe to call concurrently with running
+// kernels; each kernel invocation reads the knob once at entry.
+func SetPanelIB(ib int) {
+	if ib < 1 {
+		panelIBv.Store(0)
+		return
+	}
+	panelIBv.Store(int32(ib))
+}
+
+// larftMerge extends the compact-WY T factor across an inner-block
+// boundary. Given that t's leading j0×j0 block T1 covers reflectors
+// 0..j0−1, its [j0,j0+bs) diagonal block T2 covers the freshly factored
+// block, and y holds V1ᵀ·V2 (j0×bs, the cross-Gram of the two reflector
+// sets), it writes the coupling block of the merged factor:
+//
+//	T(0:j0, j0:j0+bs) = −T1 · (V1ᵀ·V2) · T2
+//
+// which is the dlarft recurrence, so the assembled T equals the one the
+// unblocked column-by-column construction would produce.
+func larftMerge(t *mat.Matrix, j0, bs int, y *mat.Matrix) {
+	blas.Trmm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, t.View(0, 0, j0, j0), y)
+	blas.Trmm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, t.View(j0, j0, bs, bs), y)
+	for i := 0; i < j0; i++ {
+		dst := t.Row(i)[j0 : j0+bs]
+		src := y.Row(i)
+		for c := range dst {
+			dst[c] = -src[c]
+		}
+	}
+}
+
+// subRows computes dst −= src row-wise for equally shaped matrices.
+func subRows(dst, src *mat.Matrix) {
+	for i := 0; i < dst.Rows; i++ {
+		d, s := dst.Row(i), src.Row(i)
+		for c := range d {
+			d[c] -= s[c]
+		}
+	}
+}
+
+// addRows computes dst += src row-wise for equally shaped matrices.
+func addRows(dst, src *mat.Matrix) {
+	for i := 0; i < dst.Rows; i++ {
+		d, s := dst.Row(i), src.Row(i)
+		for c := range d {
+			d[c] += s[c]
+		}
+	}
+}

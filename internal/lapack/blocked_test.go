@@ -1,0 +1,262 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"luqr/internal/mat"
+)
+
+// refGetrf is the classical textbook right-looking elimination, kept as an
+// independent reference for the recursive Getrf: same pivot rule (first
+// strict column max), scalar updates in the canonical order.
+func refGetrf(a *mat.Matrix) ([]int, error) {
+	m, n := a.Rows, a.Cols
+	piv := make([]int, n)
+	var err error
+	for k := 0; k < n; k++ {
+		p, pv := k, math.Abs(a.At(k, k))
+		for i := k + 1; i < m; i++ {
+			if v := math.Abs(a.At(i, k)); v > pv {
+				p, pv = i, v
+			}
+		}
+		piv[k] = p
+		if p != k {
+			a.SwapRows(k, p)
+		}
+		akk := a.At(k, k)
+		if akk == 0 {
+			err = ErrSingular
+			continue
+		}
+		for i := k + 1; i < m; i++ {
+			lik := a.At(i, k) / akk
+			a.Set(i, k, lik)
+			for j := k + 1; j < n; j++ {
+				a.Set(i, j, a.At(i, j)-lik*a.At(k, j))
+			}
+		}
+	}
+	return piv, err
+}
+
+// withPanelIB runs f with the inner block size pinned to ib, restoring the
+// previous value afterwards.
+func withPanelIB(ib int, f func()) {
+	old := PanelIB()
+	SetPanelIB(ib)
+	defer SetPanelIB(old)
+	f()
+}
+
+var blockedShapes = []struct {
+	name string
+	m, n int
+}{
+	{"nb8", 8, 8},
+	{"nb40", 40, 40}, // not a multiple of the default ib=32
+	{"nb128", 128, 128},
+	{"nb250", 250, 250}, // non-power-of-two production tile
+	{"odd", 133, 97},    // neither dim a multiple of any ib below
+	{"tall", 260, 250},  // padded-N trapezoid (m > n)
+}
+
+// TestGetrfMatchesReference checks the recursive Getrf against the classical
+// elimination: identical pivot sequences and factors equal to rounding.
+func TestGetrfMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range blockedShapes {
+		t.Run(s.name, func(t *testing.T) {
+			a0 := randMat(rng, s.m, s.n)
+			ref := a0.Clone()
+			refPiv, refErr := refGetrf(ref)
+
+			got := a0.Clone()
+			piv, err := Getrf(got)
+			if (err != nil) != (refErr != nil) {
+				t.Fatalf("error mismatch: recursive %v, reference %v", err, refErr)
+			}
+			for k := range refPiv {
+				if piv[k] != refPiv[k] {
+					t.Fatalf("pivot sequence diverges at step %d: got %d, want %d", k, piv[k], refPiv[k])
+				}
+			}
+			tol := 1e-9 * float64(s.n) * (1 + ref.NormMax())
+			if d := mat.MaxDiff(got, ref); d > tol {
+				t.Fatalf("factors differ by %g (tol %g)", d, tol)
+			}
+		})
+	}
+}
+
+// TestGeqrtBlockedMatchesUnblocked factors the same tile with the blocked
+// strips (several inner block sizes, including non-divisors of n) and with
+// the unblocked leaf (ib ≥ n), and requires identical V, R, and T factors
+// up to rounding — the contract that lets the blocked kernel slot in under
+// the serialized-factor replay unchanged.
+func TestGeqrtBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, s := range blockedShapes {
+		a0 := randMat(rng, s.m, s.n)
+		var aRef, tRef *mat.Matrix
+		withPanelIB(s.n+1, func() {
+			aRef = a0.Clone()
+			tRef = mat.New(s.n, s.n)
+			Geqrt(aRef, tRef)
+		})
+		for _, ib := range []int{7, 32} {
+			if ib >= s.n {
+				continue
+			}
+			var aB, tB *mat.Matrix
+			withPanelIB(ib, func() {
+				aB = a0.Clone()
+				tB = mat.New(s.n, s.n)
+				Geqrt(aB, tB)
+			})
+			tol := 1e-8 * float64(s.m) * (1 + aRef.NormMax())
+			if d := mat.MaxDiff(aB, aRef); d > tol {
+				t.Fatalf("%s ib=%d: V/R differ from unblocked by %g (tol %g)", s.name, ib, d, tol)
+			}
+			if d := mat.MaxDiff(tB, tRef); d > tol {
+				t.Fatalf("%s ib=%d: T differs from unblocked by %g (tol %g)", s.name, ib, d, tol)
+			}
+		}
+	}
+}
+
+// TestTsqrtBlockedMatchesUnblocked does the same for the TS kernel: an
+// upper-triangular top tile stacked on a full tile, with the lower junk of
+// the R tile required to survive both paths.
+func TestTsqrtBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, nb := range []int{8, 40, 128, 250} {
+		r0 := mat.New(nb, nb)
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				if j >= i {
+					r0.Set(i, j, rng.NormFloat64())
+				} else {
+					r0.Set(i, j, 777)
+				}
+			}
+		}
+		a0 := randMat(rng, nb, nb)
+		var rRef, aRef, tRef *mat.Matrix
+		withPanelIB(nb+1, func() {
+			rRef, aRef, tRef = r0.Clone(), a0.Clone(), mat.New(nb, nb)
+			Tsqrt(rRef, aRef, tRef)
+		})
+		for _, ib := range []int{7, 32} {
+			if ib >= nb {
+				continue
+			}
+			var rB, aB, tB *mat.Matrix
+			withPanelIB(ib, func() {
+				rB, aB, tB = r0.Clone(), a0.Clone(), mat.New(nb, nb)
+				Tsqrt(rB, aB, tB)
+			})
+			for i := 1; i < nb; i++ {
+				for j := 0; j < i; j++ {
+					if rB.At(i, j) != 777 {
+						t.Fatalf("nb=%d ib=%d: blocked Tsqrt touched lower part of R at (%d,%d)", nb, ib, i, j)
+					}
+				}
+			}
+			tol := 1e-8 * float64(nb) * (1 + rRef.NormMax() + aRef.NormMax())
+			if d := maxDiffUpper(rB, rRef); d > tol {
+				t.Fatalf("nb=%d ib=%d: R differs by %g (tol %g)", nb, ib, d, tol)
+			}
+			if d := mat.MaxDiff(aB, aRef); d > tol {
+				t.Fatalf("nb=%d ib=%d: V2 differs by %g (tol %g)", nb, ib, d, tol)
+			}
+			if d := mat.MaxDiff(tB, tRef); d > tol {
+				t.Fatalf("nb=%d ib=%d: T differs by %g (tol %g)", nb, ib, d, tol)
+			}
+		}
+	}
+}
+
+// TestTtqrtBlockedMatchesUnblocked: triangle-on-triangle, both tiles' lower
+// junk preserved, trapezoidal V2 strips exercised at several inner blocks.
+func TestTtqrtBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, nb := range []int{8, 40, 128, 250} {
+		mkTri := func() *mat.Matrix {
+			m := mat.New(nb, nb)
+			for i := 0; i < nb; i++ {
+				for j := 0; j < nb; j++ {
+					if j >= i {
+						m.Set(i, j, rng.NormFloat64())
+					} else {
+						m.Set(i, j, 555)
+					}
+				}
+			}
+			return m
+		}
+		r1o, r2o := mkTri(), mkTri()
+		var r1Ref, r2Ref, tRef *mat.Matrix
+		withPanelIB(nb+1, func() {
+			r1Ref, r2Ref, tRef = r1o.Clone(), r2o.Clone(), mat.New(nb, nb)
+			Ttqrt(r1Ref, r2Ref, tRef)
+		})
+		for _, ib := range []int{7, 32} {
+			if ib >= nb {
+				continue
+			}
+			var r1B, r2B, tB *mat.Matrix
+			withPanelIB(ib, func() {
+				r1B, r2B, tB = r1o.Clone(), r2o.Clone(), mat.New(nb, nb)
+				Ttqrt(r1B, r2B, tB)
+			})
+			for i := 1; i < nb; i++ {
+				for j := 0; j < i; j++ {
+					if r1B.At(i, j) != 555 || r2B.At(i, j) != 555 {
+						t.Fatalf("nb=%d ib=%d: blocked Ttqrt touched a lower triangle at (%d,%d)", nb, ib, i, j)
+					}
+				}
+			}
+			tol := 1e-8 * float64(nb) * (1 + r1Ref.NormMax() + r2Ref.NormMax())
+			if d := maxDiffUpper(r1B, r1Ref); d > tol {
+				t.Fatalf("nb=%d ib=%d: merged R differs by %g (tol %g)", nb, ib, d, tol)
+			}
+			if d := maxDiffUpper(r2B, r2Ref); d > tol {
+				t.Fatalf("nb=%d ib=%d: V2 differs by %g (tol %g)", nb, ib, d, tol)
+			}
+			if d := mat.MaxDiff(tB, tRef); d > tol {
+				t.Fatalf("nb=%d ib=%d: T differs by %g (tol %g)", nb, ib, d, tol)
+			}
+		}
+	}
+}
+
+// maxDiffUpper compares only the upper triangles (the defined region of the
+// R-tile outputs; the strictly-lower parts hold sentinels or V data).
+func maxDiffUpper(a, b *mat.Matrix) float64 {
+	d := 0.0
+	for i := 0; i < a.Rows; i++ {
+		for j := i; j < a.Cols; j++ {
+			if v := math.Abs(a.At(i, j) - b.At(i, j)); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// TestSetPanelIBClamps: out-of-range values reset to the default.
+func TestSetPanelIB(t *testing.T) {
+	old := PanelIB()
+	defer SetPanelIB(old)
+	SetPanelIB(48)
+	if got := PanelIB(); got != 48 {
+		t.Fatalf("PanelIB = %d after SetPanelIB(48)", got)
+	}
+	SetPanelIB(0)
+	if got := PanelIB(); got != defaultPanelIB {
+		t.Fatalf("PanelIB = %d after SetPanelIB(0), want default %d", got, defaultPanelIB)
+	}
+}

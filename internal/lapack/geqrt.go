@@ -11,10 +11,15 @@ import (
 // form: A = Q·R with Q = I − V·T·Vᵀ. On return the upper triangle of a holds
 // R, the strictly lower trapezoid holds the Householder vectors V (unit
 // diagonal implicit), and t (n×n) holds the upper triangular block reflector
-// factor T. This is the PLASMA GEQRT kernel with inner block size ib = n.
+// factor T. This is the PLASMA GEQRT kernel.
 //
-// The trailing updates and the T-factor construction are organized row-wise
-// (rank-1 updates over contiguous rows) to match the row-major layout.
+// The factorization is blocked with inner block size ib = PanelIB():
+// reflectors are generated an ib-wide strip at a time by the unblocked
+// leaf, each strip's block reflector is applied to the trailing columns
+// through the TRMM/GEMM path (Unmqr), and the strip's T block is merged
+// into the full n×n T by the dlarft recurrence — so the output contract
+// (full T, usable by Unmqr and the serialized-factor replay) is unchanged
+// from the unblocked kernel.
 func Geqrt(a, t *mat.Matrix) {
 	m, n := a.Rows, a.Cols
 	if m < n {
@@ -24,6 +29,65 @@ func Geqrt(a, t *mat.Matrix) {
 		panic(fmt.Sprintf("lapack: Geqrt T too small: %dx%d for n=%d", t.Rows, t.Cols, n))
 	}
 	t.Zero()
+	ib := PanelIB()
+	if n <= ib {
+		geqrtUnblocked(a, t)
+		return
+	}
+	for j0 := 0; j0 < n; j0 += ib {
+		bs := min(ib, n-j0)
+		v := a.View(j0, j0, m-j0, bs)
+		tb := t.View(j0, j0, bs, bs)
+		geqrtUnblocked(v, tb)
+		// Trailing update: the strip's reflectors were generated first-to-
+		// last, so the trailing columns receive Qᵀ = I − V·Tᵀ·Vᵀ — exactly
+		// Unmqr with trans, through the blocked TRMM/GEMM path.
+		if j0+bs < n {
+			Unmqr(blas.Trans, v, tb, a.View(j0, j0+bs, m-j0, n-j0-bs))
+		}
+		if j0 > 0 {
+			mergeGeqrtT(a, t, j0, bs)
+		}
+	}
+}
+
+// mergeGeqrtT joins the [j0,j0+bs) strip's T block into the full factor:
+// it forms the cross-Gram Y = V1ᵀ·V2 of the previous reflectors against the
+// strip's (V2 materialized with its implicit unit diagonal) and hands it to
+// the dlarft recurrence.
+func mergeGeqrtT(a, t *mat.Matrix, j0, bs int) {
+	m := a.Rows
+	// V2 lives in a[j0:m, j0:j0+bs): unit lower trapezoidal, stored mixed
+	// with R's rows. Materialize it so one GEMM forms the Gram block.
+	v2, v2buf := mat.GetMatrix(m-j0, bs)
+	defer mat.PutBuf(v2buf)
+	for i := 0; i < m-j0; i++ {
+		dst := v2.Row(i)
+		src := a.Row(j0 + i)[j0 : j0+bs]
+		for c := range dst {
+			switch {
+			case i < c:
+				dst[c] = 0
+			case i == c:
+				dst[c] = 1
+			default:
+				dst[c] = src[c]
+			}
+		}
+	}
+	// V1's columns are zero above row j0, so the Gram needs only its dense
+	// lower part.
+	y, ybuf := mat.GetMatrix(j0, bs)
+	defer mat.PutBuf(ybuf)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, a.View(j0, 0, m-j0, j0), v2, 0, y)
+	larftMerge(t, j0, bs, y)
+}
+
+// geqrtUnblocked is the classical column-by-column Householder QR leaf:
+// per-column Larfg, row-wise rank-1 trailing updates, and the incremental
+// T construction. a is m×bs, t at least bs×bs (leading block written).
+func geqrtUnblocked(a, t *mat.Matrix) {
+	m, n := a.Rows, a.Cols
 	buf := mat.GetBuf(m + n)
 	defer mat.PutBuf(buf)
 	x := buf.Data[:m]
@@ -45,28 +109,11 @@ func Geqrt(a, t *mat.Matrix) {
 			wj := w[:n-j-1]
 			copy(wj, a.Row(j)[j+1:n])
 			for i := j + 1; i < m; i++ {
-				vi := a.At(i, j)
-				if vi == 0 {
-					continue
-				}
-				row := a.Row(i)[j+1 : n]
-				for c, rv := range row {
-					wj[c] += vi * rv
-				}
+				blas.Axpy(a.At(i, j), a.Row(i)[j+1:n], wj)
 			}
-			rowj := a.Row(j)[j+1 : n]
-			for c := range wj {
-				rowj[c] -= tau * wj[c]
-			}
+			blas.Axpy(-tau, wj, a.Row(j)[j+1:n])
 			for i := j + 1; i < m; i++ {
-				vi := tau * a.At(i, j)
-				if vi == 0 {
-					continue
-				}
-				row := a.Row(i)[j+1 : n]
-				for c := range row {
-					row[c] -= vi * wj[c]
-				}
+				blas.Axpy(-tau*a.At(i, j), wj, a.Row(i)[j+1:n])
 			}
 		}
 		// Extend T: w[i] = V[:, i]ᵀ · v_j for i < j, with V unit lower
@@ -74,14 +121,7 @@ func Geqrt(a, t *mat.Matrix) {
 		wt := w[:j]
 		copy(wt, a.Row(j)[:j])
 		for r := j + 1; r < m; r++ {
-			vr := a.At(r, j)
-			if vr == 0 {
-				continue
-			}
-			row := a.Row(r)[:j]
-			for i, rv := range row {
-				wt[i] += rv * vr
-			}
+			blas.Axpy(a.At(r, j), a.Row(r)[:j], wt)
 		}
 		larftColumn(t, j, tau, wt)
 	}
@@ -93,29 +133,28 @@ func Geqrt(a, t *mat.Matrix) {
 //	c ← Q·c   (trans == NoTrans)   c ← Qᵀ·c   (trans == Trans)
 //
 // with Q = I − V·T·Vᵀ. c must have v.Rows rows.
+//
+// All three stages run through blocked BLAS: W = VᵀC splits into a unit-
+// lower TRMM on the top square of V plus a GEMM on the trapezoid below,
+// T is applied by TRMM, and C −= V·W is the mirror TRMM + GEMM pair. The
+// unit-diagonal TRMMs never read V's diagonal or upper triangle, so the R
+// values sharing the tile are ignored exactly as in the scalar kernel.
 func Unmqr(trans blas.Transpose, v, t, c *mat.Matrix) {
 	m, n := v.Rows, v.Cols
 	if c.Rows != m {
 		panic(fmt.Sprintf("lapack: Unmqr shape mismatch V=%dx%d C=%dx%d", m, n, c.Rows, c.Cols))
 	}
 	k := c.Cols
-	// W = Vᵀ·C, exploiting V's unit lower trapezoidal structure. Every row
-	// of W is fully written below, so a pooled (unzeroed) buffer is safe.
+	v1 := v.View(0, 0, n, n)
+	c1 := c.View(0, 0, n, k)
+	// W = V1ᵀ·C1 + V2ᵀ·C2. CopyFrom overwrites every row, so a pooled
+	// (unzeroed) buffer is safe.
 	w, wbuf := mat.GetMatrix(n, k)
 	defer mat.PutBuf(wbuf)
-	for i := 0; i < n; i++ {
-		wrow := w.Row(i)
-		copy(wrow, c.Row(i)) // the implicit 1 at row i of column i
-		for r := i + 1; r < m; r++ {
-			vri := v.At(r, i)
-			if vri == 0 {
-				continue
-			}
-			crow := c.Row(r)
-			for q := 0; q < k; q++ {
-				wrow[q] += vri * crow[q]
-			}
-		}
+	w.CopyFrom(c1)
+	blas.Trmm(blas.Left, blas.Lower, blas.Trans, blas.Unit, 1, v1, w)
+	if m > n {
+		blas.Gemm(blas.Trans, blas.NoTrans, 1, v.View(n, 0, m-n, n), c.View(n, 0, m-n, k), 1, w)
 	}
 	// W ← op(T)·W with T upper triangular.
 	tview := t.View(0, 0, n, n)
@@ -124,38 +163,13 @@ func Unmqr(trans blas.Transpose, v, t, c *mat.Matrix) {
 	} else {
 		blas.Trmm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, tview, w)
 	}
-	// C ← C − V·W.
-	for i := 0; i < n; i++ {
-		// Row i of V has entries v(i, 0..i−1) plus the implicit 1 at col i.
-		crow := c.Row(i)
-		vrow := v.Row(i)
-		for j := 0; j < i; j++ {
-			vij := vrow[j]
-			if vij == 0 {
-				continue
-			}
-			wrow := w.Row(j)
-			for q := 0; q < k; q++ {
-				crow[q] -= vij * wrow[q]
-			}
-		}
-		wrow := w.Row(i)
-		for q := 0; q < k; q++ {
-			crow[q] -= wrow[q]
-		}
-	}
-	for i := n; i < m; i++ {
-		crow := c.Row(i)
-		vrow := v.Row(i)
-		for j := 0; j < n; j++ {
-			vij := vrow[j]
-			if vij == 0 {
-				continue
-			}
-			wrow := w.Row(j)
-			for q := 0; q < k; q++ {
-				crow[q] -= vij * wrow[q]
-			}
-		}
+	// C1 −= V1·W (via a TRMM on a copy);  C2 −= V2·W.
+	w2, w2buf := mat.GetMatrix(n, k)
+	defer mat.PutBuf(w2buf)
+	w2.CopyFrom(w)
+	blas.Trmm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, v1, w2)
+	subRows(c1, w2)
+	if m > n {
+		blas.Gemm(blas.NoTrans, blas.NoTrans, -1, v.View(n, 0, m-n, n), w, 1, c.View(n, 0, m-n, k))
 	}
 }

@@ -22,10 +22,10 @@ import (
 // factorization break down. Mirrors LAPACK's info > 0 convention.
 var ErrSingular = errors.New("lapack: exactly singular matrix (zero pivot)")
 
-// getrfBlock is the panel width of the blocked Getrf: narrow enough to keep
-// the rank-1 panel updates in cache, wide enough that the trailing GEMM
-// dominates.
-const getrfBlock = 32
+// getrfLeaf is the recursion leaf width of Getrf: below this the classical
+// unblocked elimination runs. Small enough that the O(m·leaf²) scalar work
+// is a sliver of the total; the rest of the flops land in TRSM/GEMM.
+const getrfLeaf = 8
 
 // Getrf computes an LU factorization with partial (row) pivoting of an m×n
 // matrix (m ≥ n): P·A = L·U. On return, the strictly lower trapezoid of a
@@ -35,91 +35,119 @@ const getrfBlock = 32
 // a zero pivot was hit; the factorization still completes with the zero
 // pivot left in place, as in LAPACK.
 //
-// The factorization is blocked (LAPACK dgetrf style): unblocked panels of
-// width getrfBlock, row interchanges applied across the matrix, then a TRSM
-// + GEMM trailing update, so most of the work runs at GEMM speed.
+// The factorization is recursive right-looking (Toledo's scheme): the
+// column block is split in half, the left half factored recursively, the
+// right half updated with one TRSM and one GEMM, then factored recursively
+// in turn. All but O(n·m·leaf) of the work runs through the packed GEMM
+// path, at every level of the recursion — unlike a fixed-width panel
+// scheme, whose rank-leaf updates cap the panel itself at scalar speed.
 func Getrf(a *mat.Matrix) (piv []int, err error) {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("lapack: Getrf requires m >= n, got %dx%d", m, n))
 	}
 	piv = make([]int, n)
-	if n <= getrfBlock {
-		return piv, getrfUnblocked(a, piv)
+	return piv, getrfRecursive(a, piv)
+}
+
+// getrfRecursive factors a in place, writing local (0-based within a) pivot
+// indices into piv. The pivot sequence is identical to the classical
+// right-looking elimination's: the same column maxima are compared at the
+// same steps, only the order of the floating-point updates differs.
+func getrfRecursive(a *mat.Matrix, piv []int) (err error) {
+	m, n := a.Rows, a.Cols
+	if n <= getrfLeaf {
+		return getrfUnblocked(a, piv)
 	}
-	for k := 0; k < n; k += getrfBlock {
-		jb := getrfBlock
-		if k+jb > n {
-			jb = n - k
-		}
-		panel := a.View(k, k, m-k, jb)
-		ppiv := make([]int, jb)
-		if perr := getrfUnblocked(panel, ppiv); perr != nil {
-			err = perr
-		}
-		// Translate the panel's local pivots to global row indices and
-		// apply the interchanges to the columns outside the panel.
-		for j := 0; j < jb; j++ {
-			piv[k+j] = ppiv[j] + k
-			if ppiv[j] == j {
-				continue
-			}
-			r1 := a.Row(k + j)
-			r2 := a.Row(k + ppiv[j])
-			for c := 0; c < k; c++ {
+	n1 := n / 2
+	if e := getrfRecursive(a.View(0, 0, m, n1), piv[:n1]); e != nil {
+		err = e
+	}
+	// Pull the left half's interchanges across the right half, solve for
+	// U12, and apply the Schur update — then the bottom-right is an
+	// independent LU problem.
+	Laswp(a.View(0, n1, m, n-n1), piv[:n1], false)
+	u12 := a.View(0, n1, n1, n-n1)
+	blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, a.View(0, 0, n1, n1), u12)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, a.View(n1, 0, m-n1, n1), u12, 1, a.View(n1, n1, m-n1, n-n1))
+	if e := getrfRecursive(a.View(n1, n1, m-n1, n-n1), piv[n1:]); e != nil {
+		err = e
+	}
+	// Translate the right half's pivots to rows of a and pull its
+	// interchanges back across the left columns.
+	for j := n1; j < n; j++ {
+		piv[j] += n1
+		if piv[j] != j {
+			r1, r2 := a.Row(j), a.Row(piv[j])
+			for c := 0; c < n1; c++ {
 				r1[c], r2[c] = r2[c], r1[c]
-			}
-			for c := k + jb; c < n; c++ {
-				r1[c], r2[c] = r2[c], r1[c]
-			}
-		}
-		if k+jb < n {
-			l11 := a.View(k, k, jb, jb)
-			u12 := a.View(k, k+jb, jb, n-k-jb)
-			blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, u12)
-			if k+jb < m {
-				l21 := a.View(k+jb, k, m-k-jb, jb)
-				a22 := a.View(k+jb, k+jb, m-k-jb, n-k-jb)
-				blas.Gemm(blas.NoTrans, blas.NoTrans, -1, l21, u12, 1, a22)
 			}
 		}
 	}
-	return piv, err
+	return err
 }
 
 // getrfUnblocked is the classical right-looking elimination with partial
-// pivoting, writing local (0-based within a) pivot indices into piv.
+// pivoting, writing local (0-based within a) pivot indices into piv. It is
+// the recursion leaf, called once per narrow column strip but walking every
+// row — so it indexes the backing array directly instead of going through
+// the accessor methods.
 func getrfUnblocked(a *mat.Matrix, piv []int) (err error) {
 	m, n := a.Rows, a.Cols
-	for k := 0; k < n; k++ {
-		// Pivot search in column k, rows k..m−1.
-		p, pv := k, math.Abs(a.At(k, k))
-		for i := k + 1; i < m; i++ {
-			if v := math.Abs(a.At(i, k)); v > pv {
-				p, pv = i, v
-			}
+	d, ld := a.Data, a.Stride
+	// The pivot of column k+1 is found during column k's update loop (which
+	// visits exactly the rows the search needs, with the final values), so
+	// each column pays one pass over its rows instead of two. Only column 0
+	// needs a dedicated strided search.
+	p, pv := 0, math.Abs(d[0])
+	for i := 1; i < m; i++ {
+		if v := math.Abs(d[i*ld]); v > pv {
+			p, pv = i, v
 		}
+	}
+	for k := 0; k < n; k++ {
 		piv[k] = p
 		if p != k {
-			a.SwapRows(k, p)
+			rk := d[k*ld : k*ld+n]
+			rp := d[p*ld : p*ld+n]
+			for c, v := range rk {
+				rk[c], rp[c] = rp[c], v
+			}
 		}
-		akk := a.At(k, k)
+		akk := d[k*ld+k]
+		last := k+1 == n
 		if akk == 0 {
 			err = ErrSingular
+			if !last {
+				// No update ran; search column k+1 the slow way.
+				p, pv = k+1, math.Abs(d[(k+1)*ld+k+1])
+				for i := k + 2; i < m; i++ {
+					if v := math.Abs(d[i*ld+k+1]); v > pv {
+						p, pv = i, v
+					}
+				}
+			}
 			continue
 		}
 		inv := 1 / akk
-		// Scale multipliers and update the trailing submatrix row-wise.
+		// Scale multipliers and update the trailing submatrix row-wise,
+		// tracking the max of the just-updated column k+1 as we go.
+		rowk := d[k*ld+k+1 : k*ld+n]
+		pv = -1
 		for i := k + 1; i < m; i++ {
-			lik := a.At(i, k) * inv
-			a.Set(i, k, lik)
-			if lik == 0 {
-				continue
+			off := i * ld
+			lik := d[off+k] * inv
+			d[off+k] = lik
+			rowi := d[off+k+1 : off+n]
+			if lik != 0 {
+				for j, v := range rowk {
+					rowi[j] -= lik * v
+				}
 			}
-			rowi := a.Row(i)
-			rowk := a.Row(k)
-			for j := k + 1; j < n; j++ {
-				rowi[j] -= lik * rowk[j]
+			if !last {
+				if v := math.Abs(rowi[0]); v > pv {
+					p, pv = i, v
+				}
 			}
 		}
 	}
@@ -129,29 +157,53 @@ func getrfUnblocked(a *mat.Matrix, piv []int) (err error) {
 // GetrfNoPiv computes A = L·U without any pivoting (the LU NoPiv baseline's
 // elimination). It breaks down (ErrSingular) on a zero diagonal element;
 // the factorization continues past the breakdown exactly as Getrf does.
+// Like Getrf it is recursive, so the bulk of the flops are TRSM/GEMM.
 func GetrfNoPiv(a *mat.Matrix) error {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("lapack: GetrfNoPiv requires m >= n, got %dx%d", m, n))
 	}
+	if n <= getrfLeaf {
+		return getrfNoPivUnblocked(a)
+	}
+	var err error
+	n1 := n / 2
+	if e := GetrfNoPiv(a.View(0, 0, m, n1)); e != nil {
+		err = e
+	}
+	u12 := a.View(0, n1, n1, n-n1)
+	blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, a.View(0, 0, n1, n1), u12)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, a.View(n1, 0, m-n1, n1), u12, 1, a.View(n1, n1, m-n1, n-n1))
+	if e := GetrfNoPiv(a.View(n1, n1, m-n1, n-n1)); e != nil {
+		err = e
+	}
+	return err
+}
+
+// getrfNoPivUnblocked is the classical no-pivoting elimination leaf,
+// indexing the backing array directly like getrfUnblocked.
+func getrfNoPivUnblocked(a *mat.Matrix) error {
+	m, n := a.Rows, a.Cols
+	d, ld := a.Data, a.Stride
 	var err error
 	for k := 0; k < n; k++ {
-		akk := a.At(k, k)
+		akk := d[k*ld+k]
 		if akk == 0 {
 			err = ErrSingular
 			continue
 		}
 		inv := 1 / akk
+		rowk := d[k*ld+k+1 : k*ld+n]
 		for i := k + 1; i < m; i++ {
-			lik := a.At(i, k) * inv
-			a.Set(i, k, lik)
+			off := i * ld
+			lik := d[off+k] * inv
+			d[off+k] = lik
 			if lik == 0 {
 				continue
 			}
-			rowi := a.Row(i)
-			rowk := a.Row(k)
-			for j := k + 1; j < n; j++ {
-				rowi[j] -= lik * rowk[j]
+			rowi := d[off+k+1 : off+n]
+			for j, v := range rowk {
+				rowi[j] -= lik * v
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package lapack
 import (
 	"math"
 
+	"luqr/internal/blas"
 	"luqr/internal/mat"
 )
 
@@ -15,10 +16,7 @@ import (
 // x is overwritten with v and (beta, tau) are returned. H is orthogonal and
 // symmetric. When x is zero and alpha needs no change, tau = 0 and H = I.
 func Larfg(alpha float64, x []float64) (beta, tau float64) {
-	sigma := 0.0
-	for _, v := range x {
-		sigma += v * v
-	}
+	sigma := blas.Dot(x, x)
 	if sigma == 0 {
 		// H = I. (We do not flip the sign of a negative alpha; LAPACK keeps
 		// tau = 0 here as well.)
@@ -31,10 +29,7 @@ func Larfg(alpha float64, x []float64) (beta, tau float64) {
 		beta = -mu
 	}
 	tau = (beta - alpha) / beta
-	scale := 1 / (alpha - beta)
-	for i := range x {
-		x[i] *= scale
-	}
+	blas.Scal(1/(alpha-beta), x)
 	return beta, tau
 }
 

@@ -17,8 +17,12 @@ import (
 //
 // producing an updated upper triangular R and the block reflector
 // Q = I − V·T·Vᵀ with V = [I; V2]. t (n×n) receives T. This is the PLASMA
-// TSQRT kernel with ib = n. Updates run row-wise over A for the row-major
-// layout.
+// TSQRT kernel, blocked with inner block size ib = PanelIB(): each ib-wide
+// strip is factored by the unblocked leaf, the trailing columns receive the
+// strip's block reflector through Tsmqr's GEMM path, and the strip's T is
+// merged into the full factor by the dlarft recurrence. The identity blocks
+// of successive strips occupy disjoint rows, so the cross-Gram V1ᵀ·V2
+// reduces to a single GEMM over A's columns.
 func Tsqrt(r, a, t *mat.Matrix) {
 	n := r.Cols
 	m := a.Rows
@@ -32,6 +36,38 @@ func Tsqrt(r, a, t *mat.Matrix) {
 		panic(fmt.Sprintf("lapack: Tsqrt T too small: %dx%d", t.Rows, t.Cols))
 	}
 	t.Zero()
+	ib := PanelIB()
+	if n <= ib {
+		tsqrtUnblocked(r, a, t)
+		return
+	}
+	for j0 := 0; j0 < n; j0 += ib {
+		bs := min(ib, n-j0)
+		v2 := a.View(0, j0, m, bs)
+		tb := t.View(j0, j0, bs, bs)
+		tsqrtUnblocked(r.View(j0, j0, bs, bs), v2, tb)
+		// Trailing update with the strip's reflector, first-to-last order
+		// ⇒ apply Qᵀ: rows j0..j0+bs of R are the C1 block, all of A's
+		// trailing columns the C2 block.
+		if j0+bs < n {
+			Tsmqr(blas.Trans, v2, tb, r.View(j0, j0+bs, bs, n-j0-bs), a.View(0, j0+bs, m, n-j0-bs))
+		}
+		if j0 > 0 {
+			// V1ᵀ·V2: the stacked identity parts live in disjoint row
+			// ranges of the R block, so only A's columns overlap.
+			y, ybuf := mat.GetMatrix(j0, bs)
+			blas.Gemm(blas.Trans, blas.NoTrans, 1, a.View(0, 0, m, j0), v2, 0, y)
+			larftMerge(t, j0, bs, y)
+			mat.PutBuf(ybuf)
+		}
+	}
+}
+
+// tsqrtUnblocked is the classical column-by-column TS leaf on an
+// (bs + m)-row stacked panel: r is bs×bs upper triangular, a is m×bs.
+func tsqrtUnblocked(r, a, t *mat.Matrix) {
+	n := r.Cols
+	m := a.Rows
 	buf := mat.GetBuf(m + n)
 	defer mat.PutBuf(buf)
 	x := buf.Data[:m]
@@ -56,28 +92,12 @@ func Tsqrt(r, a, t *mat.Matrix) {
 			copy(wj, rrow)
 			for i := 0; i < m; i++ {
 				arow := a.Row(i)
-				vij := arow[j]
-				if vij == 0 {
-					continue
-				}
-				tail := arow[j+1 : n]
-				for c, av := range tail {
-					wj[c] += vij * av
-				}
+				blas.Axpy(arow[j], arow[j+1:n], wj)
 			}
-			for c := range wj {
-				rrow[c] -= tau * wj[c]
-			}
+			blas.Axpy(-tau, wj, rrow)
 			for i := 0; i < m; i++ {
 				arow := a.Row(i)
-				vij := tau * arow[j]
-				if vij == 0 {
-					continue
-				}
-				tail := arow[j+1 : n]
-				for c := range tail {
-					tail[c] -= vij * wj[c]
-				}
+				blas.Axpy(-tau*arow[j], wj, arow[j+1:n])
 			}
 		}
 		// T column: the identity blocks of V contribute nothing across
@@ -88,14 +108,7 @@ func Tsqrt(r, a, t *mat.Matrix) {
 		}
 		for q := 0; q < m; q++ {
 			arow := a.Row(q)
-			vqj := arow[j]
-			if vqj == 0 {
-				continue
-			}
-			head := arow[:j]
-			for i, av := range head {
-				wt[i] += av * vqj
-			}
+			blas.Axpy(arow[j], arow[:j], wt)
 		}
 		larftColumn(t, j, tau, wt)
 	}
@@ -129,11 +142,6 @@ func Tsmqr(trans blas.Transpose, v2, t, c1, c2 *mat.Matrix) {
 		blas.Trmm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, tview, w)
 	}
 	// C1 −= W;  C2 −= V2·W.
-	for i := 0; i < n; i++ {
-		c1r, wr := c1.Row(i), w.Row(i)
-		for q := 0; q < k; q++ {
-			c1r[q] -= wr[q]
-		}
-	}
+	subRows(c1, w)
 	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, v2, w, 1, c2)
 }

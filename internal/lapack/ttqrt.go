@@ -17,6 +17,12 @@ import (
 // tiles are never touched: they may carry V data from earlier kernels, as in
 // PLASMA. t (n×n) receives T. Used by the reduction trees of the HQR step to
 // merge two domain-local R factors.
+//
+// Blocked with inner block size ib = PanelIB(): each ib-wide strip of
+// columns (whose V2 part is a trapezoid — dense above row j0, triangular
+// on the diagonal block) is factored by the unblocked leaf, the trailing
+// columns receive the strip's block reflector through TRMM/GEMM, and the
+// strip's T is merged by the dlarft recurrence.
 func Ttqrt(r1, r2, t *mat.Matrix) {
 	n := r1.Cols
 	if r1.Rows != n || r2.Rows != n || r2.Cols != n {
@@ -27,68 +33,121 @@ func Ttqrt(r1, r2, t *mat.Matrix) {
 		panic(fmt.Sprintf("lapack: Ttqrt T too small: %dx%d", t.Rows, t.Cols))
 	}
 	t.Zero()
-	buf := mat.GetBuf(2 * n)
+	ib := PanelIB()
+	if n <= ib {
+		ttqrtUnblocked(r1, r2.View(0, 0, n, n), t, 0)
+		return
+	}
+	for j0 := 0; j0 < n; j0 += ib {
+		bs := min(ib, n-j0)
+		rest := n - j0 - bs
+		tb := t.View(j0, j0, bs, bs)
+		// The strip's V2 is r2[0:j0+bs, j0:j0+bs): a dense j0×bs block D on
+		// top of a bs×bs upper triangle.
+		ttqrtUnblocked(r1.View(j0, j0, bs, bs), r2.View(0, j0, j0+bs, bs), tb, j0)
+		if rest > 0 {
+			ttqrtApply(r1, r2, tb, j0, bs, rest)
+		}
+		if j0 > 0 {
+			// Cross-Gram V1ᵀ·V2: V1 (the previous columns of V2-space) is
+			// zero below row j0, so only D overlaps — and V1's nonzero part
+			// is the upper triangle r2[0:j0, 0:j0).
+			y, ybuf := mat.GetMatrix(j0, bs)
+			y.CopyFrom(r2.View(0, j0, j0, bs))
+			blas.Trmm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, 1, r2.View(0, 0, j0, j0), y)
+			larftMerge(t, j0, bs, y)
+			mat.PutBuf(ybuf)
+		}
+	}
+}
+
+// ttqrtApply pushes the [j0,j0+bs) strip's block reflector (Qᵀ, matching
+// the first-to-last generation order) across the trailing columns: C1 is
+// rows j0..j0+bs of R1, C2 is rows 0..j0+bs of R2. The V2 trapezoid splits
+// into its dense top D (GEMM) and triangular diagonal block (TRMM on a
+// copy), keeping R2's strictly-lower storage untouched.
+func ttqrtApply(r1, r2, tb *mat.Matrix, j0, bs, rest int) {
+	c1 := r1.View(j0, j0+bs, bs, rest)
+	tri := r2.View(j0, j0, bs, bs)
+	c2bot := r2.View(j0, j0+bs, bs, rest)
+	// W = C1 + Dᵀ·C2top + Triᵀ·C2bot.
+	w, wbuf := mat.GetMatrix(bs, rest)
+	defer mat.PutBuf(wbuf)
+	w.CopyFrom(c1)
+	if j0 > 0 {
+		blas.Gemm(blas.Trans, blas.NoTrans, 1, r2.View(0, j0, j0, bs), r2.View(0, j0+bs, j0, rest), 1, w)
+	}
+	wt, wtbuf := mat.GetMatrix(bs, rest)
+	defer mat.PutBuf(wtbuf)
+	wt.CopyFrom(c2bot)
+	blas.Trmm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, 1, tri, wt)
+	addRows(w, wt)
+	// W ← Tᵀ·W.
+	blas.Trmm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, 1, tb, w)
+	// C1 −= W;  C2top −= D·W;  C2bot −= Tri·W.
+	subRows(c1, w)
+	if j0 > 0 {
+		blas.Gemm(blas.NoTrans, blas.NoTrans, -1, r2.View(0, j0, j0, bs), w, 1, r2.View(0, j0+bs, j0, rest))
+	}
+	wt.CopyFrom(w)
+	blas.Trmm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, tri, wt)
+	subRows(c2bot, wt)
+}
+
+// ttqrtUnblocked is the column-by-column TT leaf. r1 is bs×bs upper
+// triangular; r2 holds the strip's V2 part as an (off+bs)×bs trapezoid:
+// local column j's vector part occupies rows 0..off+j (dense above row
+// off, triangular within the diagonal block). off == 0 recovers the
+// classical square case.
+func ttqrtUnblocked(r1, r2, t *mat.Matrix, off int) {
+	n := r1.Cols
+	buf := mat.GetBuf(2*n + off)
 	defer mat.PutBuf(buf)
-	x := buf.Data[:n]
-	w := buf.Data[n:]
+	x := buf.Data[: n+off : n+off]
+	w := buf.Data[n+off:]
 	for j := 0; j < n; j++ {
 		// Column j of the stacked panel has nonzeros at R1[j,j] and
-		// R2[0..j, j] only (R2 upper triangular).
-		for i := 0; i <= j; i++ {
+		// R2[0..off+j, j] only.
+		h := off + j
+		for i := 0; i <= h; i++ {
 			x[i] = r2.At(i, j)
 		}
-		beta, tau := Larfg(r1.At(j, j), x[:j+1])
+		beta, tau := Larfg(r1.At(j, j), x[:h+1])
 		r1.Set(j, j, beta)
-		for i := 0; i <= j; i++ {
+		for i := 0; i <= h; i++ {
 			r2.Set(i, j, x[i])
 		}
-		// Apply H to trailing columns (row j of R1, rows 0..j of R2),
-		// row-wise: w = R1[j, j+1:] + V2[0..j, j]ᵀ·R2[0..j, j+1:].
+		// Apply H to trailing columns (row j of R1, rows 0..off+j of R2),
+		// row-wise: w = R1[j, j+1:] + V2[0..off+j, j]ᵀ·R2[0..off+j, j+1:].
 		if tau != 0 && j+1 < n {
 			r1row := r1.Row(j)[j+1 : n]
 			wj := w[:n-j-1]
 			copy(wj, r1row)
-			for i := 0; i <= j; i++ {
+			for i := 0; i <= h; i++ {
 				r2row := r2.Row(i)
-				vij := r2row[j]
-				if vij == 0 {
-					continue
-				}
-				tail := r2row[j+1 : n]
-				for c, rv := range tail {
-					wj[c] += vij * rv
-				}
+				blas.Axpy(r2row[j], r2row[j+1:n], wj)
 			}
-			for c := range wj {
-				r1row[c] -= tau * wj[c]
-			}
-			for i := 0; i <= j; i++ {
+			blas.Axpy(-tau, wj, r1row)
+			for i := 0; i <= h; i++ {
 				r2row := r2.Row(i)
-				vij := tau * r2row[j]
-				if vij == 0 {
-					continue
-				}
-				tail := r2row[j+1 : n]
-				for c := range tail {
-					tail[c] -= vij * wj[c]
-				}
+				blas.Axpy(-tau*r2row[j], wj, r2row[j+1:n])
 			}
 		}
-		// T column: w[i] = V2[:, i]ᵀ · v2_j over the overlap rows 0..i,
-		// accumulated row-wise over R2's upper triangle.
+		// T column: w[i] = V2[:, i]ᵀ · v2_j over the overlap rows
+		// 0..off+i, accumulated row-wise over the trapezoid.
 		wt := w[:j]
 		for i := range wt {
 			wt[i] = 0
 		}
-		for q := 0; q <= j; q++ {
+		for q := 0; q <= h; q++ {
 			r2row := r2.Row(q)
-			vqj := r2row[j]
-			if vqj == 0 {
-				continue
+			// Row q contributes to columns i with off+i ≥ q, i < j.
+			i0 := q - off
+			if i0 < 0 {
+				i0 = 0
 			}
-			// Row q contributes to columns i ≥ q (upper triangle), i < j.
-			for i := q; i < j; i++ {
-				wt[i] += r2row[i] * vqj
+			if i0 < j {
+				blas.Axpy(r2row[j], r2row[i0:j], wt[i0:j])
 			}
 		}
 		larftColumn(t, j, tau, wt)
@@ -101,6 +160,8 @@ func Ttqrt(r1, r2, t *mat.Matrix) {
 //	[C1; C2] ← op(Q)·[C1; C2],  Q = I − [I; V2]·T·[I; V2]ᵀ
 //
 // v2 holds V2 in its upper triangle (lower part ignored), t the T factor.
+// The three multiplications by the triangular V2 and T run through the
+// blocked TRMM path (on copies, since TRMM works in place).
 func Ttmqr(trans blas.Transpose, v2, t, c1, c2 *mat.Matrix) {
 	n := v2.Rows
 	if v2.Cols != n || c1.Rows != n || c2.Rows != n || c1.Cols != c2.Cols {
@@ -108,26 +169,12 @@ func Ttmqr(trans blas.Transpose, v2, t, c1, c2 *mat.Matrix) {
 			v2.Rows, v2.Cols, c1.Rows, c1.Cols, c2.Rows, c2.Cols))
 	}
 	k := c1.Cols
-	// W = C1 + V2ᵀ·C2, reading only V2's upper triangle. CopyFrom overwrites
-	// every row, so the pooled buffer needs no zeroing.
+	// W = C1 + V2ᵀ·C2, reading only V2's upper triangle.
 	w, wbuf := mat.GetMatrix(n, k)
 	defer mat.PutBuf(wbuf)
-	w.CopyFrom(c1)
-	for q := 0; q < n; q++ {
-		// Row q of V2 contributes v2(q, j) for j ≥ q.
-		c2row := c2.Row(q)
-		v2row := v2.Row(q)
-		for j := q; j < n; j++ {
-			vqj := v2row[j]
-			if vqj == 0 {
-				continue
-			}
-			wrow := w.Row(j)
-			for c := 0; c < k; c++ {
-				wrow[c] += vqj * c2row[c]
-			}
-		}
-	}
+	w.CopyFrom(c2)
+	blas.Trmm(blas.Left, blas.Upper, blas.Trans, blas.NonUnit, 1, v2, w)
+	addRows(w, c1)
 	// W ← op(T)·W.
 	tview := t.View(0, 0, n, n)
 	if trans == blas.Trans {
@@ -136,24 +183,7 @@ func Ttmqr(trans blas.Transpose, v2, t, c1, c2 *mat.Matrix) {
 		blas.Trmm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, tview, w)
 	}
 	// C1 −= W;  C2 −= V2·W (upper triangle of V2 only).
-	for i := 0; i < n; i++ {
-		c1r, wr := c1.Row(i), w.Row(i)
-		for q := 0; q < k; q++ {
-			c1r[q] -= wr[q]
-		}
-	}
-	for i := 0; i < n; i++ {
-		c2row := c2.Row(i)
-		v2row := v2.Row(i)
-		for j := i; j < n; j++ {
-			vij := v2row[j]
-			if vij == 0 {
-				continue
-			}
-			wrow := w.Row(j)
-			for c := 0; c < k; c++ {
-				c2row[c] -= vij * wrow[c]
-			}
-		}
-	}
+	subRows(c1, w)
+	blas.Trmm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, v2, w)
+	subRows(c2, w)
 }

@@ -9,6 +9,7 @@ import (
 	"luqr/internal/criteria"
 	"luqr/internal/mat"
 	"luqr/internal/matgen"
+	"luqr/internal/tune"
 )
 
 // MatrixSpec names the operator of a request: either a generator from the
@@ -67,11 +68,18 @@ type parsedRequest struct {
 	cfg       core.Config
 	key       string
 	criterion string
+	// tuned is set when the autotuner chose the tile size (request left nb
+	// unset and a tuner is configured); it is echoed in the job view.
+	tuned *tune.Entry
 }
 
 // parse validates a request against the service limits and materializes the
-// operator. maxN guards against a single request exhausting memory.
-func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int) (*parsedRequest, error) {
+// operator. maxN guards against a single request exhausting memory. With a
+// tuner configured, requests that leave nb unset resolve it through the
+// tuning table (first use of a class probes and persists) — the tuned nb
+// lands in cfg before the cache key is derived, so differently-tuned classes
+// never collide in the factorization cache or the disk store.
+func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int, tuner *tune.Tuner) (*parsedRequest, error) {
 	n := spec.N
 	if n <= 0 {
 		return nil, fmt.Errorf("matrix.n must be positive, got %d", n)
@@ -109,6 +117,14 @@ func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int) (*parsedRequ
 		cfg.Alg = alg
 	}
 	cfg.NB = cs.NB
+	var tuned *tune.Entry
+	if cfg.NB <= 0 && tuner != nil {
+		if e, _, err := tuner.Tune(n, cfg.Alg.String()); err == nil {
+			cfg.NB = e.NB
+			tune.Apply(e.Point)
+			tuned = &e
+		}
+	}
 	if cfg.NB <= 0 {
 		cfg.NB = 40
 	}
@@ -156,6 +172,9 @@ func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int) (*parsedRequ
 		return nil, fmt.Errorf("config.workers must be non-negative")
 	}
 	cfg.Workers = cs.Workers
+	if cfg.Workers == 0 && tuned != nil && tuned.Workers > 0 {
+		cfg.Workers = tuned.Workers
+	}
 	cfg.Seed = cs.Seed
 
 	b := rhs
@@ -174,5 +193,6 @@ func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int) (*parsedRequ
 		cfg:       cfg,
 		key:       digestKey(spec, cfg, critName),
 		criterion: critName,
+		tuned:     tuned,
 	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"luqr/internal/core"
+	"luqr/internal/tune"
 )
 
 // State is a job's lifecycle position.
@@ -143,15 +144,18 @@ type ReportView struct {
 // SHA-256 digest — it names the factorization in the cache and the disk
 // store; CacheKeyShort is the documented 12-hex display form.
 type JobView struct {
-	ID            string      `json:"id"`
-	State         State       `json:"state"`
-	Error         string      `json:"error,omitempty"`
-	CacheKey      string      `json:"cache_key"`
-	CacheKeyShort string      `json:"cache_key_short"`
-	SubmittedMS   int64       `json:"submitted_unix_ms"`
-	StartedMS     int64       `json:"started_unix_ms,omitempty"`
-	FinishedMS    int64       `json:"finished_unix_ms,omitempty"`
-	Report        *ReportView `json:"report,omitempty"`
+	ID            string `json:"id"`
+	State         State  `json:"state"`
+	Error         string `json:"error,omitempty"`
+	CacheKey      string `json:"cache_key"`
+	CacheKeyShort string `json:"cache_key_short"`
+	SubmittedMS   int64  `json:"submitted_unix_ms"`
+	StartedMS     int64  `json:"started_unix_ms,omitempty"`
+	FinishedMS    int64  `json:"finished_unix_ms,omitempty"`
+	// Tuned is the autotuner's operating point when it chose the tile size
+	// for this job (absent when the request pinned nb or tuning is off).
+	Tuned  *tune.Entry `json:"tuned,omitempty"`
+	Report *ReportView `json:"report,omitempty"`
 }
 
 // View snapshots the job for the status endpoint.
@@ -164,6 +168,7 @@ func (j *Job) View() JobView {
 		CacheKey:      j.req.key,
 		CacheKeyShort: ShortDigest(j.req.key),
 		SubmittedMS:   j.submitted.UnixMilli(),
+		Tuned:         j.req.tuned,
 	}
 	if !j.started.IsZero() {
 		v.StartedMS = j.started.UnixMilli()

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"luqr/internal/runtime"
+	"luqr/internal/tune"
 )
 
 // Metrics is the service's running counter set. All counters are atomic;
@@ -122,6 +123,16 @@ type MetricsSnapshot struct {
 		Evictions   int64   `json:"evictions"`
 	} `json:"store"`
 
+	Tune struct {
+		Enabled    bool                  `json:"enabled"`
+		Path       string                `json:"path,omitempty"`
+		Machine    string                `json:"machine,omitempty"`
+		Probes     int64                 `json:"probes"`
+		Hits       int64                 `json:"hits"`
+		LoadErrors int64                 `json:"load_errors"`
+		Classes    map[string]tune.Entry `json:"classes,omitempty"`
+	} `json:"tune"`
+
 	Kernels runtime.StatsSnapshot `json:"kernels"`
 
 	Sched struct {
@@ -194,6 +205,17 @@ func (m *Manager) MetricsSnapshot() MetricsSnapshot {
 			s.Store.MeanSpillMS = float64(m.met.StoreSpillNS.Load()) / float64(s.Store.Spills) / 1e6
 		}
 		s.Store.Evictions = m.met.StoreEvictions.Load()
+	}
+
+	if tn := m.opts.Tuner; tn != nil {
+		st := tn.Stats()
+		s.Tune.Enabled = true
+		s.Tune.Path = st.Path
+		s.Tune.Machine = st.Machine
+		s.Tune.Probes = st.Probes
+		s.Tune.Hits = st.Hits
+		s.Tune.LoadErrors = st.LoadErrors
+		s.Tune.Classes = tn.Classes()
 	}
 
 	m.met.mu.Lock()

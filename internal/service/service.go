@@ -43,6 +43,7 @@ import (
 
 	"luqr/internal/core"
 	"luqr/internal/runtime"
+	"luqr/internal/tune"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -83,6 +84,11 @@ type Options struct {
 	// files are evicted beyond it. Default 1 GiB. Only meaningful with
 	// StoreDir.
 	StoreMaxBytes int64
+	// Tuner, when set, resolves the tile size / inner block / worker count
+	// for requests that leave nb unset: first use of a matrix class probes a
+	// few operating points and persists the winner (see internal/tune), so
+	// later requests and restarts skip the probe. Nil disables autotuning.
+	Tuner *tune.Tuner
 }
 
 func (o Options) withDefaults() Options {

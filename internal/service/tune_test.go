@@ -1,0 +1,126 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"luqr/internal/tune"
+)
+
+// svcTuner builds a deterministic tuner for service tests: nb=80 always wins
+// the probe, and the table persists under dir.
+func svcTuner(dir string) *tune.Tuner {
+	return tune.New(tune.Options{
+		Path: filepath.Join(dir, "tuning.json"),
+		Candidates: []tune.Point{
+			{NB: 40, IB: 16, Workers: 1},
+			{NB: 80, IB: 16, Workers: 1},
+		},
+		Bench: func(p tune.Point, n int, alg string) (float64, error) {
+			if p.NB == 80 {
+				return 9, nil
+			}
+			return 1, nil
+		},
+		Machine: "svc-test",
+	})
+}
+
+// TestServiceAutotune submits a job that leaves nb unset against a manager
+// with tuning enabled and asserts the tuned tile size shows up everywhere it
+// must: the job view, the run report, the cache key, and /metrics.
+func TestServiceAutotune(t *testing.T) {
+	dir := t.TempDir()
+	tuner := svcTuner(dir)
+	m := mustManager(t, Options{QueueSize: 8, Concurrency: 1, CacheEntries: 4, Tuner: tuner})
+	defer m.Drain(context.Background())
+	ts := httptest.NewServer(NewServer(m, 0))
+	defer ts.Close()
+	client := ts.Client()
+
+	mtx := map[string]any{"n": 160, "gen": "random", "seed": 5}
+	st, body := postJSON(t, client, ts.URL+"/v1/jobs",
+		map[string]any{"matrix": mtx, "config": map[string]any{"alg": "luqr"}})
+	if st != http.StatusAccepted {
+		t.Fatalf("submit: got %d: %s", st, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("submit response: %v", err)
+	}
+
+	var jv JobView
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		getJSON(t, client, ts.URL+"/v1/jobs/"+sub.ID, &jv)
+		if jv.State == StateDone || jv.State == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", jv.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if jv.State != StateDone {
+		t.Fatalf("job failed: %s", jv.Error)
+	}
+	if jv.Tuned == nil || jv.Tuned.NB != 80 {
+		t.Fatalf("job view tuned point = %+v, want nb=80", jv.Tuned)
+	}
+	if jv.Report == nil || jv.Report.NB != 80 {
+		t.Fatalf("run report nb = %+v, want 80", jv.Report)
+	}
+
+	// The tuned nb participates in the cache key: an auto request digests
+	// identically to an explicit nb=80 request and differently from nb=40.
+	spec := MatrixSpec{N: 160, Gen: "random", Seed: 5}
+	auto, err := parse(spec, ConfigSpec{Alg: "luqr"}, nil, 4096, tuner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp80, err := parse(spec, ConfigSpec{Alg: "luqr", NB: 80, Workers: 1}, nil, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp40, err := parse(spec, ConfigSpec{Alg: "luqr", NB: 40, Workers: 1}, nil, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.key != exp80.key {
+		t.Fatalf("auto key %s != explicit nb=80 key %s", auto.key[:12], exp80.key[:12])
+	}
+	if auto.key == exp40.key {
+		t.Fatal("auto key collides with the nb=40 key")
+	}
+
+	// /metrics reports the tuner: the probe ran once, the class is recorded
+	// with the winning point, and later lookups were table hits.
+	var ms MetricsSnapshot
+	if st := getJSON(t, client, ts.URL+"/metrics", &ms); st != http.StatusOK {
+		t.Fatalf("/metrics: %d", st)
+	}
+	if !ms.Tune.Enabled {
+		t.Fatal("/metrics tune block disabled")
+	}
+	if ms.Tune.Probes != 1 {
+		t.Fatalf("probes = %d, want 1", ms.Tune.Probes)
+	}
+	if ms.Tune.Hits < 1 {
+		t.Fatalf("hits = %d, want >= 1 (the parse above)", ms.Tune.Hits)
+	}
+	e, ok := ms.Tune.Classes["luqr/n160"]
+	if !ok || e.NB != 80 {
+		t.Fatalf("tuned classes = %+v, want luqr/n160 at nb=80", ms.Tune.Classes)
+	}
+
+	// A restarted service (fresh tuner, same table file) skips the probe.
+	tuner2 := svcTuner(dir)
+	if _, probed, err := tuner2.Tune(160, "luqr"); err != nil || probed {
+		t.Fatalf("warm restart: probed=%v err=%v", probed, err)
+	}
+}

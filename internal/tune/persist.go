@@ -1,0 +1,135 @@
+package tune
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// TableVersion is the on-disk format version. Bumping it quarantines every
+// older table, forcing a clean re-probe rather than a misread.
+const TableVersion = 1
+
+// table is the in-memory tuning table: machine fingerprint → class → entry.
+type table struct {
+	Machines map[string]map[string]Entry `json:"machines"`
+}
+
+func newTable() *table {
+	return &table{Machines: make(map[string]map[string]Entry)}
+}
+
+// fileWrapper is the on-disk envelope: version header plus a SHA-256 over
+// the exact table bytes, so torn writes and bit rot are detected before any
+// entry is applied — the same posture as the factor store's stream header.
+type fileWrapper struct {
+	Version  int             `json:"version"`
+	Checksum string          `json:"sha256"`
+	Table    json.RawMessage `json:"table"`
+}
+
+// checksum hashes the compact form of a JSON payload, so re-indentation in
+// transit (MarshalIndent rewrites embedded RawMessage whitespace) does not
+// register as damage while any content change does.
+func checksum(data []byte) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, data); err == nil {
+		data = buf.Bytes()
+	}
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])
+}
+
+// loadTable reads the table at path. A missing file is an empty table; a
+// damaged or version-skewed one is quarantined (renamed to <path>.corrupt)
+// and reported (quarantined == true) alongside an empty table, so the caller
+// re-probes instead of trusting bad data.
+func loadTable(path string) (tab *table, quarantined bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return newTable(), false, nil
+		}
+		return newTable(), false, err
+	}
+	var w fileWrapper
+	if jerr := json.Unmarshal(data, &w); jerr != nil {
+		quarantine(path)
+		return newTable(), true, fmt.Errorf("tune: unreadable table (quarantined): %w", jerr)
+	}
+	if w.Version != TableVersion {
+		quarantine(path)
+		return newTable(), true, fmt.Errorf("tune: table version %d, want %d (quarantined)", w.Version, TableVersion)
+	}
+	if checksum(w.Table) != w.Checksum {
+		quarantine(path)
+		return newTable(), true, fmt.Errorf("tune: table checksum mismatch (quarantined)")
+	}
+	var t table
+	if jerr := json.Unmarshal(w.Table, &t); jerr != nil {
+		quarantine(path)
+		return newTable(), true, fmt.Errorf("tune: malformed table body (quarantined): %w", jerr)
+	}
+	if t.Machines == nil {
+		t.Machines = make(map[string]map[string]Entry)
+	}
+	return &t, false, nil
+}
+
+// quarantine moves a damaged table aside (so it can be inspected) rather
+// than deleting it; if even the rename fails, the file is removed so the
+// next save is not blocked.
+func quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		_ = os.Remove(path)
+	}
+}
+
+// saveTable lands the table at path crash-safely: temp file in the target
+// directory, sync, then rename — a reader sees the old table or the new one,
+// never a torn mix.
+func saveTable(path string, tab *table) error {
+	body, err := json.Marshal(tab)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(fileWrapper{
+		Version:  TableVersion,
+		Checksum: checksum(body),
+		Table:    body,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tune-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+// Package tune is the (nb, ib, workers) autotuner: a first-use probe times a
+// few candidate operating points for a matrix class on this machine, and the
+// winner is persisted in a versioned JSON tuning table so later runs — and
+// luqr-serve restarts — skip the probe entirely.
+//
+// The table mirrors the factor store's durability posture (internal/service):
+// writes are temp-file + sync + rename in the destination directory, loads
+// re-verify a version header and a content checksum, and any damaged or
+// version-skewed file is quarantined (renamed aside) and treated as empty —
+// the tuner re-probes; it never applies a corrupted operating point. Entries
+// are keyed by machine fingerprint (arch, GOMAXPROCS, SIMD availability), so
+// a table carried to different hardware re-probes instead of mis-tuning.
+package tune
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"luqr/internal/blas"
+	"luqr/internal/lapack"
+)
+
+// Point is one operating point of the solver: tile order NB, panel-kernel
+// inner block size IB, and runtime worker-pool size.
+type Point struct {
+	NB      int `json:"nb"`
+	IB      int `json:"ib"`
+	Workers int `json:"workers"`
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("nb=%d ib=%d workers=%d", p.NB, p.IB, p.Workers)
+}
+
+// Entry is a tuned operating point with its provenance: the measured rate
+// that won the probe and when the probe ran.
+type Entry struct {
+	Point
+	GFlops   float64 `json:"gflops"`
+	ProbedAt string  `json:"probed_at"` // RFC 3339, from the tuner's clock
+}
+
+// BenchFunc times one candidate point for an n×n problem of the given
+// algorithm and reports its rate in GFLOP/s. Injected in tests; the default
+// is CoreBench.
+type BenchFunc func(p Point, n int, alg string) (gflops float64, err error)
+
+// Options configures a Tuner. The zero value is usable: no persistence
+// (every process probes once per class), default candidates, CoreBench, the
+// real clock, and the real machine fingerprint.
+type Options struct {
+	// Path is the tuning-table file. Empty disables persistence; probes
+	// still run once per process per class (cached in memory).
+	Path string
+	// Candidates overrides the probed points. Points whose NB does not
+	// divide the problem order are skipped per problem.
+	Candidates []Point
+	// Bench overrides the probe measurement (default CoreBench).
+	Bench BenchFunc
+	// Now overrides the clock stamped into entries (default time.Now).
+	Now func() time.Time
+	// Logf receives probe/quarantine diagnostics (default: discarded).
+	Logf func(format string, args ...any)
+	// Machine overrides the machine fingerprint (tests only).
+	Machine string
+}
+
+// Tuner resolves operating points: memory/table lookup first, probe on miss,
+// persist the winner. Safe for concurrent use; concurrent misses of the same
+// class run one probe.
+type Tuner struct {
+	path    string
+	cands   []Point
+	bench   BenchFunc
+	now     func() time.Time
+	logf    func(string, ...any)
+	machine string
+
+	mu     sync.Mutex
+	tab    *table
+	loaded bool
+	stats  Stats
+}
+
+// Stats is the tuner's observability snapshot, surfaced in /metrics.
+type Stats struct {
+	Path       string `json:"path,omitempty"`
+	Machine    string `json:"machine"`
+	Probes     int64  `json:"probes"`      // full candidate sweeps run
+	Hits       int64  `json:"hits"`        // lookups served from the table
+	LoadErrors int64  `json:"load_errors"` // quarantined table files
+	Classes    int    `json:"classes"`     // tuned classes for this machine
+}
+
+// New builds a Tuner from opts.
+func New(opts Options) *Tuner {
+	t := &Tuner{
+		path:    opts.Path,
+		cands:   opts.Candidates,
+		bench:   opts.Bench,
+		now:     opts.Now,
+		logf:    opts.Logf,
+		machine: opts.Machine,
+	}
+	if t.bench == nil {
+		t.bench = CoreBench
+	}
+	if t.now == nil {
+		t.now = time.Now
+	}
+	if t.logf == nil {
+		t.logf = func(string, ...any) {}
+	}
+	if t.machine == "" {
+		t.machine = MachineID()
+	}
+	return t
+}
+
+// MachineID fingerprints the host for table keying: a table entry probed
+// under one fingerprint is never applied under another.
+func MachineID() string {
+	return fmt.Sprintf("%s/%s/procs=%d/simd=%v",
+		runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0), blas.SimdAccelerated())
+}
+
+// classKey buckets problems for table lookup. Tile-size choice depends on
+// the problem order and algorithm; entries are per-(alg, n).
+func classKey(n int, alg string) string {
+	if alg == "" {
+		alg = "luqr"
+	}
+	return fmt.Sprintf("%s/n%d", alg, n)
+}
+
+// DefaultCandidates is the probed sweep for an order-n problem: the
+// production tile sizes crossed with the worker counts this host can
+// exercise, at the kernels' default inner block size. Only points whose NB
+// divides n survive filtering.
+func DefaultCandidates(n int) []Point {
+	workers := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		workers = append(workers, p)
+	}
+	var pts []Point
+	for _, nb := range []int{128, 192, 256} {
+		for _, w := range workers {
+			pts = append(pts, Point{NB: nb, IB: lapack.PanelIB(), Workers: w})
+		}
+	}
+	return pts
+}
+
+// candidates filters the sweep to points applicable to order n.
+func (t *Tuner) candidates(n int) []Point {
+	src := t.cands
+	if src == nil {
+		src = DefaultCandidates(n)
+	}
+	var out []Point
+	for _, p := range src {
+		if p.NB > 0 && p.NB <= n && n%p.NB == 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Best looks the class up in the table without probing.
+func (t *Tuner) Best(n int, alg string) (Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.loadLocked()
+	e, ok := t.tab.Machines[t.machine][classKey(n, alg)]
+	return e, ok
+}
+
+// Tune resolves the operating point for an order-n problem: a table hit
+// returns immediately (probed == false); a miss sweeps the candidates,
+// persists the winner, and returns it (probed == true). An error means no
+// candidate applies or every probe failed — the caller keeps its defaults.
+func (t *Tuner) Tune(n int, alg string) (e Entry, probed bool, err error) {
+	key := classKey(n, alg)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.loadLocked()
+	if e, ok := t.tab.Machines[t.machine][key]; ok {
+		t.stats.Hits++
+		return e, false, nil
+	}
+	e, err = t.probeLocked(n, alg)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	if t.tab.Machines[t.machine] == nil {
+		t.tab.Machines[t.machine] = make(map[string]Entry)
+	}
+	t.tab.Machines[t.machine][key] = e
+	if t.path != "" {
+		if werr := saveTable(t.path, t.tab); werr != nil {
+			t.logf("tune: persisting table: %v", werr)
+		}
+	}
+	return e, true, nil
+}
+
+// probeLocked sweeps the applicable candidates and returns the fastest.
+// Caller holds t.mu.
+func (t *Tuner) probeLocked(n int, alg string) (Entry, error) {
+	cands := t.candidates(n)
+	if len(cands) == 0 {
+		return Entry{}, fmt.Errorf("tune: no candidate tile size divides n=%d", n)
+	}
+	t.stats.Probes++
+	best := Entry{GFlops: -1}
+	for _, p := range cands {
+		gf, err := t.bench(p, n, alg)
+		if err != nil {
+			t.logf("tune: probe %v failed: %v", p, err)
+			continue
+		}
+		t.logf("tune: probe %s/n%d %v: %.2f GF/s", alg, n, p, gf)
+		if gf > best.GFlops {
+			best = Entry{Point: p, GFlops: gf}
+		}
+	}
+	if best.GFlops < 0 {
+		return Entry{}, fmt.Errorf("tune: every probe for n=%d failed", n)
+	}
+	best.ProbedAt = t.now().UTC().Format(time.RFC3339)
+	return best, nil
+}
+
+// Apply installs a point's process-global knobs (the kernels' inner block
+// size). NB and Workers travel through core.Config instead.
+func Apply(p Point) {
+	if p.IB > 0 {
+		lapack.SetPanelIB(p.IB)
+	}
+}
+
+// Stats snapshots the tuner's counters.
+func (t *Tuner) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.Path = t.path
+	s.Machine = t.machine
+	if t.loaded {
+		s.Classes = len(t.tab.Machines[t.machine])
+	}
+	return s
+}
+
+// Classes lists the tuned classes for this machine, sorted, for reporting.
+func (t *Tuner) Classes() map[string]Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.loadLocked()
+	out := make(map[string]Entry, len(t.tab.Machines[t.machine]))
+	for k, v := range t.tab.Machines[t.machine] {
+		out[k] = v
+	}
+	return out
+}
+
+// loadLocked lazily reads the persisted table. Caller holds t.mu.
+func (t *Tuner) loadLocked() {
+	if t.loaded {
+		return
+	}
+	t.loaded = true
+	if t.path == "" {
+		t.tab = newTable()
+		return
+	}
+	tab, quarantined, err := loadTable(t.path)
+	if err != nil {
+		t.logf("tune: loading table %s: %v", t.path, err)
+	}
+	if quarantined {
+		t.stats.LoadErrors++
+	}
+	t.tab = tab
+}

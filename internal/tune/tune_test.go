@@ -1,0 +1,271 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeBench returns a deterministic rate per point so probe outcomes are
+// reproducible: nb=192 wins, everything else loses.
+func fakeBench(calls *[]Point) BenchFunc {
+	return func(p Point, n int, alg string) (float64, error) {
+		if calls != nil {
+			*calls = append(*calls, p)
+		}
+		if p.NB == 192 {
+			return 10 + float64(p.Workers), nil
+		}
+		return 5, nil
+	}
+}
+
+// fakeClock advances one second per reading, starting from a fixed epoch —
+// the probe's timestamps are fully determined.
+func fakeClock() func() time.Time {
+	t := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func testTuner(path string, calls *[]Point) *Tuner {
+	return New(Options{
+		Path: path,
+		Candidates: []Point{
+			{NB: 128, IB: 32, Workers: 1},
+			{NB: 192, IB: 32, Workers: 1},
+			{NB: 256, IB: 32, Workers: 1},
+		},
+		Bench:   fakeBench(calls),
+		Now:     fakeClock(),
+		Machine: "test-machine",
+	})
+}
+
+func TestProbeDeterministic(t *testing.T) {
+	var calls1, calls2 []Point
+	e1, probed, err := testTuner("", &calls1).Tune(768, "luqr")
+	if err != nil || !probed {
+		t.Fatalf("first Tune: probed=%v err=%v", probed, err)
+	}
+	e2, _, err := testTuner("", &calls2).Tune(768, "luqr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatalf("probe not deterministic: %+v vs %+v", e1, e2)
+	}
+	if e1.NB != 192 {
+		t.Fatalf("wrong winner: %+v", e1)
+	}
+	if e1.ProbedAt != "2026-01-02T03:04:06Z" {
+		t.Fatalf("fake clock not honored: %q", e1.ProbedAt)
+	}
+	if len(calls1) != 3 || len(calls2) != 3 {
+		t.Fatalf("expected 3 probes per sweep, got %d and %d", len(calls1), len(calls2))
+	}
+}
+
+func TestCandidateFilteringByDivisibility(t *testing.T) {
+	var calls []Point
+	e, _, err := testTuner("", &calls).Tune(512, "luqr") // 192 does not divide 512
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range calls {
+		if 512%p.NB != 0 {
+			t.Fatalf("probed non-divisor nb=%d", p.NB)
+		}
+	}
+	if e.NB != 128 && e.NB != 256 {
+		t.Fatalf("winner nb=%d does not divide 512", e.NB)
+	}
+	// No candidate fits a prime order: the tuner declines with an error.
+	if _, _, err := testTuner("", nil).Tune(101, "luqr"); err == nil {
+		t.Fatal("expected an error when no candidate divides n")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "tuning.json")
+	var calls []Point
+	tun := testTuner(path, &calls)
+	e1, probed, err := tun.Tune(768, "luqr")
+	if err != nil || !probed {
+		t.Fatalf("first Tune: probed=%v err=%v", probed, err)
+	}
+	if len(calls) != 3 {
+		t.Fatalf("first Tune probed %d points, want 3", len(calls))
+	}
+	// Same process, same class: memory hit, no new probes.
+	if _, probed, _ := tun.Tune(768, "luqr"); probed {
+		t.Fatal("second Tune in-process re-probed")
+	}
+	// Fresh tuner (a restart): the persisted table answers, probe skipped.
+	calls = calls[:0]
+	tun2 := testTuner(path, &calls)
+	e2, probed, err := tun2.Tune(768, "luqr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probed || len(calls) != 0 {
+		t.Fatalf("restart re-probed (probed=%v, %d bench calls)", probed, len(calls))
+	}
+	if e1 != e2 {
+		t.Fatalf("persisted entry differs: %+v vs %+v", e1, e2)
+	}
+	st := tun2.Stats()
+	if st.Hits != 1 || st.Probes != 0 || st.Classes != 1 {
+		t.Fatalf("stats after warm restart: %+v", st)
+	}
+}
+
+func TestMachineMismatchReprobes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	if _, _, err := testTuner(path, nil).Tune(768, "luqr"); err != nil {
+		t.Fatal(err)
+	}
+	other := New(Options{
+		Path:       path,
+		Candidates: []Point{{NB: 128, IB: 32, Workers: 1}},
+		Bench:      fakeBench(nil),
+		Now:        fakeClock(),
+		Machine:    "other-machine",
+	})
+	e, probed, err := other.Tune(768, "luqr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probed {
+		t.Fatal("entry probed on one machine was applied on another")
+	}
+	if e.NB != 128 {
+		t.Fatalf("re-probe ignored the machine's own candidates: %+v", e)
+	}
+	// Both machines' entries coexist in the file.
+	tab, q, err := loadTable(path)
+	if err != nil || q {
+		t.Fatalf("loadTable: q=%v err=%v", q, err)
+	}
+	if len(tab.Machines) != 2 {
+		t.Fatalf("want 2 machines in table, got %d", len(tab.Machines))
+	}
+}
+
+func TestCorruptTableQuarantinedAndReprobed(t *testing.T) {
+	for name, damage := range map[string]func(path string) error{
+		"truncated": func(path string) error {
+			data, _ := os.ReadFile(path)
+			return os.WriteFile(path, data[:len(data)/2], 0o644)
+		},
+		"bitflip": func(path string) error {
+			data, _ := os.ReadFile(path)
+			// Flip a byte inside the table payload, invalidating the checksum
+			// while keeping the JSON well-formed where possible.
+			for i := range data {
+				if data[i] == '1' {
+					data[i] = '7'
+					break
+				}
+			}
+			return os.WriteFile(path, data, 0o644)
+		},
+		"version-skew": func(path string) error {
+			data, _ := os.ReadFile(path)
+			var w fileWrapper
+			if err := json.Unmarshal(data, &w); err != nil {
+				return err
+			}
+			w.Version = TableVersion + 99
+			out, err := json.Marshal(w)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, out, 0o644)
+		},
+		"garbage": func(path string) error {
+			return os.WriteFile(path, []byte("not json at all"), 0o644)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "tuning.json")
+			if _, _, err := testTuner(path, nil).Tune(768, "luqr"); err != nil {
+				t.Fatal(err)
+			}
+			if err := damage(path); err != nil {
+				t.Fatal(err)
+			}
+			var calls []Point
+			tun := testTuner(path, &calls)
+			_, probed, err := tun.Tune(768, "luqr")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !probed {
+				t.Fatal("damaged table was trusted")
+			}
+			if st := tun.Stats(); st.LoadErrors != 1 {
+				t.Fatalf("LoadErrors = %d, want 1", st.LoadErrors)
+			}
+			// The damaged file was moved aside, and a fresh valid table was
+			// written by the re-probe.
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Fatalf("quarantine file missing: %v", err)
+			}
+			if tab, q, err := loadTable(path); err != nil || q || len(tab.Machines) != 1 {
+				t.Fatalf("re-written table unreadable: q=%v err=%v", q, err)
+			}
+		})
+	}
+}
+
+func TestBenchFailuresFallThrough(t *testing.T) {
+	// One failing candidate does not sink the probe; all failing returns an
+	// error and nothing is persisted.
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	partial := New(Options{
+		Path:       path,
+		Candidates: []Point{{NB: 128, IB: 32, Workers: 1}, {NB: 256, IB: 32, Workers: 1}},
+		Bench: func(p Point, n int, alg string) (float64, error) {
+			if p.NB == 128 {
+				return 0, fmt.Errorf("boom")
+			}
+			return 3, nil
+		},
+		Now:     fakeClock(),
+		Machine: "m",
+	})
+	e, _, err := partial.Tune(768, "luqr")
+	if err != nil || e.NB != 256 {
+		t.Fatalf("partial failure: e=%+v err=%v", e, err)
+	}
+
+	allFail := New(Options{
+		Candidates: []Point{{NB: 128, IB: 32, Workers: 1}},
+		Bench: func(Point, int, string) (float64, error) {
+			return 0, fmt.Errorf("boom")
+		},
+		Now:     fakeClock(),
+		Machine: "m",
+	})
+	if _, _, err := allFail.Tune(768, "luqr"); err == nil {
+		t.Fatal("expected error when every probe fails")
+	}
+}
+
+func TestCoreBenchSmoke(t *testing.T) {
+	// The real probe measurement on a tiny problem: just verify it runs and
+	// returns a positive rate.
+	gf, err := CoreBench(Point{NB: 16, IB: 8, Workers: 1}, 64, "luqr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf <= 0 {
+		t.Fatalf("CoreBench rate = %g", gf)
+	}
+}
