@@ -21,7 +21,7 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/core/... ./internal/service/...
+	$(GO) test -race ./internal/runtime/... ./internal/core/... ./internal/service/... ./internal/tune/...
 
 # docs-lint runs the documentation checks on their own: no PLACEHOLDER
 # markers in tracked *.md/*.json, no broken relative links in the curated
@@ -53,16 +53,19 @@ bench-kernels:
 bench-solver:
 	$(GO) run ./cmd/luqr-bench -sweep-workers BENCH_solver.json -reps 3
 
-# bench-solver-smoke is the non-gating CI check: a small sweep plus the
-# autotuner probe (persisted on first run, table hit on the second), then the
-# generated file is validated against the schema-2 contract. Numbers are not
-# gated — only the machinery is.
+# bench-solver-smoke is the non-gating CI check: a small sweep, the autotuner
+# probe (persisted on first run, table hit on the second), and the α
+# learn-then-apply loop (learned on the first run, applied from the persisted
+# table on the second), then the generated file is validated against the
+# schema-2 contract. Numbers are not gated — only the machinery is.
 .PHONY: bench-solver-smoke
 bench-solver-smoke:
 	$(GO) run ./cmd/luqr-bench -sweep-workers bench_solver_smoke.json -n 512 -nb 64 -reps 1
 	$(GO) run ./cmd/luqr-bench -validate-solver bench_solver_smoke.json
 	$(GO) run ./cmd/luqr-bench -tune-probe -n 256 -tune-file tune_smoke.json
 	$(GO) run ./cmd/luqr-bench -tune-probe -n 256 -tune-file tune_smoke.json | grep -q 'probe skipped'
+	$(GO) run ./cmd/luqr-bench -alpha-learn -n 256 -nb 64 -reps 2 -tune-file tune_smoke.json
+	$(GO) run ./cmd/luqr-bench -alpha-learn -n 256 -nb 64 -reps 1 -tune-file tune_smoke.json | grep -q 'applied learned α'
 	rm -f bench_solver_smoke.json tune_smoke.json
 
 # bench-diff prints a benchstat-style kernel before/after table. With no

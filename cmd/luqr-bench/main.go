@@ -32,6 +32,13 @@
 //	                                    run the nb/ib/workers autotuner probe for
 //	                                    one matrix class, print the chosen point,
 //	                                    and persist/reuse the tuning table
+//	luqr-bench -alpha-learn -n 256 [-reps 3] [-tune-file tuning.json]
+//	                                    exercise the online α learner from the
+//	                                    CLI: run -reps hybrid factorizations on
+//	                                    the class, resolve α from the tuning
+//	                                    table before each (default 100 until
+//	                                    learned), feed each outcome back, and
+//	                                    print the learned per-class α
 //	luqr-bench -timeline out.json       run one hybrid factorization, write the task
 //	                                    timeline as Chrome trace-event JSON (open in
 //	                                    chrome://tracing or Perfetto) and print the
@@ -53,6 +60,8 @@ import (
 	"math/rand"
 	"os"
 
+	"luqr/internal/core"
+	"luqr/internal/criteria"
 	"luqr/internal/experiments"
 	"luqr/internal/matgen"
 	"luqr/internal/service"
@@ -76,7 +85,8 @@ func main() {
 		diffKernels  = flag.String("diff-kernels", "", "print a benchstat-style kernel comparison for this BENCH_kernels.json and exit")
 		diffBaseline = flag.String("diff-baseline", "", "older BENCH_kernels.json to diff against (with -diff-kernels; default: the file's own seed baseline)")
 		tuneProbe    = flag.Bool("tune-probe", false, "run the autotuner probe for the class (-n, luqr), print the chosen point, and exit")
-		tuneFile     = flag.String("tune-file", "", "tuning-table path for -tune-probe (empty = in-memory only)")
+		alphaLearn   = flag.Bool("alpha-learn", false, "run -reps hybrid factorizations for the class (-n, luqr), learn α online from each outcome, print the learned value, and exit")
+		tuneFile     = flag.String("tune-file", "", "tuning-table path for -tune-probe/-alpha-learn (empty = in-memory only)")
 		timeline     = flag.String("timeline", "", "run one hybrid factorization, write its Chrome trace-event timeline to this path, print the per-kernel stats table, and exit")
 		loadURL      = flag.String("load", "", "drive a running luqr-serve at this base URL with a mixed workload, print latency percentiles, and exit")
 		loadClients  = flag.Int("load-clients", 4, "concurrent load-generator clients (with -load)")
@@ -115,6 +125,63 @@ func main() {
 		}
 		fmt.Printf("tune: class luqr/n%d %s → %s (%.2f GF/s, machine %s)\n",
 			*n, action, e.Point, e.GFlops, tune.MachineID())
+		if *tuneFile != "" {
+			fmt.Printf("tuning table: %s\n", *tuneFile)
+		}
+		return
+	}
+
+	if *alphaLearn {
+		tuner := tune.New(tune.Options{Path: *tuneFile, Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "luqr-bench: "+format+"\n", args...)
+		}})
+		gen, err := matgen.ByName("random")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+			os.Exit(1)
+		}
+		const crit = "max"
+		for i := 0; i < *reps; i++ {
+			// Resolve α exactly the way the service does for a request with
+			// alpha unset: the class's learned value, else the default 100.
+			alpha, src := 100.0, "default"
+			if st, ok := tuner.Alpha(*n, "luqr", crit); ok {
+				alpha, src = st.Alpha, "learned"
+			}
+			c, err := criteria.Parse(crit, alpha)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+				os.Exit(1)
+			}
+			a := gen.Gen(*n, rand.New(rand.NewSource(*seed+int64(i))))
+			b := make([]float64, *n)
+			for j := range b {
+				b[j] = 1
+			}
+			res, err := core.Run(a, b, core.Config{
+				NB: *nb, Criterion: c, TrackGrowth: true,
+				Workers: *workers, Seed: *seed + int64(i),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "luqr-bench:", err)
+				os.Exit(1)
+			}
+			r := res.Report
+			upd, _ := tuner.Observe(r.N, r.Alg.String(), tune.Observation{
+				Criterion: crit, Alpha: alpha, FracLU: r.FracLU(),
+				Growth: r.Growth, PeakGrowth: r.PeakGrowth,
+				HPL3: r.HPL3, Breakdown: r.Breakdown,
+			})
+			fmt.Printf("alpha-learn[%d]: ran α=%g (%s), fLU=%.2f peak-growth=%.3g hpl3=%.3g → α=%g (%d samples)\n",
+				i, alpha, src, r.FracLU(), r.PeakGrowth, r.HPL3, upd.Alpha, upd.Samples)
+		}
+		st, ok := tuner.Alpha(*n, "luqr", crit)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "luqr-bench: no α learned (criterion not learnable?)")
+			os.Exit(1)
+		}
+		fmt.Printf("alpha-learn: applied learned α=%g for class luqr/n%d (criterion %s, %d samples, %d backoffs)\n",
+			st.Alpha, *n, crit, st.Samples, st.Backoffs)
 		if *tuneFile != "" {
 			fmt.Printf("tuning table: %s\n", *tuneFile)
 		}

@@ -47,6 +47,7 @@ func main() {
 		storeMax    = flag.Int64("store-max-bytes", 1<<30, "factor-store size cap in bytes (coldest files evicted beyond)")
 		tuneOn      = flag.Bool("tune", true, "autotune nb/ib/workers for requests that leave nb unset")
 		tuneFile    = flag.String("tune-file", "", "tuning-table path (default <store-dir>/tuning.json when -store-dir is set, else in-memory only)")
+		learnAlpha  = flag.Bool("learn-alpha", true, "learn the criterion threshold α per matrix class from finished jobs; requests with alpha unset apply it (needs -tune)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 		StoreDir:      *storeDir,
 		StoreMaxBytes: *storeMax,
 		Tuner:         tuner,
+		LearnAlpha:    *tuneOn && *learnAlpha,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "luqr-serve:", err)

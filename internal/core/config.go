@@ -26,7 +26,6 @@ import (
 	"sync/atomic"
 
 	"luqr/internal/criteria"
-	"luqr/internal/lapack"
 	"luqr/internal/tile"
 	"luqr/internal/tree"
 )
@@ -178,6 +177,11 @@ type Config struct {
 	// IntraTree and InterTree configure the QR-step reduction
 	// (defaults: GREEDY inside nodes, FIBONACCI between nodes — §IV).
 	IntraTree, InterTree tree.Tree
+	// IB is the inner block size of the blocked panel kernels (GEQRT,
+	// TSQRT, TTQRT). Zero means "use the process default" (lapack.PanelIB),
+	// resolved once per run — the kernels receive the value explicitly, so
+	// concurrent runs with different tuned ib never race on the global knob.
+	IB int
 	// Workers is the size of the runtime worker pool (default: GOMAXPROCS).
 	Workers int
 	// Trace records the task graph for simulation / DOT output.
@@ -228,8 +232,8 @@ func (c *Config) withDefaults(n int) (Config, error) {
 		if f, _ := autoTuner.Load().(AutoTuner); f != nil {
 			if nb, ib, workers, ok := f(n, cfg.Alg.String()); ok && nb > 0 && n%nb == 0 {
 				cfg.NB = nb
-				if ib > 0 {
-					lapack.SetPanelIB(ib)
+				if cfg.IB == 0 && ib > 0 {
+					cfg.IB = ib
 				}
 				if cfg.Workers <= 0 && workers > 0 {
 					cfg.Workers = workers

@@ -96,8 +96,11 @@ type fact struct {
 	h  [][]*runtime.Handle // tile handles
 	hb []*runtime.Handle   // rhs tile handles
 
-	nt, nb int
-	steps  []*stepState
+	// ib is the panel kernels' inner block size, resolved once from
+	// Config.IB (process default when unset) and passed explicitly to the
+	// blocked kernels so concurrent runs never share the global knob.
+	nt, nb, ib int
+	steps      []*stepState
 
 	// diagSolvers[k] applies A_kk⁻¹ to an RHS tile during the block
 	// back-substitution; nil means the default upper-triangular solve
@@ -112,13 +115,17 @@ type fact struct {
 }
 
 func newFact(cfg Config, a *tile.Matrix, rhs *tile.Vector) *fact {
+	ib := cfg.IB
+	if ib <= 0 {
+		ib = lapack.PanelIB()
+	}
 	f := &fact{
 		cfg: cfg, A: a, rhs: rhs,
-		nt: a.NT, nb: a.NB,
+		nt: a.NT, nb: a.NB, ib: ib,
 		steps:       make([]*stepState, a.NT),
 		diagSolvers: make([]func(b *mat.Matrix), a.NT),
 		report: &Report{
-			Alg: cfg.Alg, N: a.N(), NB: a.NB, NT: a.NT,
+			Alg: cfg.Alg, N: a.N(), NB: a.NB, NT: a.NT, IB: ib,
 			GridP: cfg.Grid.P, GridQ: cfg.Grid.Q,
 			Decisions: make([]bool, a.NT),
 		},

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"luqr/internal/matgen"
+)
+
+// TestConcurrentRunsKeepTheirOwnIB pins the fix for the process-global
+// panel-IB race: the inner block size now rides in Config and the fact, so
+// two factorizations tuned to different ib can run concurrently without one
+// adopting the other's knob. Each concurrent run must reproduce its own
+// sequential reference bit for bit and report the ib it was given.
+func TestConcurrentRunsKeepTheirOwnIB(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 96
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+
+	ibs := []int{4, 8}
+	ref := map[int][]float64{}
+	for _, ib := range ibs {
+		res := runOn(t, a, b, Config{Alg: HQR, NB: 24, IB: ib})
+		if res.Report.IB != ib {
+			t.Fatalf("report ib = %d, want %d", res.Report.IB, ib)
+		}
+		ref[ib] = res.X
+	}
+	// If the two block sizes produced identical bits, cross-talk would be
+	// invisible below; the Householder accumulation order makes them differ.
+	same := true
+	for i := range ref[4] {
+		if ref[4][i] != ref[8][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("ib=4 and ib=8 solutions are bitwise identical; test cannot detect ib cross-talk")
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for round := 0; round < 8; round++ {
+		for _, ib := range ibs {
+			wg.Add(1)
+			go func(ib int) {
+				defer wg.Done()
+				res, err := Run(a, b, Config{Alg: HQR, NB: 24, IB: ib})
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if res.Report.IB != ib {
+					errs <- fmt.Sprintf("concurrent run reported ib=%d, want %d", res.Report.IB, ib)
+					return
+				}
+				for i := range res.X {
+					if res.X[i] != ref[ib][i] {
+						errs <- fmt.Sprintf("ib=%d: x[%d] diverged from the sequential run", ib, i)
+						return
+					}
+				}
+			}(ib)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

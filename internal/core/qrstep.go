@@ -60,7 +60,7 @@ func (f *fact) submitGeqrt(st *stepState, i int) {
 		Flops:    flops.Geqrt(nb, nb),
 		Priority: prioElim(k),
 		Accesses: []runtime.Access{runtime.W(f.h[i][k]), runtime.W(hT)},
-		Run:      func() { lapack.Geqrt(f.A.Tile(i, k), t) },
+		Run:      func() { lapack.GeqrtIB(f.A.Tile(i, k), t, f.ib) },
 	})
 	f.submitGeqrtUpdates(st, i)
 }
@@ -132,9 +132,9 @@ func (f *fact) submitKill(st *stepState, i, piv int, ts bool) {
 		Accesses: []runtime.Access{runtime.W(f.h[piv][k]), runtime.W(f.h[i][k]), runtime.W(hT)},
 		Run: func() {
 			if ts {
-				lapack.Tsqrt(f.A.Tile(piv, k), f.A.Tile(i, k), t)
+				lapack.TsqrtIB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
 			} else {
-				lapack.Ttqrt(f.A.Tile(piv, k), f.A.Tile(i, k), t)
+				lapack.TtqrtIB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
 			}
 		},
 	})

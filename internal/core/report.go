@@ -13,8 +13,11 @@ import (
 type Report struct {
 	Alg       Algorithm
 	N, NB, NT int
-	GridP     int
-	GridQ     int
+	// IB is the panel kernels' inner block size the run actually used
+	// (resolved from Config.IB, or the process default when unset).
+	IB    int
+	GridP int
+	GridQ int
 
 	// Decisions[k] is true when step k was an LU step (for LUQR; for the
 	// pure algorithms it reflects the algorithm's fixed nature).

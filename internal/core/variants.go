@@ -122,7 +122,7 @@ func (f *fact) submitVariantTrial(st *stepState, variant LUVariant) {
 				st.localMax[j] = tile.ColAbsMax(j)
 			}
 			if qrBased {
-				lapack.Geqrt(tile, t)
+				lapack.GeqrtIB(tile, t, f.ib)
 				// |R_jj| plays the pivot role in the MUMPS input; the
 				// estimate of ‖A_kk⁻¹‖₁ uses the exact operator
 				// R⁻¹·Qᵀ / Q·R⁻ᵀ through the stored reflectors.

@@ -20,7 +20,12 @@ import (
 // into the full n×n T by the dlarft recurrence — so the output contract
 // (full T, usable by Unmqr and the serialized-factor replay) is unchanged
 // from the unblocked kernel.
-func Geqrt(a, t *mat.Matrix) {
+func Geqrt(a, t *mat.Matrix) { GeqrtIB(a, t, PanelIB()) }
+
+// GeqrtIB is Geqrt with an explicit inner block size, so concurrent
+// factorizations with different tuned operating points never share (or
+// race on) the process-global knob; ib <= 0 falls back to PanelIB().
+func GeqrtIB(a, t *mat.Matrix, ib int) {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("lapack: Geqrt requires m >= n, got %dx%d", m, n))
@@ -29,7 +34,9 @@ func Geqrt(a, t *mat.Matrix) {
 		panic(fmt.Sprintf("lapack: Geqrt T too small: %dx%d for n=%d", t.Rows, t.Cols, n))
 	}
 	t.Zero()
-	ib := PanelIB()
+	if ib <= 0 {
+		ib = PanelIB()
+	}
 	if n <= ib {
 		geqrtUnblocked(a, t)
 		return

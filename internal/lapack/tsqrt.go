@@ -23,7 +23,12 @@ import (
 // merged into the full factor by the dlarft recurrence. The identity blocks
 // of successive strips occupy disjoint rows, so the cross-Gram V1ᵀ·V2
 // reduces to a single GEMM over A's columns.
-func Tsqrt(r, a, t *mat.Matrix) {
+func Tsqrt(r, a, t *mat.Matrix) { TsqrtIB(r, a, t, PanelIB()) }
+
+// TsqrtIB is Tsqrt with an explicit inner block size, so concurrent
+// factorizations with different tuned operating points never share (or
+// race on) the process-global knob; ib <= 0 falls back to PanelIB().
+func TsqrtIB(r, a, t *mat.Matrix, ib int) {
 	n := r.Cols
 	m := a.Rows
 	if r.Rows != n {
@@ -36,7 +41,9 @@ func Tsqrt(r, a, t *mat.Matrix) {
 		panic(fmt.Sprintf("lapack: Tsqrt T too small: %dx%d", t.Rows, t.Cols))
 	}
 	t.Zero()
-	ib := PanelIB()
+	if ib <= 0 {
+		ib = PanelIB()
+	}
 	if n <= ib {
 		tsqrtUnblocked(r, a, t)
 		return

@@ -23,7 +23,12 @@ import (
 // on the diagonal block) is factored by the unblocked leaf, the trailing
 // columns receive the strip's block reflector through TRMM/GEMM, and the
 // strip's T is merged by the dlarft recurrence.
-func Ttqrt(r1, r2, t *mat.Matrix) {
+func Ttqrt(r1, r2, t *mat.Matrix) { TtqrtIB(r1, r2, t, PanelIB()) }
+
+// TtqrtIB is Ttqrt with an explicit inner block size, so concurrent
+// factorizations with different tuned operating points never share (or
+// race on) the process-global knob; ib <= 0 falls back to PanelIB().
+func TtqrtIB(r1, r2, t *mat.Matrix, ib int) {
 	n := r1.Cols
 	if r1.Rows != n || r2.Rows != n || r2.Cols != n {
 		panic(fmt.Sprintf("lapack: Ttqrt needs square tiles, got %dx%d and %dx%d",
@@ -33,7 +38,9 @@ func Ttqrt(r1, r2, t *mat.Matrix) {
 		panic(fmt.Sprintf("lapack: Ttqrt T too small: %dx%d", t.Rows, t.Cols))
 	}
 	t.Zero()
-	ib := PanelIB()
+	if ib <= 0 {
+		ib = PanelIB()
+	}
 	if n <= ib {
 		ttqrtUnblocked(r1, r2.View(0, 0, n, n), t, 0)
 		return

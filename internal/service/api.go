@@ -7,6 +7,7 @@ import (
 
 	"luqr/internal/core"
 	"luqr/internal/criteria"
+	"luqr/internal/lapack"
 	"luqr/internal/mat"
 	"luqr/internal/matgen"
 	"luqr/internal/tune"
@@ -28,11 +29,14 @@ type MatrixSpec struct {
 //
 // Alpha is a pointer so an explicit `"alpha": 0` — the α = 0 degenerate
 // case of §III, where every criterion refuses LU and the run is pure HQR —
-// is distinguishable from the field being absent (default α = 100). A plain
-// float64 silently remapped requested-0 to 100.
+// is distinguishable from the field being absent. A plain float64 silently
+// remapped requested-0 to the default. An absent alpha resolves to the
+// class's learned value when α learning is on (Options.LearnAlpha and a
+// tuner with samples for the class), else to the paper's default 100.
 type ConfigSpec struct {
 	Alg       string   `json:"alg,omitempty"`
 	NB        int      `json:"nb,omitempty"`
+	IB        int      `json:"ib,omitempty"`
 	P         int      `json:"p,omitempty"`
 	Q         int      `json:"q,omitempty"`
 	Criterion string   `json:"criterion,omitempty"`
@@ -71,21 +75,31 @@ type parsedRequest struct {
 	// tuned is set when the autotuner chose the tile size (request left nb
 	// unset and a tuner is configured); it is echoed in the job view.
 	tuned *tune.Entry
+	// alpha is the effective robustness threshold of a LUQR run and
+	// alphaSource how it was resolved: "explicit" (the request set it),
+	// "learned" (the tuner's per-class α), or "default" (100).
+	alpha       float64
+	alphaSource string
+	// alphaCrit is the base criterion family ("max", "sum", "mumps") when
+	// this run's outcome should feed the α learner, "" otherwise.
+	alphaCrit string
 }
 
 // parse validates a request against the service limits and materializes the
-// operator. maxN guards against a single request exhausting memory. With a
-// tuner configured, requests that leave nb unset resolve it through the
-// tuning table (first use of a class probes and persists) — the tuned nb
-// lands in cfg before the cache key is derived, so differently-tuned classes
-// never collide in the factorization cache or the disk store.
-func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int, tuner *tune.Tuner) (*parsedRequest, error) {
+// operator. opts.MaxN guards against a single request exhausting memory.
+// With a tuner configured, requests that leave nb unset resolve it through
+// the tuning table (first use of a class probes and persists) — the tuned
+// nb, ib, and (with learning on) α land in cfg before the cache key is
+// derived, so differently-tuned classes never collide in the factorization
+// cache or the disk store.
+func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, opts Options) (*parsedRequest, error) {
+	tuner := opts.Tuner
 	n := spec.N
 	if n <= 0 {
 		return nil, fmt.Errorf("matrix.n must be positive, got %d", n)
 	}
-	if n > maxN {
-		return nil, fmt.Errorf("matrix.n=%d exceeds the service limit %d", n, maxN)
+	if n > opts.MaxN {
+		return nil, fmt.Errorf("matrix.n=%d exceeds the service limit %d", n, opts.MaxN)
 	}
 
 	var a *mat.Matrix
@@ -117,16 +131,28 @@ func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int, tuner *tune.
 		cfg.Alg = alg
 	}
 	cfg.NB = cs.NB
+	if cs.IB < 0 {
+		return nil, fmt.Errorf("config.ib must be non-negative, got %d", cs.IB)
+	}
+	cfg.IB = cs.IB
 	var tuned *tune.Entry
 	if cfg.NB <= 0 && tuner != nil {
 		if e, _, err := tuner.Tune(n, cfg.Alg.String()); err == nil {
 			cfg.NB = e.NB
-			tune.Apply(e.Point)
+			if cfg.IB == 0 && e.IB > 0 {
+				cfg.IB = e.IB
+			}
 			tuned = &e
 		}
 	}
 	if cfg.NB <= 0 {
 		cfg.NB = 40
+	}
+	if cfg.IB == 0 {
+		// Pin the effective inner block size now: it is part of the cache
+		// digest, and a digest derived from "whatever the process default
+		// happens to be at run time" would not name the factors it stores.
+		cfg.IB = lapack.PanelIB()
 	}
 	if n%cfg.NB != 0 {
 		return nil, fmt.Errorf("n=%d is not a multiple of nb=%d", n, cfg.NB)
@@ -142,21 +168,33 @@ func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int, tuner *tune.
 		return nil, fmt.Errorf("config.alpha must be non-negative, got %g", *cs.Alpha)
 	}
 	critName := cs.Criterion
+	var alpha float64
+	var alphaSource, alphaCrit string
 	if cfg.Alg == core.LUQR {
 		if critName == "" {
 			critName = "max"
 		}
-		// An absent alpha takes the paper's default threshold 100; an
-		// explicit 0 is honored (pure HQR: no pivot ever clears α·reference).
-		alpha := 100.0
+		// Resolve the effective threshold: an explicit alpha is honored as
+		// given (including 0 — pure HQR: no pivot ever clears α·reference);
+		// an absent one takes the class's learned α when learning is on and
+		// the tuner has samples for this (class, criterion family), else the
+		// paper's default 100.
+		alpha, alphaSource = 100.0, "default"
 		if cs.Alpha != nil {
-			alpha = *cs.Alpha
+			alpha, alphaSource = *cs.Alpha, "explicit"
+		} else if opts.LearnAlpha && tuner != nil && tune.LearnableCriterion(critName) {
+			if st, ok := tuner.Alpha(n, cfg.Alg.String(), critName); ok {
+				alpha, alphaSource = st.Alpha, "learned"
+			}
 		}
 		crit, err := criteria.Parse(critName, alpha)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Criterion = crit
+		if opts.LearnAlpha && tuner != nil && tune.LearnableCriterion(critName) {
+			alphaCrit = critName
+		}
 		critName = fmt.Sprintf("%s/%g", critName, alpha)
 	} else {
 		critName = ""
@@ -188,11 +226,14 @@ func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, maxN int, tuner *tune.
 	}
 
 	return &parsedRequest{
-		a:         a,
-		b:         b,
-		cfg:       cfg,
-		key:       digestKey(spec, cfg, critName),
-		criterion: critName,
-		tuned:     tuned,
+		a:           a,
+		b:           b,
+		cfg:         cfg,
+		key:         digestKey(spec, cfg, critName),
+		criterion:   critName,
+		tuned:       tuned,
+		alpha:       alpha,
+		alphaSource: alphaSource,
+		alphaCrit:   alphaCrit,
 	}, nil
 }

@@ -13,10 +13,14 @@ import (
 
 // digestKey derives the factorization-cache key: the full SHA-256 (64 hex
 // chars) over the operator identity and every config field that affects the
-// stored factors. Generator-specified matrices hash their (gen, n, seed)
-// triple; explicit matrices hash the raw float64 bits. Workers and tracing
-// are deliberately excluded — the runtime guarantees bit-identical factors
-// for any worker count, so they must not split the cache.
+// stored factors — including the inner block size ib (blocked kernels with
+// different ib round differently) and, through the criterion string, the
+// EFFECTIVE α the run used (explicit, learned, or default), so a job served
+// under a learned α never collides with one pinned to a different value.
+// Generator-specified matrices hash their (gen, n, seed) triple; explicit
+// matrices hash the raw float64 bits. Workers and tracing are deliberately
+// excluded — the runtime guarantees bit-identical factors for any worker
+// count, so they must not split the cache.
 //
 // The full digest is used everywhere a key identifies a factorization:
 // in-memory cache entries, job status views, and the on-disk factor store's
@@ -35,8 +39,8 @@ func digestKey(spec MatrixSpec, cfg core.Config, criterion string) string {
 			h.Write(buf[:])
 		}
 	}
-	fmt.Fprintf(h, "|alg=%s nb=%d grid=%dx%d crit=%s variant=%s scope=%d seed=%d",
-		cfg.Alg, cfg.NB, cfg.Grid.P, cfg.Grid.Q, criterion, cfg.Variant, cfg.Scope, cfg.Seed)
+	fmt.Fprintf(h, "|alg=%s nb=%d ib=%d grid=%dx%d crit=%s variant=%s scope=%d seed=%d",
+		cfg.Alg, cfg.NB, cfg.IB, cfg.Grid.P, cfg.Grid.Q, criterion, cfg.Variant, cfg.Scope, cfg.Seed)
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 

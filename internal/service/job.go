@@ -124,20 +124,29 @@ func (j *Job) State() State {
 // LU/QR choices the criterion made, the stability and growth metrics, and
 // the measured wall time.
 type ReportView struct {
-	Alg       string   `json:"alg"`
-	N         int      `json:"n"`
-	NB        int      `json:"nb"`
-	GridP     int      `json:"grid_p"`
-	GridQ     int      `json:"grid_q"`
-	Criterion string   `json:"criterion,omitempty"`
-	Decisions []string `json:"decisions"`
-	LUSteps   int      `json:"lu_steps"`
-	QRSteps   int      `json:"qr_steps"`
-	FracLU    float64  `json:"frac_lu"`
-	HPL3      float64  `json:"hpl3"`
-	Growth    float64  `json:"growth"`
-	Breakdown bool     `json:"breakdown,omitempty"`
-	WallMS    float64  `json:"wall_ms"`
+	Alg       string `json:"alg"`
+	N         int    `json:"n"`
+	NB        int    `json:"nb"`
+	IB        int    `json:"ib"`
+	GridP     int    `json:"grid_p"`
+	GridQ     int    `json:"grid_q"`
+	Criterion string `json:"criterion,omitempty"`
+	// Alpha is the effective robustness threshold the run used and
+	// AlphaSource how it was resolved: "explicit", "learned", or "default".
+	// Absent for non-LUQR runs.
+	Alpha       float64  `json:"alpha,omitempty"`
+	AlphaSource string   `json:"alpha_source,omitempty"`
+	Decisions   []string `json:"decisions"`
+	LUSteps     int      `json:"lu_steps"`
+	QRSteps     int      `json:"qr_steps"`
+	FracLU      float64  `json:"frac_lu"`
+	HPL3        float64  `json:"hpl3"`
+	Growth      float64  `json:"growth"`
+	// PeakGrowth is the peak intermediate growth, present when the run
+	// tracked it (learner-feeding jobs do).
+	PeakGrowth float64 `json:"peak_growth,omitempty"`
+	Breakdown  bool    `json:"breakdown,omitempty"`
+	WallMS     float64 `json:"wall_ms"`
 }
 
 // JobView is the JSON shape of GET /v1/jobs/{id}. CacheKey is the full
@@ -182,12 +191,14 @@ func (j *Job) View() JobView {
 	if j.res != nil {
 		r := j.res.Report
 		rv := &ReportView{
-			Alg: r.Alg.String(), N: r.N, NB: r.NB,
+			Alg: r.Alg.String(), N: r.N, NB: r.NB, IB: r.IB,
 			GridP: r.GridP, GridQ: r.GridQ,
 			Criterion: j.req.criterion,
-			LUSteps:   r.LUSteps, QRSteps: r.QRSteps, FracLU: r.FracLU(),
-			HPL3: r.HPL3, Growth: r.Growth, Breakdown: r.Breakdown,
-			WallMS: float64(r.WallTime.Microseconds()) / 1000,
+			Alpha:     j.req.alpha, AlphaSource: j.req.alphaSource,
+			LUSteps: r.LUSteps, QRSteps: r.QRSteps, FracLU: r.FracLU(),
+			HPL3: r.HPL3, Growth: r.Growth, PeakGrowth: r.PeakGrowth,
+			Breakdown: r.Breakdown,
+			WallMS:    float64(r.WallTime.Microseconds()) / 1000,
 		}
 		rv.Decisions = make([]string, len(r.Decisions))
 		for k, lu := range r.Decisions {

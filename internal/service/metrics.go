@@ -124,13 +124,20 @@ type MetricsSnapshot struct {
 	} `json:"store"`
 
 	Tune struct {
-		Enabled    bool                  `json:"enabled"`
-		Path       string                `json:"path,omitempty"`
-		Machine    string                `json:"machine,omitempty"`
-		Probes     int64                 `json:"probes"`
-		Hits       int64                 `json:"hits"`
-		LoadErrors int64                 `json:"load_errors"`
-		Classes    map[string]tune.Entry `json:"classes,omitempty"`
+		Enabled    bool   `json:"enabled"`
+		Path       string `json:"path,omitempty"`
+		Machine    string `json:"machine,omitempty"`
+		Probes     int64  `json:"probes"`
+		Hits       int64  `json:"hits"`
+		LoadErrors int64  `json:"load_errors"`
+		// α-learning observability: whether learning is on, how many
+		// classes hold a learned α, and the learner's update/backoff
+		// counters (see tune.Stats).
+		AlphaLearning bool                  `json:"alpha_learning"`
+		AlphaClasses  int                   `json:"alpha_classes"`
+		AlphaUpdates  int64                 `json:"alpha_updates"`
+		AlphaBackoffs int64                 `json:"alpha_backoffs"`
+		Classes       map[string]tune.Entry `json:"classes,omitempty"`
 	} `json:"tune"`
 
 	Kernels runtime.StatsSnapshot `json:"kernels"`
@@ -215,6 +222,10 @@ func (m *Manager) MetricsSnapshot() MetricsSnapshot {
 		s.Tune.Probes = st.Probes
 		s.Tune.Hits = st.Hits
 		s.Tune.LoadErrors = st.LoadErrors
+		s.Tune.AlphaLearning = m.opts.LearnAlpha
+		s.Tune.AlphaClasses = st.AlphaClasses
+		s.Tune.AlphaUpdates = st.AlphaUpdates
+		s.Tune.AlphaBackoffs = st.AlphaBackoffs
 		s.Tune.Classes = tn.Classes()
 	}
 

@@ -83,7 +83,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	p, err := parse(req.Matrix, req.Config, req.RHS, s.m.Options().MaxN, s.m.Options().Tuner)
+	p, err := parse(req.Matrix, req.Config, req.RHS, s.m.Options())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -140,7 +140,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	p, err := parse(req.Matrix, req.Config, req.RHS, s.m.Options().MaxN, s.m.Options().Tuner)
+	p, err := parse(req.Matrix, req.Config, req.RHS, s.m.Options())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

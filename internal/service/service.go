@@ -89,6 +89,12 @@ type Options struct {
 	// few operating points and persists the winner (see internal/tune), so
 	// later requests and restarts skip the probe. Nil disables autotuning.
 	Tuner *tune.Tuner
+	// LearnAlpha enables online α learning (requires Tuner): LUQR jobs with
+	// alpha unset resolve the class's learned threshold, and every finished
+	// learnable job's decision ratio / growth / backward error feed the
+	// learner. Learner-feeding jobs run with growth tracking on (an extra
+	// O(N²) read per step).
+	LearnAlpha bool
 }
 
 func (o Options) withDefaults() Options {
@@ -281,7 +287,28 @@ func (m *Manager) runJob(j *Job) {
 		cfg.Workers = m.opts.Workers
 	}
 	cfg.Trace = !m.opts.NoTrace
+	learning := m.opts.LearnAlpha && m.opts.Tuner != nil && j.req.alphaCrit != ""
+	if learning {
+		// The learner's excursion test wants the PEAK intermediate growth,
+		// not just the final factor's — pay the tracking cost only for jobs
+		// that actually feed it.
+		cfg.TrackGrowth = true
+	}
 	res, err := core.Run(j.req.a, j.req.b, cfg)
+	if err == nil && learning {
+		// Observations happen only here, on actual factorizations — a cache
+		// hit re-serves an old result and carries no new signal.
+		r := res.Report
+		m.opts.Tuner.Observe(r.N, r.Alg.String(), tune.Observation{
+			Criterion:  j.req.alphaCrit,
+			Alpha:      j.req.alpha,
+			FracLU:     r.FracLU(),
+			Growth:     r.Growth,
+			PeakGrowth: r.PeakGrowth,
+			HPL3:       r.HPL3,
+			Breakdown:  r.Breakdown,
+		})
+	}
 	if err == nil {
 		if res.Report.Trace != nil {
 			// Fold the measured per-kernel totals into /metrics, then drop

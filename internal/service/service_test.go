@@ -240,7 +240,7 @@ func TestDrainCompletesRunningJobs(t *testing.T) {
 	var jobs []*Job
 	for i := 0; i < 2; i++ {
 		p, err := parse(MatrixSpec{N: 480, Gen: "random", Seed: int64(200 + i)},
-			ConfigSpec{NB: 40}, nil, 4096, nil)
+			ConfigSpec{NB: 40}, nil, Options{MaxN: 4096})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,7 +260,7 @@ func TestDrainCompletesRunningJobs(t *testing.T) {
 			t.Fatalf("job %d drained into state %s (err=%v), want done", i, s, j.Err())
 		}
 	}
-	p, err := parse(MatrixSpec{N: 480, Gen: "random", Seed: 1}, ConfigSpec{NB: 40}, nil, 4096, nil)
+	p, err := parse(MatrixSpec{N: 480, Gen: "random", Seed: 1}, ConfigSpec{NB: 40}, nil, Options{MaxN: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestCancelQueuedJob(t *testing.T) {
 // one batch.
 func TestSolveBatchingDeterministic(t *testing.T) {
 	const n = 160
-	p, err := parse(MatrixSpec{N: n, Gen: "random", Seed: 7}, ConfigSpec{NB: 40}, nil, 4096, nil)
+	p, err := parse(MatrixSpec{N: n, Gen: "random", Seed: 7}, ConfigSpec{NB: 40}, nil, Options{MaxN: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +383,7 @@ func TestConcurrentSolvesShareOneFactorization(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			p, err := parse(MatrixSpec{N: n, Gen: "random", Seed: 42},
-				ConfigSpec{NB: 40}, nil, 4096, nil)
+				ConfigSpec{NB: 40}, nil, Options{MaxN: 4096})
 			if err != nil {
 				errs <- err
 				return
@@ -412,7 +412,7 @@ func TestConcurrentSolvesShareOneFactorization(t *testing.T) {
 
 func TestDigestKey(t *testing.T) {
 	base := func() (*parsedRequest, error) {
-		return parse(MatrixSpec{N: 160, Gen: "random", Seed: 1}, ConfigSpec{NB: 40}, nil, 4096, nil)
+		return parse(MatrixSpec{N: 160, Gen: "random", Seed: 1}, ConfigSpec{NB: 40}, nil, Options{MaxN: 4096})
 	}
 	p1, err := base()
 	if err != nil {
@@ -426,7 +426,7 @@ func TestDigestKey(t *testing.T) {
 		t.Fatalf("identical requests digest differently: %s vs %s", p1.key, p2.key)
 	}
 	// Workers must NOT split the cache (factors are bit-identical).
-	p3, err := parse(MatrixSpec{N: 160, Gen: "random", Seed: 1}, ConfigSpec{NB: 40, Workers: 3}, nil, 4096, nil)
+	p3, err := parse(MatrixSpec{N: 160, Gen: "random", Seed: 1}, ConfigSpec{NB: 40, Workers: 3}, nil, Options{MaxN: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,7 +442,7 @@ func TestDigestKey(t *testing.T) {
 		"alpha":     {NB: 40, Alpha: &alpha50},
 		"grid":      {NB: 40, P: 2, Q: 2},
 	} {
-		p, err := parse(MatrixSpec{N: 160, Gen: "random", Seed: 1}, cs, nil, 4096, nil)
+		p, err := parse(MatrixSpec{N: 160, Gen: "random", Seed: 1}, cs, nil, Options{MaxN: 4096})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -451,7 +451,7 @@ func TestDigestKey(t *testing.T) {
 		}
 	}
 	// A different seed is a different operator.
-	p4, err := parse(MatrixSpec{N: 160, Gen: "random", Seed: 2}, ConfigSpec{NB: 40}, nil, 4096, nil)
+	p4, err := parse(MatrixSpec{N: 160, Gen: "random", Seed: 2}, ConfigSpec{NB: 40}, nil, Options{MaxN: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,11 +466,11 @@ func TestDigestKey(t *testing.T) {
 		d2[i] = d1[i]
 	}
 	d2[0] += 1e-9
-	q1, err := parse(MatrixSpec{N: 160, Data: d1}, ConfigSpec{NB: 40}, nil, 4096, nil)
+	q1, err := parse(MatrixSpec{N: 160, Data: d1}, ConfigSpec{NB: 40}, nil, Options{MaxN: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
-	q2, err := parse(MatrixSpec{N: 160, Data: d2}, ConfigSpec{NB: 40}, nil, 4096, nil)
+	q2, err := parse(MatrixSpec{N: 160, Data: d2}, ConfigSpec{NB: 40}, nil, Options{MaxN: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ func storeOpts(t *testing.T) Options {
 
 func mustParse(t *testing.T, spec MatrixSpec, cs ConfigSpec) *parsedRequest {
 	t.Helper()
-	p, err := parse(spec, cs, nil, 4096, nil)
+	p, err := parse(spec, cs, nil, Options{MaxN: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestAlphaZeroPureHQR(t *testing.T) {
 // TestAlphaNegativeRejected: a negative α is a 400, not a silent remap.
 func TestAlphaNegativeRejected(t *testing.T) {
 	neg := -1.0
-	if _, err := parse(MatrixSpec{N: 80, Gen: "random"}, ConfigSpec{NB: 40, Alpha: &neg}, nil, 4096, nil); err == nil {
+	if _, err := parse(MatrixSpec{N: 80, Gen: "random"}, ConfigSpec{NB: 40, Alpha: &neg}, nil, Options{MaxN: 4096}); err == nil {
 		t.Fatal("negative alpha accepted")
 	}
 	m := mustManager(t, Options{QueueSize: 4, Concurrency: 1})

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -79,15 +80,16 @@ func TestServiceAutotune(t *testing.T) {
 	// The tuned nb participates in the cache key: an auto request digests
 	// identically to an explicit nb=80 request and differently from nb=40.
 	spec := MatrixSpec{N: 160, Gen: "random", Seed: 5}
-	auto, err := parse(spec, ConfigSpec{Alg: "luqr"}, nil, 4096, tuner)
+	auto, err := parse(spec, ConfigSpec{Alg: "luqr"}, nil, Options{MaxN: 4096, Tuner: tuner})
 	if err != nil {
 		t.Fatal(err)
 	}
-	exp80, err := parse(spec, ConfigSpec{Alg: "luqr", NB: 80, Workers: 1}, nil, 4096, nil)
+	// The tuned ib is part of the digest too, so the explicit twin pins it.
+	exp80, err := parse(spec, ConfigSpec{Alg: "luqr", NB: 80, IB: 16, Workers: 1}, nil, Options{MaxN: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
-	exp40, err := parse(spec, ConfigSpec{Alg: "luqr", NB: 40, Workers: 1}, nil, 4096, nil)
+	exp40, err := parse(spec, ConfigSpec{Alg: "luqr", NB: 40, Workers: 1}, nil, Options{MaxN: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,5 +124,225 @@ func TestServiceAutotune(t *testing.T) {
 	tuner2 := svcTuner(dir)
 	if _, probed, err := tuner2.Tune(160, "luqr"); err != nil || probed {
 		t.Fatalf("warm restart: probed=%v err=%v", probed, err)
+	}
+}
+
+// TestServiceLearnedAlpha drives the α feedback loop end to end: a learned
+// per-class α is applied to requests that leave alpha unset, shows up in the
+// job report and /metrics, participates in the cache digest, and survives a
+// restart through the persisted table.
+func TestServiceLearnedAlpha(t *testing.T) {
+	dir := t.TempDir()
+	tuner := svcTuner(dir)
+	// Seed the learner the way a finished job would: a stable run at α=100
+	// with the criterion still vetoing some LU steps raises the class to 200.
+	if st, ok := tuner.Observe(160, "luqr", tune.Observation{
+		Criterion: "max", Alpha: 100, FracLU: 0.5, Growth: 2, HPL3: 0.001,
+	}); !ok || st.Alpha != 200 {
+		t.Fatalf("seed observation: %+v ok=%v", st, ok)
+	}
+
+	// The learned α lands in the digest: an alpha-unset request keys like an
+	// explicit α=200 twin and unlike a default-α one. (Checked before the
+	// job runs, which will fold in a fresh observation and may move α.)
+	spec := MatrixSpec{N: 160, Gen: "random", Seed: 5}
+	learnOpts := Options{MaxN: 4096, Tuner: tuner, LearnAlpha: true}
+	auto, err := parse(spec, ConfigSpec{Alg: "luqr"}, nil, learnOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a200 := 200.0
+	exp, err := parse(spec, ConfigSpec{Alg: "luqr", NB: 80, IB: 16, Workers: 1, Alpha: &a200}, nil, Options{MaxN: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := parse(spec, ConfigSpec{Alg: "luqr", NB: 80, IB: 16, Workers: 1}, nil, Options{MaxN: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.key != exp.key {
+		t.Fatalf("learned-α key %s != explicit α=200 key %s", auto.key[:12], exp.key[:12])
+	}
+	if auto.key == def.key {
+		t.Fatal("learned-α key collides with the default-α key")
+	}
+	if auto.alphaSource != "learned" || auto.alpha != 200 {
+		t.Fatalf("parse resolved α=%g from %q, want 200 from learned", auto.alpha, auto.alphaSource)
+	}
+
+	m := mustManager(t, Options{QueueSize: 8, Concurrency: 1, CacheEntries: 4, Tuner: tuner, LearnAlpha: true})
+	defer m.Drain(context.Background())
+	ts := httptest.NewServer(NewServer(m, 0))
+	defer ts.Close()
+	client := ts.Client()
+
+	st, body := postJSON(t, client, ts.URL+"/v1/jobs", map[string]any{
+		"matrix": map[string]any{"n": 160, "gen": "random", "seed": 5},
+		"config": map[string]any{"alg": "luqr"},
+	})
+	if st != http.StatusAccepted {
+		t.Fatalf("submit: got %d: %s", st, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("submit response: %v", err)
+	}
+	var jv JobView
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		getJSON(t, client, ts.URL+"/v1/jobs/"+sub.ID, &jv)
+		if jv.State == StateDone || jv.State == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", jv.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if jv.State != StateDone {
+		t.Fatalf("job failed: %s", jv.Error)
+	}
+	if jv.Report == nil || jv.Report.Alpha != 200 || jv.Report.AlphaSource != "learned" {
+		t.Fatalf("report α = %+v, want 200/learned", jv.Report)
+	}
+	// Learner-feeding jobs run with growth tracking on.
+	if jv.Report.PeakGrowth <= 0 {
+		t.Fatalf("peak growth = %g, want > 0 (TrackGrowth)", jv.Report.PeakGrowth)
+	}
+
+	var ms MetricsSnapshot
+	if st := getJSON(t, client, ts.URL+"/metrics", &ms); st != http.StatusOK {
+		t.Fatalf("/metrics: %d", st)
+	}
+	if !ms.Tune.AlphaLearning {
+		t.Fatal("/metrics alpha_learning off")
+	}
+	if ms.Tune.AlphaClasses < 1 {
+		t.Fatalf("alpha_classes = %d, want >= 1", ms.Tune.AlphaClasses)
+	}
+	// The seed observation plus the finished job's own feedback.
+	if ms.Tune.AlphaUpdates < 2 {
+		t.Fatalf("alpha_updates = %d, want >= 2", ms.Tune.AlphaUpdates)
+	}
+
+	// Restart: a fresh tuner over the same table applies the learned α
+	// without re-learning.
+	st2, ok := svcTuner(dir).Alpha(160, "luqr", "max")
+	if !ok || st2.Samples < 2 {
+		t.Fatalf("restart lost learned α: %+v ok=%v", st2, ok)
+	}
+}
+
+// TestMetricsRespondDuringProbe pins the head-of-line fix at the service
+// boundary: while a submission is parked inside a candidate sweep, /metrics
+// (which reads Tuner.Stats) answers promptly instead of queueing behind it.
+func TestMetricsRespondDuringProbe(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	tuner := tune.New(tune.Options{
+		Candidates: []tune.Point{{NB: 40, IB: 16, Workers: 1}},
+		Bench: func(p tune.Point, n int, alg string) (float64, error) {
+			once.Do(func() { close(entered) })
+			<-release
+			return 5, nil
+		},
+		Machine: "svc-test",
+	})
+	m := mustManager(t, Options{QueueSize: 8, Concurrency: 1, CacheEntries: 4, Tuner: tuner})
+	defer m.Drain(context.Background())
+	ts := httptest.NewServer(NewServer(m, 0))
+	defer ts.Close()
+	client := ts.Client()
+
+	submitDone := make(chan struct{})
+	go func() {
+		defer close(submitDone)
+		st, body := postJSON(t, client, ts.URL+"/v1/jobs", map[string]any{
+			"matrix": map[string]any{"n": 160, "gen": "random", "seed": 1},
+			"config": map[string]any{"alg": "luqr"},
+		})
+		if st != http.StatusAccepted {
+			t.Errorf("submit: got %d: %s", st, body)
+		}
+	}()
+	<-entered
+
+	start := time.Now()
+	var ms MetricsSnapshot
+	if st := getJSON(t, client, ts.URL+"/metrics", &ms); st != http.StatusOK {
+		t.Fatalf("/metrics during probe: %d", st)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("/metrics took %s behind an in-flight probe", el)
+	}
+	if !ms.Tune.Enabled {
+		t.Fatal("/metrics tune block disabled")
+	}
+
+	close(release)
+	<-submitDone
+}
+
+// TestConcurrentJobsUseTheirOwnTunedIB pins the regression the global panel
+// knob allowed: two classes tuned to different inner block sizes, factored
+// concurrently, must each run and report their own ib.
+func TestConcurrentJobsUseTheirOwnTunedIB(t *testing.T) {
+	tuner := tune.New(tune.Options{
+		Candidates: []tune.Point{
+			{NB: 40, IB: 4, Workers: 1},
+			{NB: 40, IB: 8, Workers: 1},
+		},
+		// n=160 tunes to ib=4, n=320 to ib=8.
+		Bench: func(p tune.Point, n int, alg string) (float64, error) {
+			if (n == 160) == (p.IB == 4) {
+				return 9, nil
+			}
+			return 1, nil
+		},
+		Machine: "svc-test",
+	})
+	m := mustManager(t, Options{QueueSize: 8, Concurrency: 2, CacheEntries: 4, Tuner: tuner})
+	defer m.Drain(context.Background())
+	ts := httptest.NewServer(NewServer(m, 0))
+	defer ts.Close()
+	client := ts.Client()
+
+	ids := map[int]string{}
+	for _, n := range []int{160, 320} {
+		st, body := postJSON(t, client, ts.URL+"/v1/jobs", map[string]any{
+			"matrix": map[string]any{"n": n, "gen": "random", "seed": 3},
+			"config": map[string]any{"alg": "hqr"},
+		})
+		if st != http.StatusAccepted {
+			t.Fatalf("submit n=%d: got %d: %s", n, st, body)
+		}
+		var sub submitResponse
+		if err := json.Unmarshal(body, &sub); err != nil {
+			t.Fatalf("submit response: %v", err)
+		}
+		ids[n] = sub.ID
+	}
+
+	want := map[int]int{160: 4, 320: 8}
+	deadline := time.Now().Add(60 * time.Second)
+	for n, id := range ids {
+		var jv JobView
+		for {
+			getJSON(t, client, ts.URL+"/v1/jobs/"+id, &jv)
+			if jv.State == StateDone || jv.State == StateFailed {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job n=%d stuck in %s", n, jv.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if jv.State != StateDone {
+			t.Fatalf("job n=%d failed: %s", n, jv.Error)
+		}
+		if jv.Report == nil || jv.Report.IB != want[n] {
+			t.Fatalf("job n=%d report = %+v, want ib=%d", n, jv.Report, want[n])
+		}
 	}
 }

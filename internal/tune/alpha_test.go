@@ -1,0 +1,330 @@
+package tune
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func learnerTuner(path string) *Tuner {
+	return New(Options{
+		Path:    path,
+		Bench:   fakeBench(nil),
+		Now:     fakeClock(),
+		Machine: "test-machine",
+	})
+}
+
+func TestAlphaLearnRaiseAndAdopt(t *testing.T) {
+	tun := learnerTuner("")
+	// Stable run, criterion still vetoing some LU steps at the current
+	// estimate: raise.
+	st, ok := tun.Observe(768, "luqr", Observation{
+		Criterion: "max", Alpha: 100, FracLU: 0.5, Growth: 2, HPL3: 0.001,
+	})
+	if !ok || st.Alpha != 200 || st.Samples != 1 {
+		t.Fatalf("raise: %+v ok=%v", st, ok)
+	}
+	// Stable all-LU run at a higher explicit α: adopt it.
+	st, _ = tun.Observe(768, "luqr", Observation{
+		Criterion: "max", Alpha: 1000, FracLU: 1, Growth: 2, HPL3: 0.001,
+	})
+	if st.Alpha != 1000 {
+		t.Fatalf("adopt: %+v", st)
+	}
+	// A lower-α all-LU run must NOT lower the estimate.
+	st, _ = tun.Observe(768, "luqr", Observation{
+		Criterion: "max", Alpha: 10, FracLU: 1, Growth: 2, HPL3: 0.001,
+	})
+	if st.Alpha != 1000 {
+		t.Fatalf("lower clean run moved α: %+v", st)
+	}
+	if got, ok := tun.Alpha(768, "luqr", "max"); !ok || got.Alpha != 1000 {
+		t.Fatalf("Alpha lookup: %+v ok=%v", got, ok)
+	}
+	// Criterion families learn independently.
+	if _, ok := tun.Alpha(768, "luqr", "sum"); ok {
+		t.Fatal("sum criterion has no samples yet")
+	}
+}
+
+func TestAlphaBackoffOnExcursions(t *testing.T) {
+	for name, o := range map[string]Observation{
+		"breakdown":  {Criterion: "max", Alpha: 100, FracLU: 1, Growth: 2, HPL3: 0.001, Breakdown: true},
+		"growth":     {Criterion: "max", Alpha: 100, FracLU: 1, Growth: 1e6, HPL3: 0.001},
+		"peakgrowth": {Criterion: "max", Alpha: 100, FracLU: 1, Growth: 2, PeakGrowth: 1e7, HPL3: 0.001},
+		"nan-hpl3":   {Criterion: "max", Alpha: 100, FracLU: 1, Growth: 2, HPL3: math.NaN()},
+		"inf-hpl3":   {Criterion: "max", Alpha: 100, FracLU: 1, Growth: 2, HPL3: math.Inf(1)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			tun := learnerTuner("")
+			st, ok := tun.Observe(768, "luqr", o)
+			if !ok || st.Alpha != 25 || st.Backoffs != 1 {
+				t.Fatalf("backoff: %+v ok=%v", st, ok)
+			}
+		})
+	}
+
+	// HPL3 excursion relative to the class's best observed error.
+	tun := learnerTuner("")
+	tun.Observe(768, "luqr", Observation{Criterion: "max", Alpha: 100, FracLU: 1, Growth: 2, HPL3: 0.5})
+	st, _ := tun.Observe(768, "luqr", Observation{Criterion: "max", Alpha: 100, FracLU: 1, Growth: 2, HPL3: 10})
+	if st.Backoffs != 1 || st.Alpha != 25 {
+		t.Fatalf("hpl3-ratio excursion: %+v", st)
+	}
+	// Repeated excursions floor at alphaMin.
+	for i := 0; i < 10; i++ {
+		st, _ = tun.Observe(768, "luqr", Observation{Criterion: "max", Alpha: st.Alpha, FracLU: 1, Growth: 2, Breakdown: true})
+	}
+	if st.Alpha != alphaMin {
+		t.Fatalf("α fell past the floor: %+v", st)
+	}
+
+	// Non-learnable criteria are rejected.
+	if _, ok := tun.Observe(768, "luqr", Observation{Criterion: "random", Alpha: 100}); ok {
+		t.Fatal("random criterion accepted")
+	}
+}
+
+func TestAlphaPersistRestartApply(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	tun := learnerTuner(path)
+	// Probe the class, then learn: both live in the same entry.
+	if _, _, err := tun.Tune(768, "luqr"); err != nil {
+		t.Fatal(err)
+	}
+	tun.Observe(768, "luqr", Observation{Criterion: "max", Alpha: 100, FracLU: 0.5, Growth: 2, HPL3: 0.001})
+
+	// Restart: the learned α applies without re-learning, and the probed
+	// point without re-probing.
+	tun2 := learnerTuner(path)
+	st, ok := tun2.Alpha(768, "luqr", "max")
+	if !ok || st.Alpha != 200 || st.Samples != 1 {
+		t.Fatalf("restart lost the learned α: %+v ok=%v", st, ok)
+	}
+	if e, probed, err := tun2.Tune(768, "luqr"); err != nil || probed || e.NB != 192 {
+		t.Fatalf("restart lost the probed point: %+v probed=%v err=%v", e, probed, err)
+	}
+	s := tun2.Stats()
+	if s.Classes != 1 || s.AlphaClasses != 1 {
+		t.Fatalf("stats after restart: %+v", s)
+	}
+}
+
+func TestAlphaOnlyEntryDoesNotSatisfyTune(t *testing.T) {
+	var calls []Point
+	tun := New(Options{
+		Candidates: []Point{{NB: 192, IB: 32, Workers: 1}},
+		Bench:      fakeBench(&calls),
+		Now:        fakeClock(),
+		Machine:    "test-machine",
+	})
+	// Learning before any probe creates an entry with NB == 0; Tune must
+	// still probe, and the probe must keep the learned α.
+	tun.Observe(768, "luqr", Observation{Criterion: "max", Alpha: 100, FracLU: 0.5, Growth: 2, HPL3: 0.001})
+	if _, ok := tun.Best(768, "luqr"); ok {
+		t.Fatal("alpha-only entry satisfied Best")
+	}
+	e, probed, err := tun.Tune(768, "luqr")
+	if err != nil || !probed || e.NB != 192 {
+		t.Fatalf("Tune after alpha-only entry: %+v probed=%v err=%v", e, probed, err)
+	}
+	if e.Alphas["max"] == nil || e.Alphas["max"].Alpha != 200 {
+		t.Fatalf("probe dropped the learned α: %+v", e.Alphas)
+	}
+}
+
+func TestTableV1ForwardMigration(t *testing.T) {
+	// Handcraft a version-1 table (pre-α format) and check it loads without
+	// quarantine: the probed point survives, α starts empty, and learning
+	// then upgrades the file in place to the current version.
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	body, err := json.Marshal(&table{Machines: map[string]map[string]Entry{
+		"test-machine": {"luqr/n768": {Point: Point{NB: 192, IB: 32, Workers: 1}, GFlops: 11, ProbedAt: "2026-01-02T03:04:05Z"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(fileWrapper{Version: 1, Checksum: checksum(body), Table: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tun := learnerTuner(path)
+	e, probed, err := tun.Tune(768, "luqr")
+	if err != nil || probed || e.NB != 192 {
+		t.Fatalf("v1 entry not honored: %+v probed=%v err=%v", e, probed, err)
+	}
+	if len(e.Alphas) != 0 {
+		t.Fatalf("v1 entry grew α from nowhere: %+v", e.Alphas)
+	}
+	if s := tun.Stats(); s.LoadErrors != 0 {
+		t.Fatalf("v1 table quarantined: %+v", s)
+	}
+	if _, err := os.Stat(path + ".corrupt"); !os.IsNotExist(err) {
+		t.Fatal("v1 table was moved aside")
+	}
+
+	// Learning persists the table at the current version with α attached.
+	tun.Observe(768, "luqr", Observation{Criterion: "max", Alpha: 100, FracLU: 0.5, Growth: 2, HPL3: 0.001})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w fileWrapper
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Version != TableVersion {
+		t.Fatalf("rewritten table at version %d, want %d", w.Version, TableVersion)
+	}
+	st, ok := learnerTuner(path).Alpha(768, "luqr", "max")
+	if !ok || st.Alpha != 200 {
+		t.Fatalf("upgraded table lost the learned α: %+v ok=%v", st, ok)
+	}
+}
+
+// TestProbeDoesNotBlockOtherClasses pins the head-of-line fix: while one
+// class's candidate sweep is mid-flight, Stats, Best, Alpha, Observe, and
+// Tune of a different class all complete. Run under -race, the off-lock
+// probe path is exercised for data races too.
+func TestProbeDoesNotBlockOtherClasses(t *testing.T) {
+	slowEntered := make(chan struct{})
+	slowRelease := make(chan struct{})
+	var once sync.Once
+	tun := New(Options{
+		Candidates: []Point{{NB: 64, IB: 32, Workers: 1}},
+		Bench: func(p Point, n int, alg string) (float64, error) {
+			if n == 768 {
+				once.Do(func() { close(slowEntered) })
+				<-slowRelease
+			}
+			return 5, nil
+		},
+		Now:     fakeClock(),
+		Machine: "test-machine",
+	})
+
+	probeDone := make(chan struct{})
+	go func() {
+		defer close(probeDone)
+		if _, _, err := tun.Tune(768, "luqr"); err != nil {
+			t.Errorf("slow Tune: %v", err)
+		}
+	}()
+	<-slowEntered
+
+	// Everything below must finish while the 768 sweep is parked.
+	fastDone := make(chan struct{})
+	go func() {
+		defer close(fastDone)
+		tun.Stats()
+		tun.Best(768, "luqr")
+		tun.Alpha(768, "luqr", "max")
+		tun.Observe(768, "luqr", Observation{Criterion: "max", Alpha: 100, FracLU: 0.5, Growth: 2, HPL3: 0.001})
+		if _, _, err := tun.Tune(256, "luqr"); err != nil {
+			t.Errorf("other-class Tune: %v", err)
+		}
+	}()
+	select {
+	case <-fastDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("lookups blocked behind an in-flight probe")
+	}
+
+	close(slowRelease)
+	<-probeDone
+	// The winner installed by the slow probe kept the α learned mid-sweep.
+	e, ok := tun.Best(768, "luqr")
+	if !ok || e.Alphas["max"] == nil {
+		t.Fatalf("probe dropped mid-sweep α state: %+v ok=%v", e, ok)
+	}
+}
+
+// TestTuneSingleFlightPerClass pins that concurrent misses of one class run
+// one sweep: the waiters block until the prober installs the winner, then
+// read it as a table hit.
+func TestTuneSingleFlightPerClass(t *testing.T) {
+	var mu sync.Mutex
+	sweeps := 0
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	tun := New(Options{
+		Candidates: []Point{{NB: 192, IB: 32, Workers: 1}},
+		Bench: func(p Point, n int, alg string) (float64, error) {
+			mu.Lock()
+			sweeps++
+			mu.Unlock()
+			entered <- struct{}{}
+			<-release
+			return 5, nil
+		},
+		Now:     fakeClock(),
+		Machine: "test-machine",
+	})
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	results := make([]Entry, waiters)
+	probes := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, probed, err := tun.Tune(768, "luqr")
+			if err != nil {
+				t.Errorf("Tune[%d]: %v", i, err)
+			}
+			results[i], probes[i] = e, probed
+		}(i)
+	}
+	<-entered // exactly one goroutine reached the bench
+	close(release)
+	wg.Wait()
+
+	if sweeps != 1 {
+		t.Fatalf("%d sweeps for one class, want 1", sweeps)
+	}
+	probed := 0
+	for i := range results {
+		if results[i].NB != 192 {
+			t.Fatalf("waiter %d got %+v", i, results[i])
+		}
+		if probes[i] {
+			probed++
+		}
+	}
+	if probed != 1 {
+		t.Fatalf("%d goroutines report probing, want exactly 1", probed)
+	}
+	if s := tun.Stats(); s.Probes != 1 || s.Hits != waiters-1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestStatsCountsPersistedClassesBeforeFirstLookup pins the Classes
+// under-reporting fix: a fresh tuner over a populated table reports its
+// classes on the very first Stats call.
+func TestStatsCountsPersistedClassesBeforeFirstLookup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	warm := learnerTuner(path)
+	if _, _, err := warm.Tune(768, "luqr"); err != nil {
+		t.Fatal(err)
+	}
+	warm.Observe(768, "luqr", Observation{Criterion: "max", Alpha: 100, FracLU: 0.5, Growth: 2, HPL3: 0.001})
+
+	s := learnerTuner(path).Stats() // no Tune/Best before this
+	if s.Classes != 1 {
+		t.Fatalf("fresh tuner reports %d classes before first lookup, want 1", s.Classes)
+	}
+	if s.AlphaClasses != 1 {
+		t.Fatalf("fresh tuner reports %d α classes, want 1", s.AlphaClasses)
+	}
+}

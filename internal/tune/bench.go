@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"luqr/internal/core"
-	"luqr/internal/lapack"
 	"luqr/internal/mat"
 )
 
@@ -36,18 +35,16 @@ func CoreBench(p Point, n int, alg string) (float64, error) {
 	for i := range b {
 		b[i] = 1
 	}
-	cfg := core.Config{NB: p.NB, Workers: p.Workers}
+	// The candidate's inner block size rides inside the run's own config —
+	// never through the process-global knob, which a concurrent job with a
+	// different tuned point would race on.
+	cfg := core.Config{NB: p.NB, IB: p.IB, Workers: p.Workers}
 	if alg != "" {
 		parsed, err := core.ParseAlgorithm(alg)
 		if err == nil {
 			cfg.Alg = parsed
 		}
 	}
-	// The candidate's inner block size applies for the probe only; the
-	// winner's is installed for real by Apply / the core hook.
-	oldIB := lapack.PanelIB()
-	lapack.SetPanelIB(p.IB)
-	defer lapack.SetPanelIB(oldIB)
 
 	work := a.Clone()
 	best := time.Duration(0)

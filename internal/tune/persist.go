@@ -10,9 +10,16 @@ import (
 	"path/filepath"
 )
 
-// TableVersion is the on-disk format version. Bumping it quarantines every
-// older table, forcing a clean re-probe rather than a misread.
-const TableVersion = 1
+// TableVersion is the on-disk format version. Versions 1..TableVersion load
+// (older tables migrate forward — fields they predate start empty); anything
+// newer or unrecognized is quarantined, forcing a clean re-probe rather than
+// a misread.
+//
+//	1: (nb, ib, workers) entries only.
+//	2: entries gain the per-criterion learned α states ("alphas"). A v1
+//	   table loads with every α state absent — probed operating points are
+//	   kept, nothing is quarantined, and learning starts fresh.
+const TableVersion = 2
 
 // table is the in-memory tuning table: machine fingerprint → class → entry.
 type table struct {
@@ -61,9 +68,9 @@ func loadTable(path string) (tab *table, quarantined bool, err error) {
 		quarantine(path)
 		return newTable(), true, fmt.Errorf("tune: unreadable table (quarantined): %w", jerr)
 	}
-	if w.Version != TableVersion {
+	if w.Version < 1 || w.Version > TableVersion {
 		quarantine(path)
-		return newTable(), true, fmt.Errorf("tune: table version %d, want %d (quarantined)", w.Version, TableVersion)
+		return newTable(), true, fmt.Errorf("tune: table version %d, want 1..%d (quarantined)", w.Version, TableVersion)
 	}
 	if checksum(w.Table) != w.Checksum {
 		quarantine(path)

@@ -1,7 +1,17 @@
-// Package tune is the (nb, ib, workers) autotuner: a first-use probe times a
-// few candidate operating points for a matrix class on this machine, and the
-// winner is persisted in a versioned JSON tuning table so later runs — and
-// luqr-serve restarts — skip the probe entirely.
+// Package tune is the service's adaptive-config subsystem. It started as the
+// (nb, ib, workers) autotuner — a first-use probe times a few candidate
+// operating points for a matrix class on this machine, and the winner is
+// persisted in a versioned JSON tuning table so later runs — and luqr-serve
+// restarts — skip the probe entirely. The same table now also learns the
+// hybrid criterion's robustness threshold α online, per matrix class: every
+// finished job's decision ratio, growth, and backward error feed Observe,
+// and jobs submitted with α unset resolve the learned value through Alpha
+// (see alpha.go).
+//
+// Probes are single-flight per class and run without holding the tuner
+// lock, so Stats (every /metrics scrape), Best, Alpha, Observe, and Tune
+// calls for other classes never stall behind a seconds-long candidate
+// sweep; concurrent misses of the same class coalesce onto one probe.
 //
 // The table mirrors the factor store's durability posture (internal/service):
 // writes are temp-file + sync + rename in the destination directory, loads
@@ -34,12 +44,33 @@ func (p Point) String() string {
 	return fmt.Sprintf("nb=%d ib=%d workers=%d", p.NB, p.IB, p.Workers)
 }
 
-// Entry is a tuned operating point with its provenance: the measured rate
-// that won the probe and when the probe ran.
+// Entry is one class's tuned state: the operating point that won the probe
+// with its provenance, plus the α states learned online for the class. An
+// entry created by Observe before any probe has NB == 0 — it carries α only
+// and does not satisfy a Tune lookup.
 type Entry struct {
 	Point
 	GFlops   float64 `json:"gflops"`
-	ProbedAt string  `json:"probed_at"` // RFC 3339, from the tuner's clock
+	ProbedAt string  `json:"probed_at,omitempty"` // RFC 3339, from the tuner's clock
+	// Alphas holds the learned robustness thresholds, keyed by criterion
+	// family ("max", "sum", "mumps"). Absent in tables written before
+	// TableVersion 2; the forward migration leaves it empty.
+	Alphas map[string]*AlphaState `json:"alphas,omitempty"`
+}
+
+// clone deep-copies the entry so callers can hold it outside the tuner lock
+// while Observe keeps mutating the table's α states.
+func (e Entry) clone() Entry {
+	if e.Alphas == nil {
+		return e
+	}
+	cp := make(map[string]*AlphaState, len(e.Alphas))
+	for k, v := range e.Alphas {
+		vv := *v
+		cp[k] = &vv
+	}
+	e.Alphas = cp
+	return e
 }
 
 // BenchFunc times one candidate point for an n×n problem of the given
@@ -65,23 +96,37 @@ type Options struct {
 	Logf func(format string, args ...any)
 	// Machine overrides the machine fingerprint (tests only).
 	Machine string
+	// AlphaHPL3Budget is the α learner's excursion threshold on the ratio
+	// of a run's HPL3 to the class's best observed HPL3 (default 4.0).
+	AlphaHPL3Budget float64
+	// AlphaGrowthCap is the α learner's excursion threshold on element
+	// growth (default 1024).
+	AlphaGrowthCap float64
 }
 
 // Tuner resolves operating points: memory/table lookup first, probe on miss,
 // persist the winner. Safe for concurrent use; concurrent misses of the same
 // class run one probe.
 type Tuner struct {
-	path    string
-	cands   []Point
-	bench   BenchFunc
-	now     func() time.Time
-	logf    func(string, ...any)
-	machine string
+	path       string
+	cands      []Point
+	bench      BenchFunc
+	now        func() time.Time
+	logf       func(string, ...any)
+	machine    string
+	hpl3Budget float64
+	growthCap  float64
 
 	mu     sync.Mutex
 	tab    *table
 	loaded bool
 	stats  Stats
+	// probing holds one channel per class with a candidate sweep in flight;
+	// it closes when the sweep finishes. Probes run WITHOUT t.mu held —
+	// only the registration, the install of the winner, and persistence
+	// take the lock — so lookups and other classes never queue behind a
+	// sweep.
+	probing map[string]chan struct{}
 }
 
 // Stats is the tuner's observability snapshot, surfaced in /metrics.
@@ -91,18 +136,32 @@ type Stats struct {
 	Probes     int64  `json:"probes"`      // full candidate sweeps run
 	Hits       int64  `json:"hits"`        // lookups served from the table
 	LoadErrors int64  `json:"load_errors"` // quarantined table files
-	Classes    int    `json:"classes"`     // tuned classes for this machine
+	Classes    int    `json:"classes"`     // probed classes for this machine
+	// α-learning counters: classes with at least one learned α state,
+	// observations folded in, and excursion backoffs taken.
+	AlphaClasses  int   `json:"alpha_classes"`
+	AlphaUpdates  int64 `json:"alpha_updates"`
+	AlphaBackoffs int64 `json:"alpha_backoffs"`
 }
 
 // New builds a Tuner from opts.
 func New(opts Options) *Tuner {
 	t := &Tuner{
-		path:    opts.Path,
-		cands:   opts.Candidates,
-		bench:   opts.Bench,
-		now:     opts.Now,
-		logf:    opts.Logf,
-		machine: opts.Machine,
+		path:       opts.Path,
+		cands:      opts.Candidates,
+		bench:      opts.Bench,
+		now:        opts.Now,
+		logf:       opts.Logf,
+		machine:    opts.Machine,
+		hpl3Budget: opts.AlphaHPL3Budget,
+		growthCap:  opts.AlphaGrowthCap,
+		probing:    make(map[string]chan struct{}),
+	}
+	if t.hpl3Budget <= 0 {
+		t.hpl3Budget = defaultAlphaHPL3Budget
+	}
+	if t.growthCap <= 0 {
+		t.growthCap = defaultAlphaGrowthCap
 	}
 	if t.bench == nil {
 		t.bench = CoreBench
@@ -168,52 +227,85 @@ func (t *Tuner) candidates(n int) []Point {
 	return out
 }
 
-// Best looks the class up in the table without probing.
+// Best looks the class up in the table without probing (and without
+// blocking on an in-flight probe). Alpha-only entries (NB == 0) do not
+// count as tuned.
 func (t *Tuner) Best(n int, alg string) (Entry, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.loadLocked()
 	e, ok := t.tab.Machines[t.machine][classKey(n, alg)]
-	return e, ok
+	if !ok || e.NB <= 0 {
+		return Entry{}, false
+	}
+	return e.clone(), true
 }
 
 // Tune resolves the operating point for an order-n problem: a table hit
 // returns immediately (probed == false); a miss sweeps the candidates,
 // persists the winner, and returns it (probed == true). An error means no
 // candidate applies or every probe failed — the caller keeps its defaults.
+//
+// Probes are single-flight per class: the first miss runs the sweep with
+// t.mu released, and concurrent misses of the same class wait for it and
+// then read the installed winner (probed == false for the waiters).
 func (t *Tuner) Tune(n int, alg string) (e Entry, probed bool, err error) {
 	key := classKey(n, alg)
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.loadLocked()
-	if e, ok := t.tab.Machines[t.machine][key]; ok {
-		t.stats.Hits++
-		return e, false, nil
+	for {
+		t.loadLocked()
+		if e, ok := t.tab.Machines[t.machine][key]; ok && e.NB > 0 {
+			t.stats.Hits++
+			ec := e.clone()
+			t.mu.Unlock()
+			return ec, false, nil
+		}
+		ch, inflight := t.probing[key]
+		if !inflight {
+			break
+		}
+		// Another goroutine is sweeping this class: wait off-lock, then
+		// re-check — normally a hit; a retry as prober if its sweep failed.
+		t.mu.Unlock()
+		<-ch
+		t.mu.Lock()
 	}
-	e, err = t.probeLocked(n, alg)
+	ch := make(chan struct{})
+	t.probing[key] = ch
+	t.stats.Probes++
+	t.mu.Unlock()
+
+	e, err = t.probe(n, alg) // seconds of real factorizations, off-lock
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.probing, key)
+	close(ch)
 	if err != nil {
 		return Entry{}, false, err
 	}
-	if t.tab.Machines[t.machine] == nil {
-		t.tab.Machines[t.machine] = make(map[string]Entry)
+	m := t.tab.Machines[t.machine]
+	if m == nil {
+		m = make(map[string]Entry)
+		t.tab.Machines[t.machine] = m
 	}
-	t.tab.Machines[t.machine][key] = e
-	if t.path != "" {
-		if werr := saveTable(t.path, t.tab); werr != nil {
-			t.logf("tune: persisting table: %v", werr)
-		}
+	// Keep any α states learned for the class while (or before) the sweep
+	// ran — the probe decides the operating point, not the threshold.
+	if prev, ok := m[key]; ok && prev.Alphas != nil {
+		e.Alphas = prev.Alphas
 	}
-	return e, true, nil
+	m[key] = e
+	t.persistLocked()
+	return e.clone(), true, nil
 }
 
-// probeLocked sweeps the applicable candidates and returns the fastest.
-// Caller holds t.mu.
-func (t *Tuner) probeLocked(n int, alg string) (Entry, error) {
+// probe sweeps the applicable candidates and returns the fastest. Runs
+// without t.mu held; everything it touches is immutable after New.
+func (t *Tuner) probe(n int, alg string) (Entry, error) {
 	cands := t.candidates(n)
 	if len(cands) == 0 {
 		return Entry{}, fmt.Errorf("tune: no candidate tile size divides n=%d", n)
 	}
-	t.stats.Probes++
 	best := Entry{GFlops: -1}
 	for _, p := range cands {
 		gf, err := t.bench(p, n, alg)
@@ -233,37 +325,50 @@ func (t *Tuner) probeLocked(n int, alg string) (Entry, error) {
 	return best, nil
 }
 
-// Apply installs a point's process-global knobs (the kernels' inner block
-// size). NB and Workers travel through core.Config instead.
-func Apply(p Point) {
-	if p.IB > 0 {
-		lapack.SetPanelIB(p.IB)
-	}
-}
-
-// Stats snapshots the tuner's counters.
+// Stats snapshots the tuner's counters. It loads the persisted table on
+// first use, so a fresh process with a populated table reports its classes
+// before the first lookup; it never blocks on an in-flight probe.
 func (t *Tuner) Stats() Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.loadLocked()
 	s := t.stats
 	s.Path = t.path
 	s.Machine = t.machine
-	if t.loaded {
-		s.Classes = len(t.tab.Machines[t.machine])
+	for _, e := range t.tab.Machines[t.machine] {
+		if e.NB > 0 {
+			s.Classes++
+		}
+		if len(e.Alphas) > 0 {
+			s.AlphaClasses++
+		}
 	}
 	return s
 }
 
-// Classes lists the tuned classes for this machine, sorted, for reporting.
+// Classes lists the tuned classes for this machine, for reporting. Entries
+// are deep copies — safe to hold while the learner keeps updating.
 func (t *Tuner) Classes() map[string]Entry {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.loadLocked()
 	out := make(map[string]Entry, len(t.tab.Machines[t.machine]))
 	for k, v := range t.tab.Machines[t.machine] {
-		out[k] = v
+		out[k] = v.clone()
 	}
 	return out
+}
+
+// persistLocked writes the table through saveTable, logging (not failing)
+// on error. Caller holds t.mu; the write is milliseconds, not the seconds a
+// probe costs, so holding the lock here is fine.
+func (t *Tuner) persistLocked() {
+	if t.path == "" {
+		return
+	}
+	if err := saveTable(t.path, t.tab); err != nil {
+		t.logf("tune: persisting table: %v", err)
+	}
 }
 
 // loadLocked lazily reads the persisted table. Caller holds t.mu.

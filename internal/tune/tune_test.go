@@ -57,7 +57,7 @@ func TestProbeDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e1 != e2 {
+	if e1.Point != e2.Point || e1.GFlops != e2.GFlops || e1.ProbedAt != e2.ProbedAt {
 		t.Fatalf("probe not deterministic: %+v vs %+v", e1, e2)
 	}
 	if e1.NB != 192 {
@@ -116,7 +116,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	if probed || len(calls) != 0 {
 		t.Fatalf("restart re-probed (probed=%v, %d bench calls)", probed, len(calls))
 	}
-	if e1 != e2 {
+	if e1.Point != e2.Point || e1.GFlops != e2.GFlops || e1.ProbedAt != e2.ProbedAt {
 		t.Fatalf("persisted entry differs: %+v vs %+v", e1, e2)
 	}
 	st := tun2.Stats()

@@ -25,7 +25,10 @@ done
 echo "healthy"
 
 echo "== submit job"
-BODY='{"matrix":{"n":240,"gen":"random","seed":5},"config":{"alg":"luqr","nb":40}}'
+# α is pinned: the digest of an alpha-unset request tracks the learned α,
+# which this job's own completion will move — the learning leg below covers
+# that path; here the cache contract is asserted with a stable digest.
+BODY='{"matrix":{"n":240,"gen":"random","seed":5},"config":{"alg":"luqr","nb":40,"alpha":100}}'
 JOB=$(curl -sf -X POST -d "$BODY" "$BASE/v1/jobs" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
 echo "job $JOB"
 
@@ -44,7 +47,7 @@ assert v["report"]["decisions"], "done job carries no per-step decisions"
 print("decisions:", " ".join(v["report"]["decisions"]))'
 
 echo "== solve twice against the cached factorization"
-SOLVE='{"matrix":{"n":240,"gen":"random","seed":5},"config":{"alg":"luqr","nb":40}}'
+SOLVE='{"matrix":{"n":240,"gen":"random","seed":5},"config":{"alg":"luqr","nb":40,"alpha":100}}'
 for i in 1 2; do
   curl -sf -X POST -d "$SOLVE" "$BASE/v1/solve" | python3 -c '
 import json, sys
@@ -54,14 +57,39 @@ assert len(v["x"]) == 240, "wrong solution length"
 print("solve '"$i"': cache_hit, |x| ok")'
 done
 
+echo "== learned alpha applies to an alpha-unset job"
+# The pinned job above ran clean at α=100 without choosing LU everywhere,
+# so its completion raised the class estimate to 200; a request that leaves
+# alpha unset must now resolve it from the learner.
+BODY2='{"matrix":{"n":240,"gen":"random","seed":5},"config":{"alg":"luqr","nb":40}}'
+JOB2=$(curl -sf -X POST -d "$BODY2" "$BASE/v1/jobs" | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+for i in $(seq 1 100); do
+  STATE=$(curl -sf "$BASE/v1/jobs/$JOB2" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+  [ "$STATE" = done ] && break
+  [ "$STATE" = failed ] && { echo "learning job failed"; curl -s "$BASE/v1/jobs/$JOB2"; exit 1; }
+  [ "$i" = 100 ] && { echo "learning job never finished (state=$STATE)"; exit 1; }
+  sleep 0.2
+done
+curl -sf "$BASE/v1/jobs/$JOB2" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+r = v["report"]
+assert r["alpha_source"] == "learned", "alpha_source = %r, want learned" % r.get("alpha_source")
+assert r["alpha"] == 200, "alpha = %r, want the learned 200" % r.get("alpha")
+print("learning job: alpha=%g (%s)" % (r["alpha"], r["alpha_source"]))'
+
 curl -sf "$BASE/metrics" | python3 -c '
 import json, sys
 m = json.load(sys.stdin)
 misses, hits = m["cache"]["misses"], m["cache"]["hits"]
-assert misses == 1, "expected exactly 1 factorization, got %d" % misses
+assert misses == 2, "expected exactly 2 factorizations (pinned + learned alpha), got %d" % misses
 assert hits >= 2, "expected >=2 cache hits, got %d" % hits
-assert m["jobs"]["done_total"] >= 1
-print("metrics: misses=1, hits=%d" % m["cache"]["hits"])'
+assert m["jobs"]["done_total"] >= 2
+t = m["tune"]
+assert t["alpha_learning"], "alpha learning off in default config"
+assert t["alpha_classes"] >= 1, "no alpha classes learned"
+assert t["alpha_updates"] >= 2, "alpha_updates = %d, want >= 2" % t["alpha_updates"]
+print("metrics: misses=2, hits=%d, alpha_updates=%d" % (hits, t["alpha_updates"]))'
 
 echo "== load generator"
 "$DIR/luqr-bench" -load "$BASE" -load-requests 16 -load-clients 2 -load-n 160 -load-matrices 2
