@@ -2,8 +2,9 @@ GO ?= go
 
 # tier1 is the gate every change must keep green: vet, full build, full test
 # suite (which includes the docs lint in docs_test.go), and the race detector
-# over the concurrent packages (the dataflow engine, the solver core that
-# runs on it, and the service layer in front of both).
+# over every package — blas/lapack carry CPUID dispatch tables and pooled
+# packing buffers, so they are race-relevant too, not just the engine and the
+# layers on top of it.
 .PHONY: tier1
 tier1: vet build test race
 
@@ -21,7 +22,7 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/core/... ./internal/service/... ./internal/tune/...
+	$(GO) test -race ./...
 
 # docs-lint runs the documentation checks on their own: no PLACEHOLDER
 # markers in tracked *.md/*.json, no broken relative links in the curated
@@ -57,11 +58,14 @@ bench-solver:
 # probe (persisted on first run, table hit on the second), and the α
 # learn-then-apply loop (learned on the first run, applied from the persisted
 # table on the second), then the generated file is validated against the
-# schema-2 contract. Numbers are not gated — only the machinery is.
+# schema-2 contract — which includes the mixed-precision section, so the
+# validate step asserts the forced-f32 run engaged the float32 path and
+# refined back into the HPL acceptance band. Numbers are not gated — only the
+# machinery is.
 .PHONY: bench-solver-smoke
 bench-solver-smoke:
 	$(GO) run ./cmd/luqr-bench -sweep-workers bench_solver_smoke.json -n 512 -nb 64 -reps 1
-	$(GO) run ./cmd/luqr-bench -validate-solver bench_solver_smoke.json
+	$(GO) run ./cmd/luqr-bench -validate-solver bench_solver_smoke.json | grep -q 'mixed f32: refined to tolerance'
 	$(GO) run ./cmd/luqr-bench -tune-probe -n 256 -tune-file tune_smoke.json
 	$(GO) run ./cmd/luqr-bench -tune-probe -n 256 -tune-file tune_smoke.json | grep -q 'probe skipped'
 	$(GO) run ./cmd/luqr-bench -alpha-learn -n 256 -nb 64 -reps 2 -tune-file tune_smoke.json

@@ -41,6 +41,7 @@ func main() {
 		alpha     = flag.Float64("alpha", 100, "criterion threshold α (inf allowed)")
 		scope     = flag.String("scope", "domain", "LU pivot scope: domain or tile")
 		variant   = flag.String("variant", "a1", "LU-step variant (§II-C): a1, a2, b1, b2")
+		precName  = flag.String("precision", "f64", "kernel precision: f64, auto (criterion margin picks f32 per step), f32")
 		intraName = flag.String("intra", "greedy", "intra-node reduction tree: flatts, flattt, binary, greedy, fibonacci")
 		interName = flag.String("inter", "fibonacci", "inter-node reduction tree")
 		workers   = flag.Int("workers", 0, "runtime workers (0 = GOMAXPROCS)")
@@ -86,6 +87,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	prec, err := core.ParsePrecision(*precName)
+	if err != nil {
+		fail(err)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	a := ent.Gen(*n, rng)
@@ -93,7 +98,7 @@ func main() {
 
 	cfg := core.Config{
 		Alg: alg, NB: *nb, Grid: tile.NewGrid(*p, *q),
-		Criterion: crit, Scope: sc, Variant: vr,
+		Criterion: crit, Scope: sc, Variant: vr, Precision: prec,
 		IntraTree: intra, InterTree: inter,
 		Workers: *workers, Seed: *seed,
 		Trace: *simulate || *stats || *timeline != "",

@@ -21,6 +21,23 @@ func xgetbv0() (eax, edx uint32)
 //go:noescape
 func kernel6x8FMA(kc int, a, b, c *float64, ldc int)
 
+// kernel6x16FMA32 computes C[0:6, 0:16] += Ap·Bp on packed float32
+// micro-panels (layout as described in microkernel32.go), with C rows ldc
+// float32s apart.
+//
+//go:noescape
+func kernel6x16FMA32(kc int, a, b, c *float32, ldc int)
+
+// cvtRowAVX converts dst[0:n] = float32(src[0:n]).
+//
+//go:noescape
+func cvtRowAVX(dst *float32, src *float64, n int)
+
+// cvtScaleStrideAVX writes dst[i*stride] = alpha·float32(src[i]).
+//
+//go:noescape
+func cvtScaleStrideAVX(dst *float32, stride int, src *float64, alpha float32, n int)
+
 // axpyFMA computes y[0:n] += alpha·x[0:n] with AVX2 FMAs.
 //
 //go:noescape
@@ -35,6 +52,20 @@ func init() {
 	if hasAVX2FMA() {
 		gemmMR, gemmNR = 6, 8
 		gemmKernel = kernelAVX6x8
+		gemmMR32, gemmNR32 = 6, 16
+		gemmKernel32 = kernelAVX6x16f32
+		cvtRow32 = func(dst []float32, src []float64) {
+			if len(src) == 0 {
+				return
+			}
+			cvtRowAVX(&dst[0], &src[0], len(src))
+		}
+		cvtScaleStride32 = func(dst []float32, stride int, src []float64, alpha float32) {
+			if len(src) == 0 {
+				return
+			}
+			cvtScaleStrideAVX(&dst[0], stride, &src[0], alpha, len(src))
+		}
 		axpyKernel = func(alpha float64, x, y []float64) {
 			axpyFMA(alpha, &x[0], &y[0], len(x))
 		}
@@ -49,6 +80,13 @@ func kernelAVX6x8(kc int, a, b, c []float64, ldc int) {
 		return
 	}
 	kernel6x8FMA(kc, &a[0], &b[0], &c[0], ldc)
+}
+
+func kernelAVX6x16f32(kc int, a, b, c []float32, ldc int) {
+	if kc == 0 {
+		return
+	}
+	kernel6x16FMA32(kc, &a[0], &b[0], &c[0], ldc)
 }
 
 // hasAVX2FMA reports whether the CPU and OS support the AVX2+FMA kernel.

@@ -141,6 +141,217 @@ done:
 	VZEROUPPER
 	RET
 
+// func kernel6x16FMA32(kc int, a, b, c *float32, ldc int)
+//
+// Float32 companion of kernel6x8FMA: C[0:6, 0:16] += Ap·Bp over kc rank-1
+// updates. Ap is the packed MR=6 float32 panel (element (i,p) at a[p*6+i]),
+// Bp the packed NR=16 panel (element (p,j) at b[p*16+j]), and C has rows ldc
+// float32s apart.
+//
+// Register plan mirrors the f64 kernel — Y0..Y11 the 6×16 accumulator block
+// (two YMM per micro-tile row, now 8 floats each), Y12/Y13 the current
+// 16-wide B row, Y14 the broadcast A element — but every FMA retires 8
+// float32 lanes instead of 4 float64 lanes: 2 loads, 6 broadcasts, 12 FMAs
+// and 192 flops per kc iteration.
+TEXT ·kernel6x16FMA32(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), DX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8            // C row stride in bytes
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+	TESTQ DX, DX
+	JZ    done32
+
+loop32:
+	VMOVUPS (BX), Y12
+	VMOVUPS 32(BX), Y13
+
+	VBROADCASTSS (SI), Y14
+	VFMADD231PS Y14, Y12, Y0
+	VFMADD231PS Y14, Y13, Y1
+
+	VBROADCASTSS 4(SI), Y14
+	VFMADD231PS Y14, Y12, Y2
+	VFMADD231PS Y14, Y13, Y3
+
+	VBROADCASTSS 8(SI), Y14
+	VFMADD231PS Y14, Y12, Y4
+	VFMADD231PS Y14, Y13, Y5
+
+	VBROADCASTSS 12(SI), Y14
+	VFMADD231PS Y14, Y12, Y6
+	VFMADD231PS Y14, Y13, Y7
+
+	VBROADCASTSS 16(SI), Y14
+	VFMADD231PS Y14, Y12, Y8
+	VFMADD231PS Y14, Y13, Y9
+
+	VBROADCASTSS 20(SI), Y14
+	VFMADD231PS Y14, Y12, Y10
+	VFMADD231PS Y14, Y13, Y11
+
+	ADDQ $24, SI
+	ADDQ $64, BX
+	DECQ DX
+	JNZ  loop32
+
+done32:
+	// C += accumulators, row by row.
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y0, Y12, Y12
+	VADDPS  Y1, Y13, Y13
+	VMOVUPS Y12, (DI)
+	VMOVUPS Y13, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y2, Y12, Y12
+	VADDPS  Y3, Y13, Y13
+	VMOVUPS Y12, (DI)
+	VMOVUPS Y13, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y4, Y12, Y12
+	VADDPS  Y5, Y13, Y13
+	VMOVUPS Y12, (DI)
+	VMOVUPS Y13, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y6, Y12, Y12
+	VADDPS  Y7, Y13, Y13
+	VMOVUPS Y12, (DI)
+	VMOVUPS Y13, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y8, Y12, Y12
+	VADDPS  Y9, Y13, Y13
+	VMOVUPS Y12, (DI)
+	VMOVUPS Y13, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPS (DI), Y12
+	VMOVUPS 32(DI), Y13
+	VADDPS  Y10, Y12, Y12
+	VADDPS  Y11, Y13, Y13
+	VMOVUPS Y12, (DI)
+	VMOVUPS Y13, 32(DI)
+
+	VZEROUPPER
+	RET
+
+// func cvtRowAVX(dst *float32, src *float64, n int)
+//
+// dst[0:n] = float32(src[0:n]): eight conversions per iteration through two
+// VCVTPD2PS (4 float64 → 4 float32 each), scalar tail.
+TEXT ·cvtRowAVX(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   cvttail
+
+cvtloop8:
+	VMOVUPD    (SI), Y1
+	VMOVUPD    32(SI), Y2
+	VCVTPD2PSY Y1, X1
+	VCVTPD2PSY Y2, X2
+	VMOVUPS    X1, (DI)
+	VMOVUPS    X2, 16(DI)
+	ADDQ       $64, SI
+	ADDQ       $32, DI
+	DECQ       DX
+	JNZ        cvtloop8
+
+cvttail:
+	ANDQ $7, CX
+	JZ   cvtdone
+
+cvtscalar:
+	VCVTSD2SS (SI), X1, X1
+	VMOVSS    X1, (DI)
+	ADDQ      $8, SI
+	ADDQ      $4, DI
+	DECQ      CX
+	JNZ       cvtscalar
+
+cvtdone:
+	VZEROUPPER
+	RET
+
+// func cvtScaleStrideAVX(dst *float32, stride int, src *float64, alpha float32, n int)
+//
+// dst[i*stride] = alpha·float32(src[i]) for i in [0, n): four conversions
+// per VCVTPD2PS with the strided scatter done by VEXTRACTPS stores. This is
+// the packA32 inner loop — src is a contiguous A row, dst a column of an
+// MR-tall micro-panel.
+TEXT ·cvtScaleStrideAVX(SB), NOSPLIT, $0-40
+	MOVQ         dst+0(FP), DI
+	MOVQ         stride+8(FP), R9
+	MOVQ         src+16(FP), SI
+	VBROADCASTSS alpha+24(FP), X0
+	MOVQ         n+32(FP), CX
+	SHLQ         $2, R9            // dst stride in bytes
+	MOVQ         CX, DX
+	SHRQ         $2, DX
+	JZ           csstail
+
+cssloop4:
+	VMOVUPD    (SI), Y1
+	VCVTPD2PSY Y1, X1
+	VMULPS     X0, X1, X1
+	VMOVSS     X1, (DI)
+	ADDQ       R9, DI
+	VEXTRACTPS $1, X1, (DI)
+	ADDQ       R9, DI
+	VEXTRACTPS $2, X1, (DI)
+	ADDQ       R9, DI
+	VEXTRACTPS $3, X1, (DI)
+	ADDQ       R9, DI
+	ADDQ       $32, SI
+	DECQ       DX
+	JNZ        cssloop4
+
+csstail:
+	ANDQ $3, CX
+	JZ   cssdone
+
+cssscalar:
+	VCVTSD2SS (SI), X1, X1
+	VMULSS    X0, X1, X1
+	VMOVSS    X1, (DI)
+	ADDQ      R9, DI
+	ADDQ      $8, SI
+	DECQ      CX
+	JNZ       cssscalar
+
+cssdone:
+	VZEROUPPER
+	RET
+
 // func axpyFMA(alpha float64, x, y *float64, n int)
 //
 // y[0:n] += alpha·x[0:n], 16 elements per iteration (4 YMM FMAs with the x

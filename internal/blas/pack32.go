@@ -1,0 +1,107 @@
+package blas
+
+import "luqr/internal/mat"
+
+// Float32 packing for the mixed-precision GEMM path. Layout and blocking are
+// identical to the float64 pack (pack.go); the only difference is that the
+// float64 → float32 conversion is fused into the pack, so the demotion to
+// single precision costs no extra pass over memory and the micro-kernel
+// consumes pure float32 panels.
+
+// The conversion inner loops are behind function variables so amd64 hosts
+// with AVX can swap in vectorized versions (VCVTPD2PS retires four
+// conversions per instruction) at init; the generic bodies are the portable
+// fallback.
+var (
+	// cvtRow32 converts a contiguous float64 row: dst[i] = float32(src[i]).
+	cvtRow32 = cvtRow32Generic
+	// cvtScaleStride32 converts with a scale and a strided destination:
+	// dst[i*stride] = alpha·float32(src[i]).
+	cvtScaleStride32 = cvtScaleStride32Generic
+)
+
+func cvtRow32Generic(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+func cvtScaleStride32Generic(dst []float32, stride int, src []float64, alpha float32) {
+	for i, v := range src {
+		dst[i*stride] = alpha * float32(v)
+	}
+}
+
+// packA32 packs op(A)[i0:i0+mc, p0:p0+kc], scaled by alpha, into MR-tall
+// column-major float32 micro-panels (element (ir+i, p) at buf[ir*kc+p*mr+i]),
+// zero-padding rows past mc to a full MR.
+func packA32(buf []float32, a *mat.Matrix, transA Transpose, alpha float32, i0, p0, mc, kc, mr int) {
+	for ir := 0; ir < mc; ir += mr {
+		rows := min(mr, mc-ir)
+		dst := buf[ir*kc:]
+		if transA == NoTrans {
+			for i := 0; i < rows; i++ {
+				src := a.Data[(i0+ir+i)*a.Stride+p0:][:kc]
+				cvtScaleStride32(dst[i:], mr, src, alpha)
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				src := a.Data[(p0+p)*a.Stride+i0+ir:][:rows]
+				d := dst[p*mr : p*mr+rows : p*mr+rows]
+				for i, v := range src {
+					d[i] = alpha * float32(v)
+				}
+			}
+		}
+		if rows < mr {
+			for p := 0; p < kc; p++ {
+				d := dst[p*mr:]
+				for i := rows; i < mr; i++ {
+					d[i] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB32 packs op(B)[p0:p0+kc, j0:j0+nc] into NR-wide row-major float32
+// micro-panels (element (p, jr+j) at buf[jr*kc+p*nr+j]), zero-padding columns
+// past nc to a full NR.
+func packB32(buf []float32, b *mat.Matrix, transB Transpose, j0, p0, kc, nc, nr int) {
+	if transB == NoTrans {
+		// Convert each contiguous B row once with the vectorized helper,
+		// then split the float32 row into NR-wide panel chunks with cheap
+		// f32→f32 copies.
+		tmp := mat.GetBuf32(nc)
+		defer mat.PutBuf32(tmp)
+		row := tmp.Data[:nc]
+		for p := 0; p < kc; p++ {
+			cvtRow32(row, b.Data[(p0+p)*b.Stride+j0:][:nc])
+			for jr := 0; jr < nc; jr += nr {
+				cols := min(nr, nc-jr)
+				d := buf[jr*kc+p*nr : jr*kc+p*nr+nr : jr*kc+p*nr+nr]
+				copy(d[:cols], row[jr:jr+cols])
+				for j := cols; j < nr; j++ {
+					d[j] = 0
+				}
+			}
+		}
+		return
+	}
+	for jr := 0; jr < nc; jr += nr {
+		cols := min(nr, nc-jr)
+		dst := buf[jr*kc:]
+		for j := 0; j < cols; j++ {
+			src := b.Data[(j0+jr+j)*b.Stride+p0:][:kc]
+			cvtScaleStride32(dst[j:], nr, src, 1)
+		}
+		if cols < nr {
+			for p := 0; p < kc; p++ {
+				d := dst[p*nr:]
+				for j := cols; j < nr; j++ {
+					d[j] = 0
+				}
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 // the restore + QR step; finally it schedules step k+1.
 func (f *fact) scheduleHybridStep(k int) {
 	st := &stepState{k: k, rows: f.pivotRows(k, f.cfg.Scope)}
+	st.f32 = f.cfg.Precision == PrecisionF32
 	f.steps[k] = st
 
 	f.submitNormTasks(st)
@@ -36,8 +37,19 @@ func (f *fact) scheduleHybridStep(k int) {
 		ExtraComm: f.allReduceComm(k),
 		Accesses:  acc,
 		Run: func() {
-			st.decision = f.cfg.Criterion.Decide(f.criterionInput(st))
+			in := f.criterionInput(st)
+			st.decision = f.cfg.Criterion.Decide(in)
 			f.report.Decisions[k] = st.decision
+			f.report.Margins[k] = in.Margin
+			// PrecisionAuto: a comfortable LU margin — the decision quantity
+			// at least 1/F32Margin below the α threshold — licenses float32
+			// for this step's eliminations and updates. The trial panel
+			// already ran (at f64, for free), and any f32 excursion later
+			// demotes, so the gamble costs nothing on the downside.
+			// NaN margins (Random criterion) fail the comparison and stay f64.
+			if f.cfg.Precision == PrecisionAuto && st.decision && in.Margin <= f.cfg.F32Margin {
+				st.f32 = true
+			}
 			if st.decision {
 				f.noteBreakdown(st.luErr)
 			}
@@ -81,6 +93,7 @@ func (f *fact) allReduceComm(k int) []runtime.Message {
 func (f *fact) scheduleLU(scope Scope, wholePanel bool) {
 	for k := 0; k < f.nt; k++ {
 		st := &stepState{k: k}
+		st.f32 = f.cfg.Precision == PrecisionF32
 		if wholePanel {
 			st.rows = f.panelRows(k)
 		} else {
@@ -119,6 +132,7 @@ func (f *fact) submitPanelFactorStatic(st *stepState) {
 func (f *fact) scheduleHQR() {
 	for k := 0; k < f.nt; k++ {
 		st := &stepState{k: k}
+		st.f32 = f.cfg.Precision == PrecisionF32
 		f.steps[k] = st
 		f.report.Decisions[k] = false
 		f.submitQRStep(st)

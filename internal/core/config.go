@@ -145,6 +145,58 @@ func ParseVariant(s string) (LUVariant, error) {
 	return 0, fmt.Errorf("core: unknown LU-step variant %q", s)
 }
 
+// Precision selects where the factorization's flops run. Storage is always
+// float64 — the mixed-precision kernels round operands to float32 internally
+// and widen results back — so the factor layout, the serialization shape,
+// and the replay path are identical at every setting.
+type Precision int
+
+const (
+	// PrecisionF64 (the zero value) runs every kernel in float64.
+	PrecisionF64 Precision = iota
+	// PrecisionAuto makes precision a per-step decision: an LU step whose
+	// criterion margin is at most Config.F32Margin — the decision quantity
+	// sits that far below the α threshold — runs its Eliminate and Update
+	// kernels in float32; panels (the free float64 trial factors) and QR
+	// steps stay float64. Any f32 excursion demotes the task back to f64 by
+	// re-running it, so a bad panel is never accepted.
+	PrecisionAuto
+	// PrecisionF32 forces every kernel — panels and QR steps included —
+	// through the float32 path, with the same per-task excursion demotion.
+	PrecisionF32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case PrecisionF64:
+		return "f64"
+	case PrecisionAuto:
+		return "auto"
+	case PrecisionF32:
+		return "f32"
+	}
+	return fmt.Sprintf("Precision(%d)", int(p))
+}
+
+// ParsePrecision converts a CLI/API name into a Precision. The empty string
+// is the float64 default.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64", "fp64", "double":
+		return PrecisionF64, nil
+	case "auto", "mixed":
+		return PrecisionAuto, nil
+	case "f32", "fp32", "single":
+		return PrecisionF32, nil
+	}
+	return 0, fmt.Errorf("core: unknown precision %q", s)
+}
+
+// DefaultF32Margin is the criterion-margin ceiling below which PrecisionAuto
+// runs an LU step's flops in float32: the decision quantity must sit at
+// least two orders of magnitude under the α threshold.
+const DefaultF32Margin = 0.01
+
 // Scope selects where the LU step searches for pivots (§II-A).
 type Scope int
 
@@ -186,6 +238,16 @@ type Config struct {
 	Workers int
 	// Trace records the task graph for simulation / DOT output.
 	Trace bool
+	// Precision selects the kernel precision: f64 (default), auto (criterion
+	// margin picks f32 per LU step), or f32 (every kernel forced through the
+	// float32 path). Only LUQR variant (A1), LUNoPiv, LUPP, and HQR support
+	// a non-f64 setting; withDefaults silently resets the knob to f64 for
+	// the other algorithms and variants.
+	Precision Precision
+	// F32Margin is the criterion-margin ceiling for PrecisionAuto (default
+	// DefaultF32Margin). Smaller is more conservative; 0 keeps auto mode
+	// effectively at f64.
+	F32Margin float64
 	// TrackGrowth samples the trailing submatrix after every elimination
 	// step and records the peak intermediate element growth in
 	// Report.PeakGrowth — the quantity the §III growth bounds govern.
@@ -193,6 +255,27 @@ type Config struct {
 	TrackGrowth bool
 	// Seed seeds the Random criterion's generator.
 	Seed int64
+}
+
+// EffectivePrecision resolves the precision a run with this config will
+// actually use. The precision layer covers the task shapes of the A1 hybrid,
+// the LU-step algorithms that share its kernels (LUNoPiv, LUPP), and HQR; the
+// pairwise/tournament panels (LUIncPiv, CALU, HLU) and the §II-C variants
+// keep their own f64 paths, so a non-f64 request on them falls back to f64.
+// The service derives cache digests from this, so a request asking for f32 on
+// an unsupported algorithm shares the pure-f64 factorization instead of
+// splitting the cache.
+func (c Config) EffectivePrecision() Precision {
+	if c.Precision == PrecisionF64 {
+		return PrecisionF64
+	}
+	switch {
+	case c.Alg == CALU || c.Alg == HLU || c.Alg == LUIncPiv:
+		return PrecisionF64
+	case c.Alg == LUQR && c.Variant != VarA1:
+		return PrecisionF64
+	}
+	return c.Precision
 }
 
 // NBAuto as Config.NB asks withDefaults to resolve the tile size through the
@@ -259,6 +342,10 @@ func (c *Config) withDefaults(n int) (Config, error) {
 	if cfg.Alg == LUQR && cfg.Criterion == nil {
 		cfg.Criterion = criteria.Max{Alpha: 100}
 	}
+	if cfg.F32Margin == 0 {
+		cfg.F32Margin = DefaultF32Margin
+	}
+	cfg.Precision = cfg.EffectivePrecision()
 	if n%cfg.NB != 0 {
 		return cfg, fmt.Errorf("core: N=%d is not a multiple of NB=%d", n, cfg.NB)
 	}

@@ -64,6 +64,12 @@ type stepState struct {
 	norms []*normResult // one per sub-diagonal panel tile
 
 	decision bool // true = LU step
+	// f32 marks the step's kernels for the float32 path: set at schedule
+	// time under PrecisionF32, or by the decision task when PrecisionAuto
+	// finds the criterion margin comfortable. A panel excursion clears it
+	// (the whole step demotes); individual update-task demotions re-run at
+	// f64 without clearing it.
+	f32 bool
 	// preFactored marks that the diagonal tile already holds a QR
 	// factorization from an (A2)/(B2) trial, reusable by the QR step.
 	preFactored bool
@@ -107,9 +113,18 @@ type fact struct {
 	// (variants (B1)/(B2) install custom solvers).
 	diagSolvers []func(b *mat.Matrix)
 
+	// Mixed-precision state (Config.Precision != PrecisionF64): a0 retains a
+	// clone of the input for the refinement residuals, f32Bound is the
+	// excursion ceiling 1e8·max(1, max|A|) beyond which a float32 result is
+	// rejected and its task re-run at float64.
+	a0       *mat.Matrix
+	maxA0    float64
+	f32Bound float64
+
 	mu        sync.Mutex
 	breakdown bool
 	peakAbs   float64 // max |a_ij| seen by growth probes
+	demotions int     // f32 tasks re-run at f64 after an excursion
 
 	report *Report
 }
@@ -128,7 +143,13 @@ func newFact(cfg Config, a *tile.Matrix, rhs *tile.Vector) *fact {
 			Alg: cfg.Alg, N: a.N(), NB: a.NB, NT: a.NT, IB: ib,
 			GridP: cfg.Grid.P, GridQ: cfg.Grid.Q,
 			Decisions: make([]bool, a.NT),
+			Precision: cfg.Precision,
+			StepF32:   make([]bool, a.NT),
+			Margins:   make([]float64, a.NT),
 		},
+	}
+	for k := range f.report.Margins {
+		f.report.Margins[k] = math.NaN() // no criterion margin recorded (yet)
 	}
 	f.e = runtime.NewEngine(runtime.Config{Workers: cfg.Workers, Trace: cfg.Trace})
 	tileBytes := a.NB * a.NB * 8
@@ -155,6 +176,60 @@ func (f *fact) noteBreakdown(err error) {
 	f.mu.Lock()
 	f.breakdown = true
 	f.mu.Unlock()
+}
+
+func (f *fact) noteDemotion() {
+	f.mu.Lock()
+	f.demotions++
+	f.mu.Unlock()
+}
+
+// excursion reports whether any of the matrices holds a float32 casualty:
+// a non-finite entry, or growth past f.f32Bound — far beyond what a healthy
+// elimination step produces, yet far below float32 overflow, so it flags a
+// factorization going wrong before the poison spreads.
+func (f *fact) excursion(ms ...*mat.Matrix) bool {
+	for _, m := range ms {
+		for i := 0; i < m.Rows; i++ {
+			for _, v := range m.Row(i) {
+				if math.IsNaN(v) || v > f.f32Bound || v < -f.f32Bound {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// runMixed32 is the demotion harness for an in-place float32 kernel:
+// snapshot the output tiles into a pooled slab, run the float32 closure,
+// and on an excursion restore the snapshots, re-run the float64 closure,
+// and count the demotion. The accepted result is therefore never a bad
+// float32 one — PrecisionAuto/PrecisionF32 trade flops, not safety.
+func (f *fact) runMixed32(run32, run64 func(), outs ...*mat.Matrix) {
+	n := 0
+	for _, m := range outs {
+		n += m.Rows * m.Cols
+	}
+	buf := mat.GetBuf(n)
+	defer mat.PutBuf(buf)
+	snaps := make([]*mat.Matrix, len(outs))
+	off := 0
+	for i, m := range outs {
+		s := &mat.Matrix{Rows: m.Rows, Cols: m.Cols, Stride: m.Cols, Data: buf.Data[off : off+m.Rows*m.Cols]}
+		s.CopyFrom(m)
+		snaps[i] = s
+		off += m.Rows * m.Cols
+	}
+	run32()
+	if !f.excursion(outs...) {
+		return
+	}
+	for i, m := range outs {
+		m.CopyFrom(snaps[i])
+	}
+	run64()
+	f.noteDemotion()
 }
 
 // trailingCols returns the column indices j > k.
@@ -323,14 +398,28 @@ func (f *fact) submitPanelFactor(st *stepState, withCriterion bool) {
 		Accesses:  acc,
 		Run: func() {
 			st.stack = f.A.StackRows(st.rows, k)
-			piv, err := lapack.Getrf(st.stack)
-			st.piv = piv
-			st.luErr = err
+			if st.f32 {
+				st.piv, st.luErr = lapack.Getrf32(st.stack)
+				if st.luErr != nil || f.excursion(st.stack) {
+					// Demote the whole step: the panel tiles are untouched
+					// until UnstackRows, so a fresh stack restarts the
+					// factorization from clean float64 data. Clearing st.f32
+					// keeps the step's eliminations and updates at f64 too —
+					// a panel that misbehaves at float32 has no business
+					// driving float32 updates.
+					st.stack = f.A.StackRows(st.rows, k)
+					st.piv, st.luErr = lapack.Getrf(st.stack)
+					st.f32 = false
+					f.noteDemotion()
+				}
+			} else {
+				st.piv, st.luErr = lapack.Getrf(st.stack)
+			}
 			f.A.UnstackRows(st.stack, st.rows, k)
 			if withCriterion {
 				top := st.stack.View(0, 0, nb, nb)
 				st.pivots = lapack.LUPivotGrowth(top)
-				if err != nil {
+				if st.luErr != nil {
 					st.invNorm = math.Inf(1)
 				} else {
 					st.invNorm = lapack.InvNorm1EstLU(top, nil)

@@ -44,10 +44,24 @@ func (f *fact) submitLUStep(st *stepState) {
 				// element, and the buffer never outlives the task.
 				s, sbuf := mat.GetMatrix(len(st.rows)*nb, nb)
 				defer mat.PutBuf(sbuf)
-				f.A.StackRowsInto(s, st.rows, j)
-				lapack.Laswp(s, st.piv, false)
 				l11 := st.stack.View(0, 0, nb, nb)
-				blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, nb))
+				apply := func(f32 bool) {
+					f.A.StackRowsInto(s, st.rows, j)
+					lapack.Laswp(s, st.piv, false)
+					if f32 {
+						blas.Trsm32(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, nb))
+					} else {
+						blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, nb))
+					}
+				}
+				apply(st.f32)
+				if st.f32 && f.excursion(s) {
+					// Demotion needs no snapshot: the column tiles are
+					// untouched until UnstackRows, so re-stacking restarts
+					// the apply from clean data.
+					f.noteDemotion()
+					apply(false)
+				}
 				f.A.UnstackRows(s, st.rows, j)
 			},
 		})
@@ -66,10 +80,21 @@ func (f *fact) submitLUStep(st *stepState) {
 			Run: func() {
 				s, sbuf := mat.GetMatrix(len(st.rows)*nb, f.rhs.W)
 				defer mat.PutBuf(sbuf)
-				f.rhs.StackRowsInto(s, st.rows)
-				lapack.Laswp(s, st.piv, false)
 				l11 := st.stack.View(0, 0, nb, nb)
-				blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, f.rhs.W))
+				apply := func(f32 bool) {
+					f.rhs.StackRowsInto(s, st.rows)
+					lapack.Laswp(s, st.piv, false)
+					if f32 {
+						blas.Trsm32(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, f.rhs.W))
+					} else {
+						blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, f.rhs.W))
+					}
+				}
+				apply(st.f32)
+				if st.f32 && f.excursion(s) {
+					f.noteDemotion()
+					apply(false)
+				}
 				f.rhs.UnstackRows(s, st.rows)
 			},
 		})
@@ -89,7 +114,16 @@ func (f *fact) submitLUStep(st *stepState) {
 			Priority: prioElim(k),
 			Accesses: []runtime.Access{runtime.R(f.h[k][k]), runtime.W(f.h[i][k])},
 			Run: func() {
-				blas.Trsm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, f.A.Tile(k, k), f.A.Tile(i, k))
+				run64 := func() {
+					blas.Trsm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, f.A.Tile(k, k), f.A.Tile(i, k))
+				}
+				if st.f32 {
+					f.runMixed32(func() {
+						blas.Trsm32(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, f.A.Tile(k, k), f.A.Tile(i, k))
+					}, run64, f.A.Tile(i, k))
+				} else {
+					run64()
+				}
 			},
 		})
 	}
@@ -107,7 +141,16 @@ func (f *fact) submitLUStep(st *stepState) {
 				Priority: prioUpdate(k, j),
 				Accesses: []runtime.Access{runtime.R(f.h[i][k]), runtime.R(f.h[k][j]), runtime.W(f.h[i][j])},
 				Run: func() {
-					blas.Gemm(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.A.Tile(k, j), 1, f.A.Tile(i, j))
+					run64 := func() {
+						blas.Gemm(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.A.Tile(k, j), 1, f.A.Tile(i, j))
+					}
+					if st.f32 {
+						f.runMixed32(func() {
+							blas.Gemm32(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.A.Tile(k, j), 1, f.A.Tile(i, j))
+						}, run64, f.A.Tile(i, j))
+					} else {
+						run64()
+					}
 				},
 			})
 		}
@@ -119,7 +162,16 @@ func (f *fact) submitLUStep(st *stepState) {
 			Priority: prioUpdate(k, k+1),
 			Accesses: []runtime.Access{runtime.R(f.h[i][k]), runtime.R(f.hb[k]), runtime.W(f.hb[i])},
 			Run: func() {
-				blas.Gemm(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.rhs.Tile(k), 1, f.rhs.Tile(i))
+				run64 := func() {
+					blas.Gemm(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.rhs.Tile(k), 1, f.rhs.Tile(i))
+				}
+				if st.f32 {
+					f.runMixed32(func() {
+						blas.Gemm32(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.rhs.Tile(k), 1, f.rhs.Tile(i))
+					}, run64, f.rhs.Tile(i))
+				} else {
+					run64()
+				}
 			},
 		})
 	}

@@ -60,7 +60,15 @@ func (f *fact) submitGeqrt(st *stepState, i int) {
 		Flops:    flops.Geqrt(nb, nb),
 		Priority: prioElim(k),
 		Accesses: []runtime.Access{runtime.W(f.h[i][k]), runtime.W(hT)},
-		Run:      func() { lapack.GeqrtIB(f.A.Tile(i, k), t, f.ib) },
+		Run: func() {
+			run64 := func() { lapack.GeqrtIB(f.A.Tile(i, k), t, f.ib) }
+			if st.f32 {
+				f.runMixed32(func() { lapack.Geqrt32IB(f.A.Tile(i, k), t, f.ib) },
+					run64, f.A.Tile(i, k), t)
+			} else {
+				run64()
+			}
+		},
 	})
 	f.submitGeqrtUpdates(st, i)
 }
@@ -82,7 +90,15 @@ func (f *fact) submitGeqrtUpdates(st *stepState, i int) {
 			Flops:    flops.Unmqr(nb, nb),
 			Priority: prioUpdate(k, j),
 			Accesses: []runtime.Access{runtime.R(f.h[i][k]), runtime.R(hT), runtime.W(f.h[i][j])},
-			Run:      func() { lapack.Unmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(i, j)) },
+			Run: func() {
+				run64 := func() { lapack.Unmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(i, j)) }
+				if st.f32 {
+					f.runMixed32(func() { lapack.Unmqr32(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(i, j)) },
+						run64, f.A.Tile(i, j))
+				} else {
+					run64()
+				}
+			},
 		})
 	}
 	f.e.Submit(runtime.TaskSpec{
@@ -92,7 +108,15 @@ func (f *fact) submitGeqrtUpdates(st *stepState, i int) {
 		Flops:    flops.Unmqr(nb, f.rhs.W),
 		Priority: prioUpdate(k, k+1),
 		Accesses: []runtime.Access{runtime.R(f.h[i][k]), runtime.R(hT), runtime.W(f.hb[i])},
-		Run:      func() { lapack.Unmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(i)) },
+		Run: func() {
+			run64 := func() { lapack.Unmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(i)) }
+			if st.f32 {
+				f.runMixed32(func() { lapack.Unmqr32(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(i)) },
+					run64, f.rhs.Tile(i))
+			} else {
+				run64()
+			}
+		},
 	})
 }
 
@@ -131,10 +155,23 @@ func (f *fact) submitKill(st *stepState, i, piv int, ts bool) {
 		Priority: prioElim(k),
 		Accesses: []runtime.Access{runtime.W(f.h[piv][k]), runtime.W(f.h[i][k]), runtime.W(hT)},
 		Run: func() {
-			if ts {
-				lapack.TsqrtIB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
+			run64 := func() {
+				if ts {
+					lapack.TsqrtIB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
+				} else {
+					lapack.TtqrtIB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
+				}
+			}
+			if st.f32 {
+				f.runMixed32(func() {
+					if ts {
+						lapack.Tsqrt32IB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
+					} else {
+						lapack.Ttqrt32IB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
+					}
+				}, run64, f.A.Tile(piv, k), f.A.Tile(i, k), t)
 			} else {
-				lapack.TtqrtIB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
+				run64()
 			}
 		},
 	})
@@ -151,10 +188,23 @@ func (f *fact) submitKill(st *stepState, i, piv int, ts bool) {
 				runtime.W(f.h[piv][j]), runtime.W(f.h[i][j]),
 			},
 			Run: func() {
-				if ts {
-					lapack.Tsmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
+				run64 := func() {
+					if ts {
+						lapack.Tsmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
+					} else {
+						lapack.Ttmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
+					}
+				}
+				if st.f32 {
+					f.runMixed32(func() {
+						if ts {
+							lapack.Tsmqr32(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
+						} else {
+							lapack.Ttmqr32(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
+						}
+					}, run64, f.A.Tile(piv, j), f.A.Tile(i, j))
 				} else {
-					lapack.Ttmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
+					run64()
 				}
 			},
 		})
@@ -170,10 +220,23 @@ func (f *fact) submitKill(st *stepState, i, piv int, ts bool) {
 			runtime.W(f.hb[piv]), runtime.W(f.hb[i]),
 		},
 		Run: func() {
-			if ts {
-				lapack.Tsmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
+			run64 := func() {
+				if ts {
+					lapack.Tsmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
+				} else {
+					lapack.Ttmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
+				}
+			}
+			if st.f32 {
+				f.runMixed32(func() {
+					if ts {
+						lapack.Tsmqr32(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
+					} else {
+						lapack.Ttmqr32(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
+					}
+				}, run64, f.rhs.Tile(piv), f.rhs.Tile(i))
 			} else {
-				lapack.Ttmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
+				run64()
 			}
 		},
 	})

@@ -29,6 +29,25 @@ type Report struct {
 	// NoPiv on the Fiedler matrix, §V-C).
 	Breakdown bool
 
+	// Precision is the configured kernel-precision mode of the run.
+	Precision Precision
+	// StepF32[k] is true when step k's kernels ran (and were accepted) in
+	// float32; F32Steps counts them. Individual tasks demoted to float64
+	// after an excursion are counted in Demotions without clearing the
+	// step's flag.
+	StepF32   []bool
+	F32Steps  int
+	Demotions int
+	// Margins[k] is the criterion's decision margin at step k — the ratio of
+	// the decision quantity to its α-scaled threshold (≤ 1 means LU; NaN when
+	// no margin was computed, e.g. static schedules or the Random criterion).
+	// MarginMin/MarginMax summarize the finite entries (NaN when none).
+	Margins              []float64
+	MarginMin, MarginMax float64
+	// RefineIters is the number of iterative-refinement rounds the solve
+	// path performed on this run's solution (0 for pure-f64 runs).
+	RefineIters int
+
 	// WallTime is the measured multicore execution time of this process.
 	WallTime time.Duration
 
@@ -75,6 +94,10 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s N=%d nb=%d grid=%dx%d: %d LU / %d QR steps (%.1f%% LU), HPL3=%.3g, growth=%.3g, wall=%v",
 		r.Alg, r.N, r.NB, r.GridP, r.GridQ, r.LUSteps, r.QRSteps, 100*r.FracLU(), r.HPL3, r.Growth, r.WallTime)
+	if r.Precision != PrecisionF64 {
+		fmt.Fprintf(&b, ", prec=%s (%d f32 steps, %d demotions, %d refine iters)",
+			r.Precision, r.F32Steps, r.Demotions, r.RefineIters)
+	}
 	if r.Breakdown {
 		b.WriteString(" [BREAKDOWN: zero pivot]")
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"luqr/internal/blas"
 	"luqr/internal/lapack"
@@ -39,21 +40,61 @@ func (r *Result) Solve(b2 []float64) ([]float64, error) {
 // SolveBatch only reads the stored factors, so concurrent calls on the same
 // Result are safe.
 func (r *Result) SolveBatch(bs [][]float64) ([][]float64, error) {
+	xs, _, err := r.SolveBatchRefined(bs)
+	return xs, err
+}
+
+// SolveBatchRefined is SolveBatch plus the mixed-precision accuracy
+// guarantee: when the factorization accepted float32 steps, every solution
+// column is iteratively refined through the stored factors — float64
+// residual against the retained original matrix, O(N²) correction solve —
+// until its HPL3 backward error reaches float64 territory or stops
+// improving. The middle return is the number of refinement rounds (0 for
+// pure-f64 factorizations, whose solutions need none).
+//
+// Like SolveBatch, it only reads the stored factorization state, so
+// concurrent calls on the same Result are safe.
+func (r *Result) SolveBatchRefined(bs [][]float64) ([][]float64, int, error) {
 	f := r.f
 	if f == nil {
-		return nil, fmt.Errorf("core: Result does not carry factorization state")
+		return nil, 0, fmt.Errorf("core: Result does not carry factorization state")
 	}
 	if len(bs) == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
 	n := r.Report.N
 	for j, b := range bs {
 		if len(b) != n {
-			return nil, fmt.Errorf("core: rhs %d has length %d for N=%d", j, len(b), n)
+			return nil, 0, fmt.Errorf("core: rhs %d has length %d for N=%d", j, len(b), n)
 		}
 	}
-	// Pack column-wise, padding to the tiled order if the original system
-	// was padded (§II-D.2): the pad rows stay zero, matching diag(A, I).
+	// Pad to the tiled order if the original system was padded (§II-D.2):
+	// the pad rows stay zero, matching diag(A, I).
+	full := make([][]float64, len(bs))
+	for j, b := range bs {
+		fb := make([]float64, f.nt*f.nb)
+		copy(fb, b)
+		full[j] = fb
+	}
+	xs, err := f.solveVecsRaw(full)
+	if err != nil {
+		return nil, 0, err
+	}
+	iters := 0
+	if r.Report.F32Steps > 0 {
+		iters = f.refineVecs(full, xs)
+	}
+	out := make([][]float64, len(xs))
+	for j, x := range xs {
+		out[j] = x[:n:n]
+	}
+	return out, iters, nil
+}
+
+// solveVecsRaw replays every stored per-step transformation over the packed
+// right-hand-side columns and back-substitutes — the raw second pass, with
+// no refinement. Inputs and outputs are full tiled-order (padded) vectors.
+func (f *fact) solveVecsRaw(bs [][]float64) ([][]float64, error) {
 	w := len(bs)
 	nb := f.nb
 	rhs := tile.NewVector(f.nt, nb, w)
@@ -70,13 +111,78 @@ func (r *Result) SolveBatch(bs [][]float64) ([][]float64, error) {
 	backSubstituteBlock(f.A, rhs, f.diagSolvers)
 	xs := make([][]float64, w)
 	for j := range xs {
-		x := make([]float64, n)
+		x := make([]float64, f.nt*nb)
 		for i := range x {
 			x[i] = rhs.Tiles[i/nb].At(i%nb, j)
 		}
 		xs[j] = x
 	}
 	return xs, nil
+}
+
+// Refinement bounds: at double precision, each round through sound factors
+// multiplies the residual by roughly the f32/f64 epsilon gap, so a handful
+// of rounds suffice; refineHPL3Tol is the HPL3 level at which a column is
+// declared converged (HPL3 ≲ O(10) is the paper's §V-A acceptance band).
+const (
+	refineMaxIters = 10
+	refineHPL3Tol  = 16.0
+)
+
+// refineVecs runs iterative refinement on the solution columns xs of the
+// systems a0·x = bs, in place: r = b − A·x at float64 (the retained
+// original matrix), dx from a raw replay solve, and the update x += dx is
+// accepted per column only when its HPL3 improves — so refinement can stall
+// but never degrade a solution. Columns at or below refineHPL3Tol are left
+// alone. Returns the number of rounds performed. Vectors are full
+// tiled-order (padded) length; for a padded system the pad rows of b are
+// zero and the identity block keeps their residual exact.
+func (f *fact) refineVecs(bs, xs [][]float64) int {
+	a := f.a0
+	if a == nil {
+		return 0
+	}
+	best := make([]float64, len(xs))
+	for j := range xs {
+		best[j] = mat.HPL3(a, xs[j], bs[j])
+	}
+	iters := 0
+	for it := 0; it < refineMaxIters; it++ {
+		var idx []int
+		for j := range xs {
+			if !(best[j] <= refineHPL3Tol) { // NaN counts as unconverged
+				idx = append(idx, j)
+			}
+		}
+		if len(idx) == 0 {
+			break
+		}
+		rs := make([][]float64, len(idx))
+		for m, j := range idx {
+			rs[m] = mat.Residual(a, xs[j], bs[j])
+		}
+		dxs, err := f.solveVecsRaw(rs)
+		if err != nil {
+			break
+		}
+		iters++
+		improved := false
+		for m, j := range idx {
+			cand := make([]float64, len(xs[j]))
+			for i := range cand {
+				cand[i] = xs[j][i] + dxs[m][i]
+			}
+			if h := mat.HPL3(a, cand, bs[j]); h < best[j] || (math.IsNaN(best[j]) && !math.IsNaN(h)) {
+				copy(xs[j], cand)
+				best[j] = h
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return iters
 }
 
 // replayStep applies step k's transformation to a fresh RHS vector.

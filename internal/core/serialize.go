@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -40,9 +41,13 @@ import (
 // decode error the same way: discard and re-factor.
 
 // factEncodingVersion is bumped whenever the payload layout — or the replay
-// semantics it feeds — changes incompatibly. Decoding any other version
-// fails.
-const factEncodingVersion = 1
+// semantics it feeds — changes incompatibly. v2 added the mixed-precision
+// state (precision mode, per-step f32 flags, criterion margins, and the
+// retained original matrix that feeds refinement residuals). v1 streams are
+// still readable: gob matches payload fields by name, so the new fields
+// decode to their zero values, which is exactly the pure-f64 meaning every
+// v1 factorization had. Decoding any version newer than this build fails.
+const factEncodingVersion = 2
 
 var factMagic = [8]byte{'L', 'U', 'Q', 'R', 'F', 'A', 'C', 'T'}
 
@@ -148,6 +153,21 @@ type facPayload struct {
 	// X is the solution of the original run, kept so a warm-loaded Result is
 	// indistinguishable from the in-memory one.
 	X []float64
+
+	// Mixed-precision state (v2; absent in v1 streams, where gob leaves the
+	// zero values — the pure-f64 meaning). A0 is the retained original
+	// matrix, packed only when the run accepted f32 steps: without it a
+	// reloaded Result could not form the float64 refinement residuals its
+	// solves owe the caller.
+	Precision   int
+	StepF32     []bool
+	Margins     []float64
+	F32Steps    int
+	Demotions   int
+	RefineIters int
+	MarginMin   float64
+	MarginMax   float64
+	A0          facMatrix
 }
 
 // packMatrix copies m (which may be a strided view) into a tight facMatrix.
@@ -231,6 +251,18 @@ func (r *Result) EncodeFactorization() ([]byte, error) {
 		PeakGrowth: r.Report.PeakGrowth,
 
 		X: append([]float64(nil), r.X...),
+
+		Precision:   int(r.Report.Precision),
+		StepF32:     append([]bool(nil), r.Report.StepF32...),
+		Margins:     append([]float64(nil), r.Report.Margins...),
+		F32Steps:    r.Report.F32Steps,
+		Demotions:   r.Report.Demotions,
+		RefineIters: r.Report.RefineIters,
+		MarginMin:   r.Report.MarginMin,
+		MarginMax:   r.Report.MarginMax,
+	}
+	if r.Report.F32Steps > 0 {
+		p.A0 = packMatrix(f.a0)
 	}
 	tb := f.nb * f.nb
 	for i := 0; i < f.A.MT; i++ {
@@ -320,8 +352,8 @@ func DecodeFactorization(data []byte) (*Result, error) {
 	if !bytes.Equal(data[:8], factMagic[:]) {
 		return nil, fmt.Errorf("core: not a factorization stream (bad magic)")
 	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != factEncodingVersion {
-		return nil, fmt.Errorf("core: factorization version skew: stream v%d, this build reads v%d", v, factEncodingVersion)
+	if v := binary.LittleEndian.Uint32(data[8:12]); v < 1 || v > factEncodingVersion {
+		return nil, fmt.Errorf("core: factorization version skew: stream v%d, this build reads v1–v%d", v, factEncodingVersion)
 	}
 	plen := binary.LittleEndian.Uint64(data[12:20])
 	if uint64(len(data)-factHeaderLen) != plen {
@@ -348,6 +380,18 @@ func DecodeFactorization(data []byte) (*Result, error) {
 	}
 	if p.N < 0 || p.N > p.NT*p.NB {
 		return nil, fmt.Errorf("core: factorization payload order n=%d exceeds tiled order %d", p.N, p.NT*p.NB)
+	}
+	// Mixed-precision fields: v1 streams leave them empty (all-f64); v2
+	// streams must carry consistent per-step slices, and a factorization
+	// that accepted f32 steps must bring the matrix its refinement needs.
+	if len(p.StepF32) != 0 && len(p.StepF32) != p.NT {
+		return nil, fmt.Errorf("core: factorization payload has %d f32 flags for nt=%d", len(p.StepF32), p.NT)
+	}
+	if len(p.Margins) != 0 && len(p.Margins) != p.NT {
+		return nil, fmt.Errorf("core: factorization payload has %d margins for nt=%d", len(p.Margins), p.NT)
+	}
+	if p.F32Steps > 0 && (p.A0.Rows != p.NT*p.NB || p.A0.Cols != p.NT*p.NB) {
+		return nil, fmt.Errorf("core: f32 factorization payload without a %d×%d original matrix", p.NT*p.NB, p.NT*p.NB)
 	}
 
 	ta := tile.New(p.MT, p.NT, p.NB)
@@ -382,8 +426,30 @@ func DecodeFactorization(data []byte) (*Result, error) {
 			Breakdown: p.Breakdown,
 			WallTime:  time.Duration(p.WallNS),
 			HPL3:      p.HPL3, Growth: p.Growth, PeakGrowth: p.PeakGrowth,
+			Precision: Precision(p.Precision),
+			F32Steps:  p.F32Steps, Demotions: p.Demotions,
+			RefineIters: p.RefineIters,
+			MarginMin:   p.MarginMin, MarginMax: p.MarginMax,
 		},
 	}
+	f.cfg.Precision = Precision(p.Precision)
+	f.report.StepF32 = make([]bool, p.NT)
+	copy(f.report.StepF32, p.StepF32)
+	f.report.Margins = make([]float64, p.NT)
+	for k := range f.report.Margins {
+		f.report.Margins[k] = math.NaN()
+	}
+	copy(f.report.Margins, p.Margins)
+	if len(p.Margins) == 0 {
+		// v1 stream: no margin data was recorded, so the summary is NaN (the
+		// zero values gob left in MarginMin/MarginMax would read as real 0s).
+		f.report.MarginMin, f.report.MarginMax = math.NaN(), math.NaN()
+	}
+	a0, err := unpackMatrix(p.A0)
+	if err != nil {
+		return nil, fmt.Errorf("core: original-matrix payload: %w", err)
+	}
+	f.a0 = a0
 
 	for k := range p.Steps {
 		st, err := unpackStep(&p.Steps[k], p.NT)

@@ -2,7 +2,10 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/gob"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -263,5 +266,184 @@ func TestSerializeRefineWorks(t *testing.T) {
 	}
 	if len(refined) != n {
 		t.Fatalf("refined solution has length %d, want %d", len(refined), n)
+	}
+}
+
+// rebuildStream reassembles a wire stream around a raw gob payload with the
+// given header version — the test-side counterpart of EncodeFactorization's
+// framing, for crafting legacy and hand-damaged payloads.
+func rebuildStream(version uint32, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := bytes.NewBuffer(make([]byte, 0, factHeaderLen+len(payload)))
+	out.Write(factMagic[:])
+	binary.Write(out, binary.LittleEndian, version)
+	binary.Write(out, binary.LittleEndian, uint64(len(payload)))
+	out.Write(sum[:])
+	out.Write(payload)
+	return out.Bytes()
+}
+
+// TestSerializeMixedPrecisionRoundTrip: an f32 factorization's precision
+// state — mode, per-step flags, margins, demotions, and the retained
+// original matrix that feeds refinement — must survive encode/decode, and
+// the reloaded Result must still refine fresh right-hand sides into the
+// acceptance band (the service restart scenario).
+func TestSerializeMixedPrecisionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	n := 64
+	a := matgen.DiagDominant(n, rng)
+	b := matgen.RandomVector(n, rng)
+	res := runOn(t, a, b, Config{Alg: LUQR, NB: 16, Precision: PrecisionF32, Criterion: criteria.Max{Alpha: 100}})
+	if res.Report.F32Steps == 0 {
+		t.Fatal("run accepted no f32 steps; nothing to round-trip")
+	}
+	got := roundTrip(t, res)
+	r1, r2 := res.Report, got.Report
+	if r2.Precision != r1.Precision || r2.F32Steps != r1.F32Steps ||
+		r2.Demotions != r1.Demotions || r2.RefineIters != r1.RefineIters {
+		t.Fatalf("precision scalars diverge: %v/%d/%d/%d vs %v/%d/%d/%d",
+			r2.Precision, r2.F32Steps, r2.Demotions, r2.RefineIters,
+			r1.Precision, r1.F32Steps, r1.Demotions, r1.RefineIters)
+	}
+	for k := range r1.StepF32 {
+		if r2.StepF32[k] != r1.StepF32[k] {
+			t.Fatalf("StepF32[%d] diverges", k)
+		}
+		m1, m2 := r1.Margins[k], r2.Margins[k]
+		if m1 != m2 && !(math.IsNaN(m1) && math.IsNaN(m2)) {
+			t.Fatalf("Margins[%d] = %g, want %g", k, m2, m1)
+		}
+	}
+	if got.f.a0 == nil {
+		t.Fatal("decoded f32 factorization lost the original matrix")
+	}
+	assertReplaysIdentically(t, res, got, n, 402)
+	bs := [][]float64{matgen.RandomVector(n, rng)}
+	xs, iters, err := got.SolveBatchRefined(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 {
+		t.Fatal("reloaded f32 factorization did not refine")
+	}
+	if h := mat.HPL3(a, xs[0], bs[0]); math.IsNaN(h) || h > refineHPL3Tol {
+		t.Fatalf("reloaded refined HPL3 = %g > %g", h, refineHPL3Tol)
+	}
+}
+
+// facPayloadV1 is the exact field set of the v1 payload, used to fabricate
+// genuine legacy streams (gob matches struct fields by name, so encoding
+// this subset reproduces what a v1 build wrote).
+type facPayloadV1 struct {
+	Alg       int
+	NB        int
+	GridP     int
+	GridQ     int
+	Scope     int
+	Variant   int
+	IntraTree int
+	InterTree int
+	Seed      int64
+	Criterion criteria.Criterion
+
+	MT, NT int
+	Tiles  []float64
+
+	Decisions []bool
+	Steps     []facStep
+
+	N          int
+	LUSteps    int
+	QRSteps    int
+	Breakdown  bool
+	WallNS     int64
+	HPL3       float64
+	Growth     float64
+	PeakGrowth float64
+
+	X []float64
+}
+
+// TestSerializeV1Migration: a v1 stream (no precision fields) must decode as
+// a pure-f64 factorization — precision f64, no f32 steps, NaN margins — and
+// replay bit-identically to the live Result it mirrors.
+func TestSerializeV1Migration(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	n := 64
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	res := runOn(t, a, b, Config{Alg: LUQR, NB: 16, Grid: tile.NewGrid(2, 1), Criterion: criteria.Max{Alpha: 1.5}})
+	data, err := res.EncodeFactorization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p facPayload
+	if err := gob.NewDecoder(bytes.NewReader(data[factHeaderLen:])).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	v1 := facPayloadV1{
+		Alg: p.Alg, NB: p.NB, GridP: p.GridP, GridQ: p.GridQ,
+		Scope: p.Scope, Variant: p.Variant, IntraTree: p.IntraTree, InterTree: p.InterTree,
+		Seed: p.Seed, Criterion: p.Criterion,
+		MT: p.MT, NT: p.NT, Tiles: p.Tiles,
+		Decisions: p.Decisions, Steps: p.Steps,
+		N: p.N, LUSteps: p.LUSteps, QRSteps: p.QRSteps, Breakdown: p.Breakdown,
+		WallNS: p.WallNS, HPL3: p.HPL3, Growth: p.Growth, PeakGrowth: p.PeakGrowth,
+		X: p.X,
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&v1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFactorization(rebuildStream(1, payload.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 stream rejected: %v", err)
+	}
+	r := got.Report
+	if r.Precision != PrecisionF64 || r.F32Steps != 0 || r.Demotions != 0 || r.RefineIters != 0 {
+		t.Fatalf("v1 migration not pure-f64: prec=%v f32=%d dem=%d ref=%d", r.Precision, r.F32Steps, r.Demotions, r.RefineIters)
+	}
+	if len(r.StepF32) != r.NT || len(r.Margins) != r.NT {
+		t.Fatalf("v1 migration slices: %d f32 flags, %d margins for nt=%d", len(r.StepF32), len(r.Margins), r.NT)
+	}
+	for k := range r.StepF32 {
+		if r.StepF32[k] || !math.IsNaN(r.Margins[k]) {
+			t.Fatalf("v1 step %d migrated with f32=%v margin=%g", k, r.StepF32[k], r.Margins[k])
+		}
+	}
+	if !math.IsNaN(r.MarginMin) || !math.IsNaN(r.MarginMax) {
+		t.Fatalf("v1 margin summary = [%g, %g], want NaNs", r.MarginMin, r.MarginMax)
+	}
+	assertReplaysIdentically(t, res, got, n, 403)
+}
+
+// TestSerializeRejectsF32WithoutA0: a stream claiming f32 steps but missing
+// the original matrix cannot honor refined solves and must be rejected.
+func TestSerializeRejectsF32WithoutA0(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	n := 48
+	a := matgen.DiagDominant(n, rng)
+	b := matgen.RandomVector(n, rng)
+	res := runOn(t, a, b, Config{Alg: LUNoPiv, NB: 16, Precision: PrecisionF32})
+	if res.Report.F32Steps == 0 {
+		t.Fatal("run accepted no f32 steps")
+	}
+	data, err := res.EncodeFactorization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p facPayload
+	if err := gob.NewDecoder(bytes.NewReader(data[factHeaderLen:])).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	p.A0 = facMatrix{}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFactorization(rebuildStream(factEncodingVersion, payload.Bytes())); err == nil {
+		t.Fatal("decode accepted an f32 stream without the original matrix")
+	} else if !strings.Contains(err.Error(), "original matrix") {
+		t.Fatalf("error %q does not mention the missing original matrix", err)
 	}
 }

@@ -39,6 +39,14 @@ type Input struct {
 	// Rng drives the Random criterion; the caller seeds it per run so that
 	// decisions are reproducible.
 	Rng *rand.Rand
+
+	// Margin is an output field: Decide writes the ratio of its decision
+	// quantity to the α-scaled threshold, so margin ≤ 1 means "LU step" and
+	// the distance below 1 measures how comfortably the criterion passed.
+	// 0 is maximal comfort, +Inf a forced QR step, and NaN "no numeric
+	// margin" (the Random criterion). The mixed-precision layer reads it to
+	// decide when an LU step is comfortable enough for float32 arithmetic.
+	Margin float64
 }
 
 // Criterion decides, at each panel step, between an LU step (true) and a QR
@@ -60,7 +68,9 @@ func (c Max) Name() string { return "max" }
 
 // Decide implements Criterion.
 func (c Max) Decide(in *Input) bool {
-	return decideNorm(c.Alpha, in.InvDiagNorm1, maxOf(in.OffDiagTileNorms))
+	rhs := maxOf(in.OffDiagTileNorms)
+	in.Margin = normMargin(c.Alpha, in.InvDiagNorm1, rhs)
+	return decideNorm(c.Alpha, in.InvDiagNorm1, rhs)
 }
 
 // Sum is the stricter criterion of §III-B:
@@ -80,6 +90,7 @@ func (c Sum) Decide(in *Input) bool {
 	for _, v := range in.OffDiagTileNorms {
 		s += v
 	}
+	in.Margin = normMargin(c.Alpha, in.InvDiagNorm1, s)
 	return decideNorm(c.Alpha, in.InvDiagNorm1, s)
 }
 
@@ -133,6 +144,34 @@ func decideNorm(alpha, invNorm, rhs float64) bool {
 	return alpha*(1/invNorm) >= rhs
 }
 
+// normMargin is the Margin companion of decideNorm: rhs·‖A_kk⁻¹‖₁ / α, the
+// ratio of the observed norm quantity to the α-scaled bound. The edge cases
+// mirror decideNorm exactly: every forced-QR input maps to +Inf and every
+// unconditional-LU input to 0, so margin ≤ 1 agrees with the decision (up
+// to rounding in the strict-inequality regime, where the decision itself
+// stays authoritative).
+func normMargin(alpha, invNorm, rhs float64) float64 {
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) || rhs < 0 {
+		return math.Inf(1)
+	}
+	if math.IsNaN(invNorm) || invNorm < 0 {
+		return math.Inf(1)
+	}
+	if rhs == 0 {
+		if alpha > 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	if math.IsInf(alpha, 1) {
+		return 0
+	}
+	if alpha <= 0 || invNorm == 0 || math.IsInf(invNorm, 1) {
+		return math.Inf(1)
+	}
+	return rhs * invNorm / alpha
+}
+
 // MUMPS is the scalar criterion of §III-C, adapted from the pivot-quality
 // heuristic of the MUMPS solver: the growth observed on the local columns of
 // the diagonal domain is used to extrapolate the off-domain column maxima,
@@ -168,15 +207,20 @@ func (c MUMPS) Decide(in *Input) bool {
 	// from overflowed growth, negative garbage) forces QR before the α
 	// shortcuts: `α·pivot < est` is false when pivot is NaN, so without
 	// this scan a NaN pivot would silently pass the per-column test.
+	in.Margin = math.Inf(1)
 	if !allFiniteNonNeg(in.Pivots) || !allFiniteNonNeg(in.LocalMax) || !allFiniteNonNeg(in.AwayMax) {
 		return false
 	}
 	if math.IsInf(c.Alpha, 1) {
+		in.Margin = 0
 		return true
 	}
 	if c.Alpha <= 0 {
 		return false
 	}
+	// Margin: the worst column's est / (α·pivot) ratio; ≤ 1 iff every
+	// per-column test passes.
+	margin := 0.0
 	for j := range in.Pivots {
 		away := 0.0
 		if j < len(in.AwayMax) {
@@ -190,10 +234,21 @@ func (c MUMPS) Decide(in *Input) bool {
 		if math.IsNaN(est) {
 			return false
 		}
+		switch {
+		case est == 0:
+			// No off-domain mass in this column: maximal comfort.
+		case in.Pivots[j] == 0:
+			margin = math.Inf(1)
+		default:
+			if m := est / (c.Alpha * in.Pivots[j]); m > margin {
+				margin = m
+			}
+		}
 		if c.Alpha*in.Pivots[j] < est {
 			return false
 		}
 	}
+	in.Margin = margin
 	return true
 }
 
@@ -221,6 +276,7 @@ func (c Random) Decide(in *Input) bool {
 	if in.Rng == nil {
 		panic("criteria: Random criterion needs Input.Rng")
 	}
+	in.Margin = math.NaN() // a coin flip has no numeric comfort margin
 	return in.Rng.Float64()*100 < c.Alpha
 }
 
@@ -232,7 +288,12 @@ type Always struct{}
 func (Always) Name() string { return "alwayslu" }
 
 // Decide implements Criterion.
-func (Always) Decide(*Input) bool { return true }
+func (Always) Decide(in *Input) bool {
+	if in != nil {
+		in.Margin = 0
+	}
+	return true
+}
 
 // Never takes a QR step at every panel (the α = 0 configuration, whose
 // stability matches HQR and whose cost exposes the decision-path overhead).
@@ -242,7 +303,12 @@ type Never struct{}
 func (Never) Name() string { return "alwaysqr" }
 
 // Decide implements Criterion.
-func (Never) Decide(*Input) bool { return false }
+func (Never) Decide(in *Input) bool {
+	if in != nil {
+		in.Margin = math.Inf(1)
+	}
+	return false
+}
 
 // MaxGrowthBound returns the tile-norm growth bound (1+α)^{n−1} of the Max
 // criterion (§III-A) for an n×n tiled matrix.

@@ -360,3 +360,62 @@ func TestNames(t *testing.T) {
 		}
 	}
 }
+
+// TestMargins checks the Margin output field agrees with the decision
+// (margin ≤ 1 ⇔ LU) and encodes the documented edge cases.
+func TestMargins(t *testing.T) {
+	in := func() *Input {
+		return &Input{
+			InvDiagNorm1:     0.5, // ‖A_kk⁻¹‖₁ = 0.5 → threshold α·2
+			OffDiagTileNorms: []float64{1, 4},
+			LocalMax:         []float64{2, 2},
+			AwayMax:          []float64{1, 1},
+			Pivots:           []float64{2, 2},
+		}
+	}
+	cases := []struct {
+		c      Criterion
+		margin float64
+		lu     bool
+	}{
+		{Max{Alpha: 100}, 4 * 0.5 / 100, true},
+		{Max{Alpha: 1}, 2.0, false},
+		{Max{Alpha: math.Inf(1)}, 0, true},
+		{Max{Alpha: 0}, math.Inf(1), false},
+		{Sum{Alpha: 100}, 5 * 0.5 / 100, true},
+		{MUMPS{Alpha: 10}, 0.05, true}, // worst column: est=1·1 vs α·2
+		{MUMPS{Alpha: 0.01}, math.Inf(1), false},
+		{Always{}, 0, true},
+		{Never{}, math.Inf(1), false},
+	}
+	for _, tc := range cases {
+		i := in()
+		got := tc.c.Decide(i)
+		if got != tc.lu {
+			t.Errorf("%s: decision %v, want %v", tc.c.Name(), got, tc.lu)
+		}
+		if tc.lu != (i.Margin <= 1) {
+			t.Errorf("%s: margin %g disagrees with decision %v", tc.c.Name(), i.Margin, got)
+		}
+		if !math.IsInf(tc.margin, 1) && math.Abs(i.Margin-tc.margin) > 1e-12 {
+			t.Errorf("%s: margin %g, want %g", tc.c.Name(), i.Margin, tc.margin)
+		}
+		if math.IsInf(tc.margin, 1) && !math.IsInf(i.Margin, 1) {
+			t.Errorf("%s: margin %g, want +Inf", tc.c.Name(), i.Margin)
+		}
+	}
+	// Random reports NaN: no numeric margin.
+	ri := in()
+	ri.Rng = rand.New(rand.NewSource(1))
+	Random{Alpha: 50}.Decide(ri)
+	if !math.IsNaN(ri.Margin) {
+		t.Errorf("random margin %g, want NaN", ri.Margin)
+	}
+	// Poisoned data forces +Inf margins.
+	pi := in()
+	pi.OffDiagTileNorms = []float64{math.NaN()}
+	Max{Alpha: 100}.Decide(pi)
+	if !math.IsInf(pi.Margin, 1) {
+		t.Errorf("poisoned max margin %g, want +Inf", pi.Margin)
+	}
+}

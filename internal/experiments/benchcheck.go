@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"text/tabwriter"
+
+	"luqr/internal/core"
 )
 
 // ValidateSolverBench parses a BENCH_solver.json and checks it against the
@@ -58,6 +61,30 @@ func ValidateSolverBench(r io.Reader) (*SolverBenchReport, error) {
 	for _, e := range rep.Dispatch {
 		if e.Workers <= 0 || e.NsPerTask <= 0 {
 			return nil, fmt.Errorf("solver bench: degenerate dispatch entry %+v", e)
+		}
+	}
+	// The mixed-precision section is the smoke's refine-to-tolerance gate:
+	// every entry must carry a valid precision name and a refined backward
+	// error inside the §V-A acceptance band, and the forced-f32 point must
+	// show the float32 path actually engaged (steps taken or demoted — a run
+	// that silently stayed f64 would pass the accuracy gate vacuously).
+	if len(rep.Mixed) == 0 {
+		return nil, fmt.Errorf("solver bench: missing mixed-precision section")
+	}
+	const mixedHPL3Tol = 16.0
+	for _, e := range rep.Mixed {
+		if _, err := core.ParsePrecision(e.Precision); err != nil {
+			return nil, fmt.Errorf("solver bench: mixed entry %+v: %w", e, err)
+		}
+		if e.WallSeconds <= 0 || e.GFlops <= 0 {
+			return nil, fmt.Errorf("solver bench: degenerate mixed entry %+v", e)
+		}
+		if e.HPL3 < 0 || e.HPL3 > mixedHPL3Tol {
+			return nil, fmt.Errorf("solver bench: mixed %s run did not refine to tolerance (hpl3=%g, band %g)",
+				e.Precision, e.HPL3, mixedHPL3Tol)
+		}
+		if e.Precision == "f32" && e.F32Steps+e.Demotions == 0 {
+			return nil, fmt.Errorf("solver bench: forced-f32 entry shows no f32 activity: %+v", e)
 		}
 	}
 	return &rep, nil
@@ -121,6 +148,23 @@ func KernelBenchDiff(oldR, newR io.Reader, out io.Writer) error {
 	}
 	if matched == 0 {
 		return fmt.Errorf("kernel diff: no (kernel, nb) pair appears in both files")
+	}
+	// Precision ratio: where the current file carries both the f64 and f32
+	// rates of a kernel at the same tile order, print the f32 speedup — the
+	// within-file number the mixed-precision acceptance gate reads.
+	cur := make(map[key]float64, len(newRep.Current))
+	for _, e := range newRep.Current {
+		cur[key{e.Kernel, e.NB}] = e.GFlops
+	}
+	for _, e := range entries {
+		base, isF32 := strings.CutSuffix(e.Kernel, ".f32")
+		if !isF32 {
+			continue
+		}
+		if f64GF, ok := cur[key{base, e.NB}]; ok && f64GF > 0 && e.GFlops > 0 {
+			fmt.Fprintf(out, "%s nb=%d: %.2f× the f64 rate (%.3f vs %.3f GF/s)\n",
+				e.Kernel, e.NB, e.GFlops/f64GF, e.GFlops, f64GF)
+		}
 	}
 	return nil
 }

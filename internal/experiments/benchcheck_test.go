@@ -57,6 +57,19 @@ func TestSolverBenchRoundTrip(t *testing.T) {
 	if last := rep.SimSolver[len(rep.SimSolver)-1]; last.Speedup <= 1 {
 		t.Fatalf("simulated speedup at w=%d is %.2f, want > 1", last.Workers, last.Speedup)
 	}
+	// The mixed section covers all three precision settings, and the forced
+	// f32 point both engaged the float32 path and refined into the band
+	// (ValidateSolverBench already gated the HPL3 values).
+	if len(rep.Mixed) != 3 {
+		t.Fatalf("mixed section has %d entries, want 3", len(rep.Mixed))
+	}
+	f32 := rep.Mixed[2]
+	if f32.Precision != "f32" || f32.F32Steps+f32.Demotions == 0 {
+		t.Fatalf("forced-f32 mixed entry = %+v, want f32 activity", f32)
+	}
+	if f32.F32Steps > 0 && f32.RefineIters == 0 {
+		t.Fatalf("f32 factorization refined 0 rounds: %+v", f32)
+	}
 }
 
 // TestSolverBenchDefaults pins the production default configuration the
@@ -88,6 +101,10 @@ func TestValidateSolverBenchRejects(t *testing.T) {
 				{Workers: 1, MakespanSeconds: 0.1, GFlops: 1, Speedup: 1},
 				{Workers: 2, MakespanSeconds: 0.06, GFlops: 1.6, Speedup: 1.7},
 			},
+			Mixed: []MixedBenchEntry{
+				{Precision: "f64", WallSeconds: 0.1, GFlops: 1, HPL3: 0.01},
+				{Precision: "f32", WallSeconds: 0.07, GFlops: 1.4, F32Steps: 4, RefineIters: 2, HPL3: 1.5},
+			},
 			Dispatch: []DispatchBenchEntry{{Workers: 1, NsPerTask: 300}},
 		}
 	}
@@ -102,6 +119,11 @@ func TestValidateSolverBenchRejects(t *testing.T) {
 		{"missing sim note", func(r *SolverBenchReport) { r.SimNote = "" }, "provenance"},
 		{"non-monotone sim", func(r *SolverBenchReport) { r.SimSolver[1].Speedup = 0.5 }, "not monotone"},
 		{"bad tile count", func(r *SolverBenchReport) { r.NBSweep[0].Tiles = 7 }, "nb_sweep"},
+		{"missing mixed", func(r *SolverBenchReport) { r.Mixed = nil }, "mixed-precision section"},
+		{"bad mixed precision", func(r *SolverBenchReport) { r.Mixed[1].Precision = "half" }, "unknown precision"},
+		{"mixed out of band", func(r *SolverBenchReport) { r.Mixed[1].HPL3 = 1e6 }, "refine to tolerance"},
+		{"mixed nan marker", func(r *SolverBenchReport) { r.Mixed[1].HPL3 = -1 }, "refine to tolerance"},
+		{"f32 never engaged", func(r *SolverBenchReport) { r.Mixed[1].F32Steps = 0 }, "no f32 activity"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	goruntime "runtime"
 	"time"
 
@@ -52,6 +53,21 @@ type SimScalingEntry struct {
 	Speedup         float64 `json:"speedup_vs_1"`
 }
 
+// MixedBenchEntry is one precision point of the mixed-precision section: the
+// canonical operator factored under one Config.Precision setting with the MAX
+// criterion (auto mode needs its margins; RANDOM reports none), 1 worker,
+// best of reps. HPL3 is the refined backward error — the accuracy side of the
+// accuracy-vs-speed trade the section records.
+type MixedBenchEntry struct {
+	Precision   string  `json:"precision"`
+	WallSeconds float64 `json:"wall_seconds"`
+	GFlops      float64 `json:"gflops"`
+	F32Steps    int     `json:"f32_steps"`
+	Demotions   int     `json:"demotions"`
+	RefineIters int     `json:"refine_iters"`
+	HPL3        float64 `json:"hpl3"`
+}
+
 // DispatchBenchEntry is one scheduler-overhead measurement: mean nanoseconds
 // per task for a flood of no-op tasks (the engine's bookkeeping cost with
 // zero kernel work to hide it).
@@ -86,6 +102,7 @@ type SolverBenchReport struct {
 
 	NBSweep []NBSweepEntry     `json:"nb_sweep"`
 	Solver  []SolverBenchEntry `json:"solver"`
+	Mixed   []MixedBenchEntry  `json:"mixed"`
 
 	SimNote         string            `json:"sim_note"`
 	SimCriticalPath float64           `json:"sim_critical_path_s"`
@@ -326,6 +343,46 @@ func WriteSolverBench(o SolverBenchOptions, out, table io.Writer) error {
 		}
 		rep.NBSweep = append(rep.NBSweep, e)
 		fmt.Fprintf(table, "%-6d  %-7d  %-10.4f  %.3f\n", e.NB, e.Tiles, e.WallSeconds, e.GFlops)
+	}
+
+	// Mixed-precision sweep at 1 worker: the same operator under each
+	// Config.Precision setting, with the MAX criterion so auto mode has the
+	// margins it decides on. Wall time is the speed side; the refined HPL3,
+	// the f32-step/demotion counts, and the refinement rounds are the
+	// accuracy side. The validator gates HPL3 on the §V-A acceptance band —
+	// this is the "mixed run refines to tolerance" smoke assertion.
+	fmt.Fprintf(table, "\n# Mixed precision (measured) — N=%d nb=%d, MAX(α=100), 1 worker, best of %d\n", o.N, o.NB, o.Reps)
+	fmt.Fprintf(table, "%-10s  %-10s  %-8s  %-10s  %-10s  %-7s  %s\n",
+		"precision", "wall(s)", "GF/s", "f32 steps", "demotions", "refine", "hpl3")
+	for _, prec := range []core.Precision{core.PrecisionF64, core.PrecisionAuto, core.PrecisionF32} {
+		var best *core.Report
+		for r := 0; r < o.Reps; r++ {
+			cfg := solverBenchConfig(o.NB, 1, false)
+			cfg.Criterion = criteria.Max{Alpha: 100}
+			cfg.Precision = prec
+			res, err := core.Run(a, b, cfg)
+			if err != nil {
+				return err
+			}
+			if best == nil || res.Report.WallTime < best.WallTime {
+				best = res.Report
+			}
+		}
+		wall := best.WallTime.Seconds()
+		e := MixedBenchEntry{
+			Precision: prec.String(), WallSeconds: wall, GFlops: flops.GFlops(total, wall),
+			F32Steps: best.F32Steps, Demotions: best.Demotions,
+			RefineIters: best.RefineIters, HPL3: best.HPL3,
+		}
+		if math.IsNaN(e.HPL3) {
+			// NaN is not representable in JSON; -1 is the explicit "broken"
+			// marker the validator rejects.
+			warn("mixed %s run produced a NaN backward error", e.Precision)
+			e.HPL3 = -1
+		}
+		rep.Mixed = append(rep.Mixed, e)
+		fmt.Fprintf(table, "%-10s  %-10.4f  %-8.3f  %-10d  %-10d  %-7d  %.3g\n",
+			e.Precision, e.WallSeconds, e.GFlops, e.F32Steps, e.Demotions, e.RefineIters, e.HPL3)
 	}
 
 	// Simulated DAG scaling: trace one single-worker run, calibrate the

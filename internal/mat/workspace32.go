@@ -1,0 +1,59 @@
+package mat
+
+import "sync"
+
+// Float32 side of the workspace arena. The mixed-precision kernel path packs
+// f64 operands into float32 micro-panels and accumulates float32 results in
+// scratch blocks; those buffers churn exactly like the float64 ones, so they
+// get the same size-classed sync.Pool treatment and the same ownership rules
+// (Get → use → Put within one call, contents unspecified on Get).
+
+// Buf32 is a pooled float32 scratch buffer. Data has exactly the requested
+// length; its backing array is the size-class capacity.
+type Buf32 struct {
+	Data  []float32
+	class int // pool index, or -1 for an unpooled (oversized) buffer
+}
+
+var ws32Pools [wsClasses]sync.Pool
+
+func init() {
+	for c := range ws32Pools {
+		c := c
+		ws32Pools[c].New = func() any {
+			return &Buf32{Data: make([]float32, 1<<(wsMinBits+c)), class: c}
+		}
+	}
+}
+
+// GetBuf32 returns a buffer with len(Data) == n. Contents are unspecified.
+func GetBuf32(n int) *Buf32 {
+	if n < 0 {
+		panic("mat: GetBuf32 with negative size")
+	}
+	c := classFor(n)
+	if c < 0 {
+		return &Buf32{Data: make([]float32, n), class: -1}
+	}
+	b := ws32Pools[c].Get().(*Buf32)
+	b.Data = b.Data[:cap(b.Data)][:n]
+	return b
+}
+
+// GetBuf32Zero returns a zeroed buffer with len(Data) == n.
+func GetBuf32Zero(n int) *Buf32 {
+	b := GetBuf32(n)
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+	return b
+}
+
+// PutBuf32 returns a buffer to its pool. The caller must not use b
+// afterwards. PutBuf32(nil) is a no-op.
+func PutBuf32(b *Buf32) {
+	if b == nil || b.class < 0 {
+		return
+	}
+	ws32Pools[b.class].Put(b)
+}

@@ -44,6 +44,12 @@ type ConfigSpec struct {
 	Variant   string   `json:"variant,omitempty"`
 	Workers   int      `json:"workers,omitempty"`
 	Seed      int64    `json:"seed,omitempty"`
+	// Precision selects the kernel precision: "f64" (default), "auto"
+	// (criterion margin picks float32 per LU step, refined in the solve), or
+	// "f32" (every kernel forced through the float32 path). Algorithms
+	// without float32 coverage silently run f64; the cache digest reflects
+	// the EFFECTIVE precision, so such requests share the f64 factorization.
+	Precision string `json:"precision,omitempty"`
 }
 
 // SubmitRequest is the body of POST /v1/jobs. RHS is optional: jobs
@@ -206,6 +212,11 @@ func parse(spec MatrixSpec, cs ConfigSpec, rhs []float64, opts Options) (*parsed
 		}
 		cfg.Variant = v
 	}
+	prec, err := core.ParsePrecision(cs.Precision)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Precision = prec
 	if cs.Workers < 0 {
 		return nil, fmt.Errorf("config.workers must be non-negative")
 	}

@@ -16,7 +16,9 @@ import (
 // stored factors — including the inner block size ib (blocked kernels with
 // different ib round differently) and, through the criterion string, the
 // EFFECTIVE α the run used (explicit, learned, or default), so a job served
-// under a learned α never collides with one pinned to a different value.
+// under a learned α never collides with one pinned to a different value —
+// and the effective kernel precision, since f32 and f64 runs of the same
+// operator store different factors.
 // Generator-specified matrices hash their (gen, n, seed) triple; explicit
 // matrices hash the raw float64 bits. Workers and tracing are deliberately
 // excluded — the runtime guarantees bit-identical factors for any worker
@@ -41,6 +43,13 @@ func digestKey(spec MatrixSpec, cfg core.Config, criterion string) string {
 	}
 	fmt.Fprintf(h, "|alg=%s nb=%d ib=%d grid=%dx%d crit=%s variant=%s scope=%d seed=%d",
 		cfg.Alg, cfg.NB, cfg.IB, cfg.Grid.P, cfg.Grid.Q, criterion, cfg.Variant, cfg.Scope, cfg.Seed)
+	// The digest carries the EFFECTIVE precision, appended only when non-f64:
+	// pure-f64 keys keep their historical form (factor-store files written
+	// before the knob existed stay addressable), while an auto or f32
+	// factorization can never be served where f64 was asked, or vice versa.
+	if p := cfg.EffectivePrecision(); p != core.PrecisionF64 {
+		fmt.Fprintf(h, " prec=%s", p)
+	}
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
@@ -124,11 +133,12 @@ func (e *entry) drainBatches(met *Metrics) {
 		for i := range batch {
 			bs[i] = batch[i].b
 		}
-		xs, err := e.res.SolveBatch(bs)
+		xs, iters, err := e.res.SolveBatchRefined(bs)
 		if met != nil {
 			met.SolveBatches.Add(1)
 			met.SolveBatchedRHS.Add(int64(len(batch)))
 			met.foldMaxBatch(int64(len(batch)))
+			met.RefineIters.Add(int64(iters))
 		}
 		for i := range batch {
 			if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -146,7 +147,19 @@ type ReportView struct {
 	// tracked it (learner-feeding jobs do).
 	PeakGrowth float64 `json:"peak_growth,omitempty"`
 	Breakdown  bool    `json:"breakdown,omitempty"`
-	WallMS     float64 `json:"wall_ms"`
+	// Precision is the effective kernel precision ("auto" or "f32"; absent
+	// for pure-f64 runs), with the mixed path's accounting: steps that
+	// accepted float32 kernels, excursion demotions back to f64, and the
+	// iterative-refinement rounds the solve needed.
+	Precision   string `json:"precision,omitempty"`
+	F32Steps    int    `json:"f32_steps,omitempty"`
+	Demotions   int    `json:"demotions,omitempty"`
+	RefineIters int    `json:"refine_iters,omitempty"`
+	// MarginMin/MarginMax summarize the criterion decision margins over the
+	// run's steps (present when at least one step had a finite margin).
+	MarginMin float64 `json:"margin_min,omitempty"`
+	MarginMax float64 `json:"margin_max,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
 }
 
 // JobView is the JSON shape of GET /v1/jobs/{id}. CacheKey is the full
@@ -199,6 +212,17 @@ func (j *Job) View() JobView {
 			HPL3: r.HPL3, Growth: r.Growth, PeakGrowth: r.PeakGrowth,
 			Breakdown: r.Breakdown,
 			WallMS:    float64(r.WallTime.Microseconds()) / 1000,
+		}
+		if r.Precision != core.PrecisionF64 {
+			rv.Precision = r.Precision.String()
+			rv.F32Steps = r.F32Steps
+			rv.Demotions = r.Demotions
+			rv.RefineIters = r.RefineIters
+		}
+		if !math.IsNaN(r.MarginMin) {
+			// NaN (no step had a finite margin) cannot be marshaled; the pair
+			// is always set together.
+			rv.MarginMin, rv.MarginMax = r.MarginMin, r.MarginMax
 		}
 		rv.Decisions = make([]string, len(r.Decisions))
 		for k, lu := range r.Decisions {

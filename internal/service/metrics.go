@@ -27,6 +27,13 @@ type Metrics struct {
 	SolveBatchedRHS atomic.Int64
 	SolveMaxBatch   atomic.Int64
 
+	// Mixed-precision accounting, folded per fresh factorization (cache hits
+	// re-serve old factors and add nothing).
+	F32Jobs     atomic.Int64 // runs that accepted at least one f32 step
+	F32Steps    atomic.Int64 // accepted f32 steps across all runs
+	Demotions   atomic.Int64 // f32 excursions demoted back to f64
+	RefineIters atomic.Int64 // iterative-refinement rounds in solves
+
 	// Factor-store counters (all zero when persistence is disabled).
 	StoreWarmHits    atomic.Int64 // cache misses served by a disk load
 	StoreLoadErrors  atomic.Int64 // damaged/unreadable files (quarantined)
@@ -98,6 +105,13 @@ type MetricsSnapshot struct {
 		HitRate   float64 `json:"hit_rate"`
 		Evictions int64   `json:"evictions"`
 	} `json:"cache"`
+
+	Precision struct {
+		F32Jobs     int64 `json:"f32_jobs"`
+		F32Steps    int64 `json:"f32_steps"`
+		Demotions   int64 `json:"demotions"`
+		RefineIters int64 `json:"refine_iters"`
+	} `json:"precision"`
 
 	Solve struct {
 		Requests   int64   `json:"requests"`
@@ -186,6 +200,11 @@ func (m *Manager) MetricsSnapshot() MetricsSnapshot {
 		s.Cache.HitRate = float64(s.Cache.Hits) / float64(tot)
 	}
 	s.Cache.Evictions = m.met.CacheEvictions.Load()
+
+	s.Precision.F32Jobs = m.met.F32Jobs.Load()
+	s.Precision.F32Steps = m.met.F32Steps.Load()
+	s.Precision.Demotions = m.met.Demotions.Load()
+	s.Precision.RefineIters = m.met.RefineIters.Load()
 
 	s.Solve.Requests = m.met.SolveRequests.Load()
 	s.Solve.Batches = m.met.SolveBatches.Load()

@@ -310,6 +310,14 @@ func (m *Manager) runJob(j *Job) {
 		})
 	}
 	if err == nil {
+		if r := res.Report; r.Precision != core.PrecisionF64 {
+			if r.F32Steps > 0 {
+				m.met.F32Jobs.Add(1)
+			}
+			m.met.F32Steps.Add(int64(r.F32Steps))
+			m.met.Demotions.Add(int64(r.Demotions))
+			m.met.RefineIters.Add(int64(r.RefineIters))
+		}
 		if res.Report.Trace != nil {
 			// Fold the measured per-kernel totals into /metrics, then drop
 			// the trace: the cache retains the Result for replay solves, and
