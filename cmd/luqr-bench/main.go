@@ -198,8 +198,12 @@ func main() {
 				fmt.Printf("%s: valid schema-%d solver bench (N=%d nb=%d, %d measured points, %d simulated)\n",
 					*validateFile, rep.Schema, rep.N, rep.NB, len(rep.Solver), len(rep.SimSolver))
 				for _, e := range rep.Mixed {
-					fmt.Printf("mixed %s: refined to tolerance (hpl3=%.3g, %d f32 steps, %d demotions, %d refine iters)\n",
-						e.Precision, e.HPL3, e.F32Steps, e.Demotions, e.RefineIters)
+					matrix := e.Matrix
+					if matrix == "" {
+						matrix = "random" // pre-two-operator files carried no name
+					}
+					fmt.Printf("mixed %s %s: refined to tolerance (hpl3=%.3g, %d f32 steps, %d demotions, %d epochs, %d conversions, %d refine iters)\n",
+						matrix, e.Precision, e.HPL3, e.F32Steps, e.Demotions, e.F32Epochs, e.Conversions, e.RefineIters)
 				}
 			}
 		}

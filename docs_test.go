@@ -4,9 +4,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
+
+	"luqr/internal/core"
+	"luqr/internal/runtime"
+	"luqr/internal/service"
 )
 
 // Docs lint, wired into `go test ./...` so the tier-1 gate enforces it:
@@ -65,6 +70,97 @@ func TestDocsNoPlaceholderMarkers(t *testing.T) {
 			if m := re.FindString(line); m != "" {
 				t.Errorf("%s:%d: unfilled %s marker", path, i+1, m)
 			}
+		}
+	}
+}
+
+// collectJSONTags gathers every json tag name reachable from t (following
+// pointers, slices, maps, and embedded structs) into out.
+func collectJSONTags(t reflect.Type, out map[string]bool, seen map[reflect.Type]bool) {
+	for t.Kind() == reflect.Ptr || t.Kind() == reflect.Slice ||
+		t.Kind() == reflect.Array || t.Kind() == reflect.Map {
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct || seen[t] {
+		return
+	}
+	seen[t] = true
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if tag := strings.SplitN(f.Tag.Get("json"), ",", 2)[0]; tag != "" && tag != "-" {
+			out[tag] = true
+		}
+		collectJSONTags(f.Type, out, seen)
+	}
+}
+
+// TestDocsReportFieldsExist keeps docs/API.md and the wire structs from
+// drifting apart: every backticked snake_case field name the contract uses
+// must exist as a json tag on one of the service's JSON types, and every
+// field of the job report view (the contract's core promise) must be named
+// somewhere in the document — including the residency epoch counters.
+func TestDocsReportFieldsExist(t *testing.T) {
+	known := map[string]bool{
+		// Wire fields of unexported response structs (solveResponse and
+		// healthResponse in internal/service/server.go).
+		"cache_hit": true, "job_id": true,
+	}
+	seen := map[reflect.Type]bool{}
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(core.Report{}),
+		reflect.TypeOf(service.ReportView{}),
+		reflect.TypeOf(service.JobView{}),
+		reflect.TypeOf(service.MetricsSnapshot{}),
+		reflect.TypeOf(runtime.StatsSnapshot{}),
+	} {
+		collectJSONTags(typ, known, seen)
+	}
+
+	data, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := map[string]bool{}
+	fieldRe := regexp.MustCompile("`([a-z][a-z0-9]*(?:_[a-z0-9]+)+)`")
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range fieldRe.FindAllStringSubmatch(line, -1) {
+			named[m[1]] = true
+			if !known[m[1]] {
+				t.Errorf("docs/API.md:%d: field `%s` is not a json tag of any wire struct", i+1, m[1])
+			}
+		}
+	}
+	// JSON example keys and single-word backticked names count as naming a
+	// field too (single words are too ambiguous for the existence check
+	// above — `luqr` names an algorithm, not a field — but they do document).
+	for _, re := range []*regexp.Regexp{
+		regexp.MustCompile(`"([a-z][a-z0-9_]*)"\s*:`),
+		regexp.MustCompile("`([a-z][a-z0-9_]*)`"),
+	} {
+		for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+			named[m[1]] = true
+		}
+	}
+	rv := reflect.TypeOf(service.ReportView{})
+	for i := 0; i < rv.NumField(); i++ {
+		tag := strings.SplitN(rv.Field(i).Tag.Get("json"), ",", 2)[0]
+		if tag == "" || tag == "-" {
+			continue
+		}
+		if !named[tag] {
+			t.Errorf("docs/API.md never names report field %q (service.ReportView.%s)", tag, rv.Field(i).Name)
+		}
+	}
+	// The epoch counters the residency store introduced must stay visible on
+	// both sides: named in the contract and tagged on core.Report.
+	reportTags := map[string]bool{}
+	collectJSONTags(reflect.TypeOf(core.Report{}), reportTags, map[reflect.Type]bool{})
+	for _, f := range []string{"f32_epochs", "conversions"} {
+		if !named[f] {
+			t.Errorf("docs/API.md never names epoch counter %q", f)
+		}
+		if !reportTags[f] {
+			t.Errorf("core.Report has no json tag %q", f)
 		}
 	}
 }

@@ -1,0 +1,125 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+
+	"luqr/internal/mat"
+)
+
+// roundTo32 returns a Matrix32 holding float32(m) — the promotion a tile
+// image receives when it enters a precision epoch.
+func roundTo32(m *mat.Matrix) *mat.Matrix32 {
+	r := mat.NewMatrix32(m.Rows, m.Cols)
+	r.RoundFrom(m)
+	return r
+}
+
+// matchWidened asserts that the resident float32 result is bit-identical to
+// the widen-on-write float64 result: float64(got) must equal want exactly.
+func matchWidened(t *testing.T, name string, got *mat.Matrix32, want *mat.Matrix) {
+	t.Helper()
+	for i := 0; i < want.Rows; i++ {
+		for j := 0; j < want.Cols; j++ {
+			if float64(got.At(i, j)) != want.At(i, j) {
+				t.Fatalf("%s: (%d,%d) resident %v != converting %v", name, i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestGemm32RMatchesGemm32 checks that the resident Gemm32R on float32
+// storage reproduces Gemm32 on float64 storage bit-for-bit: same packing
+// order, same micro-kernel, same merge arithmetic, only the conversions
+// removed.
+func TestGemm32RMatchesGemm32(t *testing.T) {
+	shapes := [][3]int{
+		{1, 1, 1},
+		{3, 5, 7},
+		{6, 16, 6},
+		{39, 41, 40},
+		{13, 9, 259},
+		{133, 9, 17},
+		{9, 513, 5},
+	}
+	rng := rand.New(rand.NewSource(97))
+	for _, d := range shapes {
+		m, n, k := d[0], d[1], d[2]
+		for _, ta := range []Transpose{NoTrans, Trans} {
+			for _, tb := range []Transpose{NoTrans, Trans} {
+				for _, alpha := range []float64{1, -0.5} {
+					for _, beta := range []float64{0, 1, 2} {
+						ar, ac := m, k
+						if ta == Trans {
+							ar, ac = k, m
+						}
+						br, bc := k, n
+						if tb == Trans {
+							br, bc = n, k
+						}
+						a := randMat(rng, ar, ac)
+						b := randMat(rng, br, bc)
+						c := randMat(rng, m, n)
+						a32, b32, c32 := roundTo32(a), roundTo32(b), roundTo32(c)
+						Gemm32(ta, tb, alpha, a, b, beta, c)
+						Gemm32R(ta, tb, alpha, a32, b32, beta, c32)
+						matchWidened(t, "Gemm32R", c32, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrsm32RMatchesTrsm32 checks bit-identity of the resident triangular
+// solve against the converting one over every side/uplo/trans/diag variant,
+// both under and over the blocking threshold.
+func TestTrsm32RMatchesTrsm32(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for _, n := range []int{1, 5, triBlock, triBlock + 13, 2*triBlock + 3} {
+		for _, side := range []Side{Left, Right} {
+			for _, uplo := range []Uplo{Lower, Upper} {
+				for _, trans := range []Transpose{NoTrans, Trans} {
+					for _, diag := range []Diag{NonUnit, Unit} {
+						tm := randTri(rng, n, uplo, diag)
+						br, bc := n, 7
+						if side == Right {
+							br, bc = 7, n
+						}
+						b := randMat(rng, br, bc)
+						t32, b32 := roundTo32(tm), roundTo32(b)
+						Trsm32(side, uplo, trans, diag, 1.5, tm, b)
+						Trsm32R(side, uplo, trans, diag, 1.5, t32, b32)
+						matchWidened(t, "Trsm32R", b32, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrmm32RMatchesTrmm32 checks bit-identity of the resident triangular
+// multiply against the converting one over every variant.
+func TestTrmm32RMatchesTrmm32(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	for _, n := range []int{1, 5, triBlock, triBlock + 13, 2*triBlock + 3} {
+		for _, side := range []Side{Left, Right} {
+			for _, uplo := range []Uplo{Lower, Upper} {
+				for _, trans := range []Transpose{NoTrans, Trans} {
+					for _, diag := range []Diag{NonUnit, Unit} {
+						tm := randTri(rng, n, uplo, diag)
+						br, bc := n, 7
+						if side == Right {
+							br, bc = 7, n
+						}
+						b := randMat(rng, br, bc)
+						t32, b32 := roundTo32(tm), roundTo32(b)
+						Trmm32(side, uplo, trans, diag, 0.75, tm, b)
+						Trmm32R(side, uplo, trans, diag, 0.75, t32, b32)
+						matchWidened(t, "Trmm32R", b32, b)
+					}
+				}
+			}
+		}
+	}
+}

@@ -55,7 +55,12 @@ type stepState struct {
 	backupBuf *mat.Buf      // pooled storage backing the backup views
 	localMax  []float64     // per-column max |a| over the pivot rows (backup)
 
-	stack   *mat.Matrix // the factored stacked panel (L\U), kept for applies
+	stack *mat.Matrix // the factored stacked panel (L\U), kept for applies
+	// stack32 is the resident forced-f32 factored panel (same values as
+	// stack, float32 storage); l11_32 is the float32 image of stack's top
+	// nb×nb block, built once per step for the resident SWPTRSM applies.
+	stack32 *mat.Matrix32
+	l11_32  *mat.Matrix32
 	piv     []int
 	pivots  []float64 // |U_jj|
 	invNorm float64   // ‖(A_kk^(k))⁻¹‖₁ estimate
@@ -85,11 +90,17 @@ type stepState struct {
 	hStack  *runtime.Handle
 	hNorms  []*runtime.Handle
 
-	// QR-step reflector storage, keyed by tile row.
-	tGeqrt  map[int]*mat.Matrix
-	tKill   map[int]*mat.Matrix
-	hTGeqrt map[int]*runtime.Handle
-	hTKill  map[int]*runtime.Handle
+	// QR-step reflector storage, keyed by tile row. The 32 maps hold the
+	// float32 T images used by the resident path: populated at submit time
+	// (single-threaded, so the map writes never race with worker reads),
+	// kept in sync with the f64 T by the factor task (widened on an
+	// accepted f32 factor, re-rounded after a demotion).
+	tGeqrt   map[int]*mat.Matrix
+	tKill    map[int]*mat.Matrix
+	tGeqrt32 map[int]*mat.Matrix32
+	tKill32  map[int]*mat.Matrix32
+	hTGeqrt  map[int]*runtime.Handle
+	hTKill   map[int]*runtime.Handle
 }
 
 // fact carries one factorization through the runtime.
@@ -120,6 +131,11 @@ type fact struct {
 	a0       *mat.Matrix
 	maxA0    float64
 	f32Bound float64
+	// res is the float32 tile-residency store (nil for f64-effective runs
+	// and under the residencyOff test toggle). When set, float32 kernels
+	// run on resident tile images through the runMixed32R harness and
+	// every float64 task normalizes its tiles with ensure64 first.
+	res *tile.Residency
 
 	mu        sync.Mutex
 	breakdown bool
@@ -232,6 +248,201 @@ func (f *fact) runMixed32(run32, run64 func(), outs ...*mat.Matrix) {
 	f.noteDemotion()
 }
 
+// residencyOff disables the float32 tile-residency store for tests that
+// want the per-task round/widen path (the PR-8 behavior) for bit-equality
+// comparisons against the resident path.
+var residencyOff = false
+
+// tileRef names a tile in the residency store: matrix tile (i, j), or RHS
+// tile i when j < 0.
+type tileRef struct{ i, j int }
+
+func mref(i, j int) tileRef { return tileRef{i, j} }
+func vref(i int) tileRef    { return tileRef{i, -1} }
+
+// colRefs builds refs for column j's tiles at the given rows.
+func colRefs(rows []int, j int) []tileRef {
+	refs := make([]tileRef, len(rows))
+	for r, i := range rows {
+		refs[r] = tileRef{i, j}
+	}
+	return refs
+}
+
+// vecRefs builds refs for the RHS tiles at the given rows.
+func vecRefs(rows []int) []tileRef {
+	refs := make([]tileRef, len(rows))
+	for r, i := range rows {
+		refs[r] = vref(i)
+	}
+	return refs
+}
+
+// tile64 resolves a ref to its float64 storage.
+func (f *fact) tile64(r tileRef) *mat.Matrix {
+	if r.j < 0 {
+		return f.rhs.Tile(r.i)
+	}
+	return f.A.Tile(r.i, r.j)
+}
+
+// ensure64 normalizes the listed tiles to current float64 storage (no-op
+// without residency). Every task that runs a float64 body must ensure every
+// tile it touches; on non-resident tiles this is a single lock check.
+func (f *fact) ensure64(m *tile.Meter, refs ...tileRef) {
+	if f.res == nil {
+		return
+	}
+	for _, r := range refs {
+		if r.j < 0 {
+			f.res.EnsureVecF64(r.i, m)
+		} else {
+			f.res.EnsureF64(r.i, r.j, m)
+		}
+	}
+}
+
+// excursion32 is the excursion scan over resident float32 images — the same
+// predicate as excursion, evaluated over the widened values.
+func (f *fact) excursion32(ms ...*mat.Matrix32) bool {
+	for _, m := range ms {
+		for i := 0; i < m.Rows; i++ {
+			for _, v := range m.Row(i) {
+				w := float64(v)
+				if math.IsNaN(w) || w > f.f32Bound || w < -f.f32Bound {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// runMixed32R is the demotion harness of the resident float32 path. It
+// acquires the out tiles' images (snapshotting only those that were already
+// dirty — for the rest the float64 array is the epoch's master copy and a
+// restore is free), acquires the in images, runs the resident float32
+// closure, and scans the out images. On an excursion it rolls the outs back
+// (restore-from-snapshot for dirty-before, plain image discard otherwise),
+// normalizes every accessed tile to float64, re-runs the float64 closure
+// and counts the demotion — so a rejected float32 result never leaks, and a
+// fully-demoted run is bit-identical to a pure float64 one.
+//
+// t/t32 (optional, both nil or both set) carry a QR factor task's T: t32 is
+// written by run32 and included in the excursion scan; an accepted float32
+// factor widens it into t (keeping the f64 T valid for replay and
+// serialization), a demotion re-rounds t from the float64 result (keeping
+// t32 valid for the step's remaining resident update tasks).
+func (f *fact) runMixed32R(tr *runtime.TraceTask, ins, outs []tileRef, t *mat.Matrix, t32 *mat.Matrix32,
+	run32 func(in, out []*mat.Matrix32), run64 func()) {
+	m := &tile.Meter{}
+	defer func() { tr.ChargeConv(m.NS) }()
+
+	type outState struct {
+		img     *mat.Matrix32
+		dirty   bool
+		snap    *mat.Matrix32
+		snapBuf *mat.Buf32
+	}
+	os := make([]outState, len(outs))
+	outImgs := make([]*mat.Matrix32, len(outs))
+	for idx, o := range outs {
+		var img *mat.Matrix32
+		var dirty bool
+		if o.j < 0 {
+			img, dirty = f.res.WriteVec32(o.i, m)
+		} else {
+			img, dirty = f.res.Write32(o.i, o.j, m)
+		}
+		os[idx] = outState{img: img, dirty: dirty}
+		if dirty {
+			s, b := mat.GetMatrix32(img.Rows, img.Cols)
+			s.CopyFrom(img)
+			os[idx].snap, os[idx].snapBuf = s, b
+		}
+		outImgs[idx] = img
+	}
+	inImgs := make([]*mat.Matrix32, len(ins))
+	for idx, r := range ins {
+		if r.j < 0 {
+			inImgs[idx] = f.res.ReadVec32(r.i, m)
+		} else {
+			inImgs[idx] = f.res.Read32(r.i, r.j, m)
+		}
+	}
+
+	run32(inImgs, outImgs)
+
+	scan := outImgs
+	if t32 != nil {
+		scan = append(append([]*mat.Matrix32{}, outImgs...), t32)
+	}
+	if !f.excursion32(scan...) {
+		for idx := range os {
+			mat.PutBuf32(os[idx].snapBuf)
+		}
+		if t != nil {
+			t32.WidenInto(t)
+		}
+		return
+	}
+
+	for idx, o := range outs {
+		if os[idx].dirty {
+			os[idx].img.CopyFrom(os[idx].snap)
+		} else if o.j < 0 {
+			f.res.DiscardVec32(o.i)
+		} else {
+			f.res.Discard32(o.i, o.j)
+		}
+		mat.PutBuf32(os[idx].snapBuf)
+	}
+	f.ensure64(m, outs...)
+	f.ensure64(m, ins...)
+	run64()
+	if t != nil {
+		t32.RoundFrom(t)
+	}
+	f.noteDemotion()
+}
+
+// runTileTask dispatches one tile-kernel body under the run's precision
+// regime: resident float32 (runMixed32R), float64 under residency (ensure64
+// then the plain body), per-task round/widen float32 (runMixed32, the
+// residencyOff path), or plain float64.
+func (f *fact) runTileTask(tr *runtime.TraceTask, st *stepState, ins, outs []tileRef,
+	run32R func(in, out []*mat.Matrix32), run32, run64 func()) {
+	f.runTileTaskT(tr, st, ins, outs, nil, nil, run32R, run32, run64)
+}
+
+// runTileTaskT is runTileTask for QR factor tasks that also produce a T
+// factor (see runMixed32R's t/t32 contract; the non-resident float32 path
+// snapshots t alongside the out tiles).
+func (f *fact) runTileTaskT(tr *runtime.TraceTask, st *stepState, ins, outs []tileRef, t *mat.Matrix, t32 *mat.Matrix32,
+	run32R func(in, out []*mat.Matrix32), run32, run64 func()) {
+	switch {
+	case f.res != nil && st.f32:
+		f.runMixed32R(tr, ins, outs, t, t32, run32R, run64)
+	case f.res != nil:
+		m := &tile.Meter{}
+		f.ensure64(m, ins...)
+		f.ensure64(m, outs...)
+		run64()
+		tr.ChargeConv(m.NS)
+	case st.f32:
+		snaps := make([]*mat.Matrix, 0, len(outs)+1)
+		for _, o := range outs {
+			snaps = append(snaps, f.tile64(o))
+		}
+		if t != nil {
+			snaps = append(snaps, t)
+		}
+		f.runMixed32(run32, run64, snaps...)
+	default:
+		run64()
+	}
+}
+
 // trailingCols returns the column indices j > k.
 func (f *fact) trailingCols(k int) []int {
 	cols := make([]int, 0, f.nt-k-1)
@@ -312,9 +523,19 @@ func (f *fact) submitNormTasks(st *stepState) {
 			Priority: prioPanel(k),
 			Accesses: []runtime.Access{runtime.R(f.h[i][k]), runtime.W(h)},
 			Run: func() {
+				nr.colMax = make([]float64, nb)
+				if f.res != nil {
+					// Read through the residency state: a resident tile is
+					// measured over its image without being demoted, so a
+					// criterion probe never ends a float32 epoch.
+					nr.norm1 = f.res.TileNorm1(i, k)
+					for j := 0; j < nb; j++ {
+						nr.colMax[j] = f.res.TileColAbsMax(i, k, j)
+					}
+					return
+				}
 				t := f.A.Tile(i, k)
 				nr.norm1 = t.Norm1()
-				nr.colMax = make([]float64, nb)
 				for j := 0; j < nb; j++ {
 					nr.colMax[j] = t.ColAbsMax(j)
 				}
@@ -350,7 +571,13 @@ func (f *fact) submitBackup(st *stepState) {
 			for r, i := range st.rows {
 				d := st.backupBuf.Data[r*nb*nb : (r+1)*nb*nb]
 				st.backup[r] = &mat.Matrix{Rows: nb, Cols: nb, Stride: nb, Data: d}
-				st.backup[r].CopyFrom(f.A.Tile(i, k))
+				if f.res != nil {
+					// Snapshot the tile's current values (widening a live
+					// image) without ending its float32 epoch.
+					f.res.CopyTileInto(st.backup[r], i, k)
+				} else {
+					st.backup[r].CopyFrom(f.A.Tile(i, k))
+				}
 			}
 			st.localMax = make([]float64, f.nb)
 			for j := 0; j < f.nb; j++ {
@@ -396,26 +623,61 @@ func (f *fact) submitPanelFactor(st *stepState, withCriterion bool) {
 		Priority:  prioPanel(k),
 		ExtraComm: pivComm,
 		Accesses:  acc,
-		Run: func() {
-			st.stack = f.A.StackRows(st.rows, k)
-			if st.f32 {
-				st.piv, st.luErr = lapack.Getrf32(st.stack)
-				if st.luErr != nil || f.excursion(st.stack) {
-					// Demote the whole step: the panel tiles are untouched
-					// until UnstackRows, so a fresh stack restarts the
-					// factorization from clean float64 data. Clearing st.f32
-					// keeps the step's eliminations and updates at f64 too —
-					// a panel that misbehaves at float32 has no business
-					// driving float32 updates.
+		RunTraced: func(tr *runtime.TraceTask) {
+			m := &tile.Meter{}
+			if f.res != nil && st.f32 {
+				// Forced-float32 resident panel: factor a float32 stack built
+				// by reading through each tile's current state, scatter the
+				// factors back as dirty images, and keep a widened float64
+				// copy in st.stack — exactly the values the per-task
+				// round/widen path would have produced — so the criterion
+				// quantities, applies and the RHS replay are unchanged.
+				st.stack32 = mat.NewMatrix32(len(st.rows)*nb, nb)
+				f.res.StackRows32Into(st.stack32, st.rows, k, m)
+				st.piv, st.luErr = lapack.Getrf32R(st.stack32)
+				if st.luErr != nil || f.excursion32(st.stack32) {
+					// Demote the whole step: the images were untouched (the
+					// stack is scratch until UnstackRows32), so normalizing
+					// the tiles to float64 and refactoring restarts from
+					// clean data — bit-identical to the non-resident demote.
+					st.stack32, st.l11_32 = nil, nil
+					f.ensure64(m, colRefs(st.rows, k)...)
 					st.stack = f.A.StackRows(st.rows, k)
 					st.piv, st.luErr = lapack.Getrf(st.stack)
 					st.f32 = false
 					f.noteDemotion()
+					f.A.UnstackRows(st.stack, st.rows, k)
+				} else {
+					st.stack = mat.New(len(st.rows)*nb, nb)
+					st.stack32.WidenInto(st.stack)
+					st.l11_32 = st.stack32.View(0, 0, nb, nb)
+					f.res.UnstackRows32(st.stack32, st.rows, k)
 				}
 			} else {
-				st.piv, st.luErr = lapack.Getrf(st.stack)
+				// The float64 trial (and the non-resident float32 path)
+				// factors the tiles' float64 content — normalize any images
+				// left behind by the previous step's float32 updates first.
+				f.ensure64(m, colRefs(st.rows, k)...)
+				st.stack = f.A.StackRows(st.rows, k)
+				if st.f32 {
+					st.piv, st.luErr = lapack.Getrf32(st.stack)
+					if st.luErr != nil || f.excursion(st.stack) {
+						// Demote the whole step: the panel tiles are untouched
+						// until UnstackRows, so a fresh stack restarts the
+						// factorization from clean float64 data. Clearing st.f32
+						// keeps the step's eliminations and updates at f64 too —
+						// a panel that misbehaves at float32 has no business
+						// driving float32 updates.
+						st.stack = f.A.StackRows(st.rows, k)
+						st.piv, st.luErr = lapack.Getrf(st.stack)
+						st.f32 = false
+						f.noteDemotion()
+					}
+				} else {
+					st.piv, st.luErr = lapack.Getrf(st.stack)
+				}
+				f.A.UnstackRows(st.stack, st.rows, k)
 			}
-			f.A.UnstackRows(st.stack, st.rows, k)
 			if withCriterion {
 				top := st.stack.View(0, 0, nb, nb)
 				st.pivots = lapack.LUPivotGrowth(top)
@@ -425,6 +687,7 @@ func (f *fact) submitPanelFactor(st *stepState, withCriterion bool) {
 					st.invNorm = lapack.InvNorm1EstLU(top, nil)
 				}
 			}
+			tr.ChargeConv(m.NS)
 		},
 	})
 }
@@ -509,7 +772,13 @@ func (f *fact) submitRestore(st *stepState) {
 		Accesses: acc,
 		Run: func() {
 			for r, i := range st.rows {
-				f.A.Tile(i, k).CopyFrom(st.backup[r])
+				if f.res != nil {
+					// Overwrite the float64 array and invalidate any image in
+					// one locked step, so a stale image can never resurface.
+					f.res.StoreF64(i, k, st.backup[r])
+				} else {
+					f.A.Tile(i, k).CopyFrom(st.backup[r])
+				}
 			}
 			st.releaseBackup() // destroyed on exit of Propagate, as in §IV
 		},
@@ -550,7 +819,14 @@ func (f *fact) submitGrowthProbe(k int) {
 			m := 0.0
 			for i := k; i < f.nt; i++ {
 				for j := k; j < f.nt; j++ {
-					if v := f.A.Tile(i, j).NormMax(); v > m {
+					v := 0.0
+					if f.res != nil {
+						// Read through a live image without demoting it.
+						v = f.res.TileNormMax(i, j)
+					} else {
+						v = f.A.Tile(i, j).NormMax()
+					}
+					if v > m {
 						m = v
 					}
 				}

@@ -8,6 +8,7 @@ import (
 	"luqr/internal/lapack"
 	"luqr/internal/mat"
 	"luqr/internal/runtime"
+	"luqr/internal/tile"
 )
 
 // submitLUStep emits the elimination and update tasks of an LU step at
@@ -39,7 +40,30 @@ func (f *fact) submitLUStep(st *stepState) {
 			Flops:    flops.Trsm(nb, nb),
 			Priority: prioElim(k),
 			Accesses: acc,
-			Run: func() {
+			RunTraced: func(tr *runtime.TraceTask) {
+				m := &tile.Meter{}
+				defer func() { tr.ChargeConv(m.NS) }()
+				if f.res != nil && st.f32 {
+					// Resident apply: stack the tiles' float32 images, swap
+					// and solve in place, scatter back as dirty images. The
+					// scratch holds all new state until UnstackRows32, so a
+					// demotion just normalizes the tiles and falls through to
+					// the float64 apply below.
+					s32, sbuf32 := mat.GetMatrix32(len(st.rows)*nb, nb)
+					f.res.StackRows32Into(s32, st.rows, j, m)
+					lapack.Laswp32R(s32, st.piv, false)
+					blas.Trsm32R(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, st.l11_32, s32.View(0, 0, nb, nb))
+					ok := !f.excursion32(s32)
+					if ok {
+						f.res.UnstackRows32(s32, st.rows, j)
+					}
+					mat.PutBuf32(sbuf32)
+					if ok {
+						return
+					}
+					f.noteDemotion()
+				}
+				f.ensure64(m, colRefs(st.rows, j)...)
 				// Pooled stacking scratch: StackRowsInto overwrites every
 				// element, and the buffer never outlives the task.
 				s, sbuf := mat.GetMatrix(len(st.rows)*nb, nb)
@@ -54,8 +78,9 @@ func (f *fact) submitLUStep(st *stepState) {
 						blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, nb))
 					}
 				}
-				apply(st.f32)
-				if st.f32 && f.excursion(s) {
+				f32 := st.f32 && f.res == nil
+				apply(f32)
+				if f32 && f.excursion(s) {
 					// Demotion needs no snapshot: the column tiles are
 					// untouched until UnstackRows, so re-stacking restarts
 					// the apply from clean data.
@@ -77,7 +102,25 @@ func (f *fact) submitLUStep(st *stepState) {
 			Flops:    flops.Trsm(nb, f.rhs.W),
 			Priority: prioElim(k),
 			Accesses: acc,
-			Run: func() {
+			RunTraced: func(tr *runtime.TraceTask) {
+				m := &tile.Meter{}
+				defer func() { tr.ChargeConv(m.NS) }()
+				if f.res != nil && st.f32 {
+					s32, sbuf32 := mat.GetMatrix32(len(st.rows)*nb, f.rhs.W)
+					f.res.StackVec32Into(s32, st.rows, m)
+					lapack.Laswp32R(s32, st.piv, false)
+					blas.Trsm32R(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, st.l11_32, s32.View(0, 0, nb, f.rhs.W))
+					ok := !f.excursion32(s32)
+					if ok {
+						f.res.UnstackVec32(s32, st.rows)
+					}
+					mat.PutBuf32(sbuf32)
+					if ok {
+						return
+					}
+					f.noteDemotion()
+				}
+				f.ensure64(m, vecRefs(st.rows)...)
 				s, sbuf := mat.GetMatrix(len(st.rows)*nb, f.rhs.W)
 				defer mat.PutBuf(sbuf)
 				l11 := st.stack.View(0, 0, nb, nb)
@@ -90,8 +133,9 @@ func (f *fact) submitLUStep(st *stepState) {
 						blas.Trsm(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, l11, s.View(0, 0, nb, f.rhs.W))
 					}
 				}
-				apply(st.f32)
-				if st.f32 && f.excursion(s) {
+				f32 := st.f32 && f.res == nil
+				apply(f32)
+				if f32 && f.excursion(s) {
 					f.noteDemotion()
 					apply(false)
 				}
@@ -113,17 +157,17 @@ func (f *fact) submitLUStep(st *stepState) {
 			Flops:    flops.Trsm(nb, nb),
 			Priority: prioElim(k),
 			Accesses: []runtime.Access{runtime.R(f.h[k][k]), runtime.W(f.h[i][k])},
-			Run: func() {
-				run64 := func() {
-					blas.Trsm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, f.A.Tile(k, k), f.A.Tile(i, k))
-				}
-				if st.f32 {
-					f.runMixed32(func() {
+			RunTraced: func(tr *runtime.TraceTask) {
+				f.runTileTask(tr, st, []tileRef{mref(k, k)}, []tileRef{mref(i, k)},
+					func(in, out []*mat.Matrix32) {
+						blas.Trsm32R(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, in[0], out[0])
+					},
+					func() {
 						blas.Trsm32(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, f.A.Tile(k, k), f.A.Tile(i, k))
-					}, run64, f.A.Tile(i, k))
-				} else {
-					run64()
-				}
+					},
+					func() {
+						blas.Trsm(blas.Right, blas.Upper, blas.NoTrans, blas.NonUnit, 1, f.A.Tile(k, k), f.A.Tile(i, k))
+					})
 			},
 		})
 	}
@@ -140,17 +184,17 @@ func (f *fact) submitLUStep(st *stepState) {
 				Flops:    flops.Gemm(nb, nb, nb),
 				Priority: prioUpdate(k, j),
 				Accesses: []runtime.Access{runtime.R(f.h[i][k]), runtime.R(f.h[k][j]), runtime.W(f.h[i][j])},
-				Run: func() {
-					run64 := func() {
-						blas.Gemm(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.A.Tile(k, j), 1, f.A.Tile(i, j))
-					}
-					if st.f32 {
-						f.runMixed32(func() {
+				RunTraced: func(tr *runtime.TraceTask) {
+					f.runTileTask(tr, st, []tileRef{mref(i, k), mref(k, j)}, []tileRef{mref(i, j)},
+						func(in, out []*mat.Matrix32) {
+							blas.Gemm32R(blas.NoTrans, blas.NoTrans, -1, in[0], in[1], 1, out[0])
+						},
+						func() {
 							blas.Gemm32(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.A.Tile(k, j), 1, f.A.Tile(i, j))
-						}, run64, f.A.Tile(i, j))
-					} else {
-						run64()
-					}
+						},
+						func() {
+							blas.Gemm(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.A.Tile(k, j), 1, f.A.Tile(i, j))
+						})
 				},
 			})
 		}
@@ -161,17 +205,17 @@ func (f *fact) submitLUStep(st *stepState) {
 			Flops:    flops.Gemm(nb, f.rhs.W, nb),
 			Priority: prioUpdate(k, k+1),
 			Accesses: []runtime.Access{runtime.R(f.h[i][k]), runtime.R(f.hb[k]), runtime.W(f.hb[i])},
-			Run: func() {
-				run64 := func() {
-					blas.Gemm(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.rhs.Tile(k), 1, f.rhs.Tile(i))
-				}
-				if st.f32 {
-					f.runMixed32(func() {
+			RunTraced: func(tr *runtime.TraceTask) {
+				f.runTileTask(tr, st, []tileRef{mref(i, k), vref(k)}, []tileRef{vref(i)},
+					func(in, out []*mat.Matrix32) {
+						blas.Gemm32R(blas.NoTrans, blas.NoTrans, -1, in[0], in[1], 1, out[0])
+					},
+					func() {
 						blas.Gemm32(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.rhs.Tile(k), 1, f.rhs.Tile(i))
-					}, run64, f.rhs.Tile(i))
-				} else {
-					run64()
-				}
+					},
+					func() {
+						blas.Gemm(blas.NoTrans, blas.NoTrans, -1, f.A.Tile(i, k), f.rhs.Tile(k), 1, f.rhs.Tile(i))
+					})
 			},
 		})
 	}

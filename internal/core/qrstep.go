@@ -20,6 +20,8 @@ func (f *fact) submitQRStep(st *stepState) {
 	if st.tGeqrt == nil {
 		st.tGeqrt = map[int]*mat.Matrix{}
 		st.tKill = map[int]*mat.Matrix{}
+		st.tGeqrt32 = map[int]*mat.Matrix32{}
+		st.tKill32 = map[int]*mat.Matrix32{}
 		st.hTGeqrt = map[int]*runtime.Handle{}
 		st.hTKill = map[int]*runtime.Handle{}
 	}
@@ -50,6 +52,13 @@ func (f *fact) submitGeqrt(st *stepState, i int) {
 	nb := f.nb
 	t := mat.New(nb, nb)
 	st.tGeqrt[i] = t
+	// The float32 T image is allocated at submit time (the map write is
+	// single-threaded here) and kept in sync with t by the factor task.
+	var t32 *mat.Matrix32
+	if st.f32 && f.res != nil {
+		t32 = mat.NewMatrix32(nb, nb)
+		st.tGeqrt32[i] = t32
+	}
 	hT := f.e.NewHandle(fmt.Sprintf("Tg(%d,%d)", i, k), nb*nb*8, f.owner(i, k))
 	st.hTGeqrt[i] = hT
 
@@ -60,14 +69,11 @@ func (f *fact) submitGeqrt(st *stepState, i int) {
 		Flops:    flops.Geqrt(nb, nb),
 		Priority: prioElim(k),
 		Accesses: []runtime.Access{runtime.W(f.h[i][k]), runtime.W(hT)},
-		Run: func() {
-			run64 := func() { lapack.GeqrtIB(f.A.Tile(i, k), t, f.ib) }
-			if st.f32 {
-				f.runMixed32(func() { lapack.Geqrt32IB(f.A.Tile(i, k), t, f.ib) },
-					run64, f.A.Tile(i, k), t)
-			} else {
-				run64()
-			}
+		RunTraced: func(tr *runtime.TraceTask) {
+			f.runTileTaskT(tr, st, nil, []tileRef{mref(i, k)}, t, t32,
+				func(in, out []*mat.Matrix32) { lapack.Geqrt32RIB(out[0], t32, f.ib) },
+				func() { lapack.Geqrt32IB(f.A.Tile(i, k), t, f.ib) },
+				func() { lapack.GeqrtIB(f.A.Tile(i, k), t, f.ib) })
 		},
 	})
 	f.submitGeqrtUpdates(st, i)
@@ -80,6 +86,7 @@ func (f *fact) submitGeqrtUpdates(st *stepState, i int) {
 	k := st.k
 	nb := f.nb
 	t := st.tGeqrt[i]
+	t32 := st.tGeqrt32[i]
 	hT := st.hTGeqrt[i]
 	for _, j := range f.trailingCols(k) {
 		j := j
@@ -90,14 +97,11 @@ func (f *fact) submitGeqrtUpdates(st *stepState, i int) {
 			Flops:    flops.Unmqr(nb, nb),
 			Priority: prioUpdate(k, j),
 			Accesses: []runtime.Access{runtime.R(f.h[i][k]), runtime.R(hT), runtime.W(f.h[i][j])},
-			Run: func() {
-				run64 := func() { lapack.Unmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(i, j)) }
-				if st.f32 {
-					f.runMixed32(func() { lapack.Unmqr32(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(i, j)) },
-						run64, f.A.Tile(i, j))
-				} else {
-					run64()
-				}
+			RunTraced: func(tr *runtime.TraceTask) {
+				f.runTileTask(tr, st, []tileRef{mref(i, k)}, []tileRef{mref(i, j)},
+					func(in, out []*mat.Matrix32) { lapack.Unmqr32R(blas.Trans, in[0], t32, out[0]) },
+					func() { lapack.Unmqr32(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(i, j)) },
+					func() { lapack.Unmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(i, j)) })
 			},
 		})
 	}
@@ -108,14 +112,11 @@ func (f *fact) submitGeqrtUpdates(st *stepState, i int) {
 		Flops:    flops.Unmqr(nb, f.rhs.W),
 		Priority: prioUpdate(k, k+1),
 		Accesses: []runtime.Access{runtime.R(f.h[i][k]), runtime.R(hT), runtime.W(f.hb[i])},
-		Run: func() {
-			run64 := func() { lapack.Unmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(i)) }
-			if st.f32 {
-				f.runMixed32(func() { lapack.Unmqr32(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(i)) },
-					run64, f.rhs.Tile(i))
-			} else {
-				run64()
-			}
+		RunTraced: func(tr *runtime.TraceTask) {
+			f.runTileTask(tr, st, []tileRef{mref(i, k)}, []tileRef{vref(i)},
+				func(in, out []*mat.Matrix32) { lapack.Unmqr32R(blas.Trans, in[0], t32, out[0]) },
+				func() { lapack.Unmqr32(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(i)) },
+				func() { lapack.Unmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(i)) })
 		},
 	})
 }
@@ -137,6 +138,11 @@ func (f *fact) submitKill(st *stepState, i, piv int, ts bool) {
 	nb := f.nb
 	t := mat.New(nb, nb)
 	st.tKill[i] = t
+	var t32 *mat.Matrix32
+	if st.f32 && f.res != nil {
+		t32 = mat.NewMatrix32(nb, nb)
+		st.tKill32[i] = t32
+	}
 	hT := f.e.NewHandle(fmt.Sprintf("Tk(%d,%d)", i, k), nb*nb*8, f.owner(i, k))
 	st.hTKill[i] = hT
 
@@ -154,25 +160,29 @@ func (f *fact) submitKill(st *stepState, i, piv int, ts bool) {
 		Flops:    factFlops,
 		Priority: prioElim(k),
 		Accesses: []runtime.Access{runtime.W(f.h[piv][k]), runtime.W(f.h[i][k]), runtime.W(hT)},
-		Run: func() {
-			run64 := func() {
-				if ts {
-					lapack.TsqrtIB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
-				} else {
-					lapack.TtqrtIB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
-				}
-			}
-			if st.f32 {
-				f.runMixed32(func() {
+		RunTraced: func(tr *runtime.TraceTask) {
+			f.runTileTaskT(tr, st, nil, []tileRef{mref(piv, k), mref(i, k)}, t, t32,
+				func(in, out []*mat.Matrix32) {
+					if ts {
+						lapack.Tsqrt32RIB(out[0], out[1], t32, f.ib)
+					} else {
+						lapack.Ttqrt32RIB(out[0], out[1], t32, f.ib)
+					}
+				},
+				func() {
 					if ts {
 						lapack.Tsqrt32IB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
 					} else {
 						lapack.Ttqrt32IB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
 					}
-				}, run64, f.A.Tile(piv, k), f.A.Tile(i, k), t)
-			} else {
-				run64()
-			}
+				},
+				func() {
+					if ts {
+						lapack.TsqrtIB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
+					} else {
+						lapack.TtqrtIB(f.A.Tile(piv, k), f.A.Tile(i, k), t, f.ib)
+					}
+				})
 		},
 	})
 	for _, j := range f.trailingCols(k) {
@@ -187,25 +197,29 @@ func (f *fact) submitKill(st *stepState, i, piv int, ts bool) {
 				runtime.R(f.h[i][k]), runtime.R(hT),
 				runtime.W(f.h[piv][j]), runtime.W(f.h[i][j]),
 			},
-			Run: func() {
-				run64 := func() {
-					if ts {
-						lapack.Tsmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
-					} else {
-						lapack.Ttmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
-					}
-				}
-				if st.f32 {
-					f.runMixed32(func() {
+			RunTraced: func(tr *runtime.TraceTask) {
+				f.runTileTask(tr, st, []tileRef{mref(i, k)}, []tileRef{mref(piv, j), mref(i, j)},
+					func(in, out []*mat.Matrix32) {
+						if ts {
+							lapack.Tsmqr32R(blas.Trans, in[0], t32, out[0], out[1])
+						} else {
+							lapack.Ttmqr32R(blas.Trans, in[0], t32, out[0], out[1])
+						}
+					},
+					func() {
 						if ts {
 							lapack.Tsmqr32(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
 						} else {
 							lapack.Ttmqr32(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
 						}
-					}, run64, f.A.Tile(piv, j), f.A.Tile(i, j))
-				} else {
-					run64()
-				}
+					},
+					func() {
+						if ts {
+							lapack.Tsmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
+						} else {
+							lapack.Ttmqr(blas.Trans, f.A.Tile(i, k), t, f.A.Tile(piv, j), f.A.Tile(i, j))
+						}
+					})
 			},
 		})
 	}
@@ -219,25 +233,29 @@ func (f *fact) submitKill(st *stepState, i, piv int, ts bool) {
 			runtime.R(f.h[i][k]), runtime.R(hT),
 			runtime.W(f.hb[piv]), runtime.W(f.hb[i]),
 		},
-		Run: func() {
-			run64 := func() {
-				if ts {
-					lapack.Tsmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
-				} else {
-					lapack.Ttmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
-				}
-			}
-			if st.f32 {
-				f.runMixed32(func() {
+		RunTraced: func(tr *runtime.TraceTask) {
+			f.runTileTask(tr, st, []tileRef{mref(i, k)}, []tileRef{vref(piv), vref(i)},
+				func(in, out []*mat.Matrix32) {
+					if ts {
+						lapack.Tsmqr32R(blas.Trans, in[0], t32, out[0], out[1])
+					} else {
+						lapack.Ttmqr32R(blas.Trans, in[0], t32, out[0], out[1])
+					}
+				},
+				func() {
 					if ts {
 						lapack.Tsmqr32(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
 					} else {
 						lapack.Ttmqr32(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
 					}
-				}, run64, f.rhs.Tile(piv), f.rhs.Tile(i))
-			} else {
-				run64()
-			}
+				},
+				func() {
+					if ts {
+						lapack.Tsmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
+					} else {
+						lapack.Ttmqr(blas.Trans, f.A.Tile(i, k), t, f.rhs.Tile(piv), f.rhs.Tile(i))
+					}
+				})
 		},
 	})
 }

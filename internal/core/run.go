@@ -75,6 +75,13 @@ func Run(a *mat.Matrix, b []float64, cfg Config) (*Result, error) {
 		// The refinement residuals need the original matrix; factors
 		// overwrite the tiles, so keep a clone for the run's lifetime.
 		f.a0 = a.Clone()
+		if !residencyOff {
+			// Float32 steps run on resident tile images, converting only at
+			// epoch boundaries instead of once per task. f64-effective runs
+			// never construct the store, so their path is byte-for-byte the
+			// plain one.
+			f.res = tile.NewResidency(ta, rhs)
+		}
 	}
 	start := time.Now()
 	switch c.Alg {
@@ -101,6 +108,17 @@ func Run(a *mat.Matrix, b []float64, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: unknown algorithm %v", c.Alg)
 	}
 	f.e.Wait()
+	if f.res != nil {
+		// End the run's last float32 epochs: widen every dirty tile back to
+		// float64 before the clock stops, so the epoch-boundary conversion
+		// cost is charged to the wall time it belongs to — and so growth,
+		// solves and serialization below only ever see float64 tiles.
+		f.res.Flush(nil)
+		epochs, to32, to64 := f.res.Counters()
+		f.report.F32Epochs = int(epochs)
+		f.report.Conversions = int(to32 + to64)
+		f.report.ConvTime = time.Duration(f.res.ConvNS())
+	}
 	f.report.WallTime = time.Since(start)
 	if c.Trace {
 		f.report.Trace = f.e.Trace()

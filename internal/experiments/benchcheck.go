@@ -86,6 +86,18 @@ func ValidateSolverBench(r io.Reader) (*SolverBenchReport, error) {
 		if e.Precision == "f32" && e.F32Steps+e.Demotions == 0 {
 			return nil, fmt.Errorf("solver bench: forced-f32 entry shows no f32 activity: %+v", e)
 		}
+		// Residency accounting: any run that accepted float32 steps did so on
+		// resident tile images, so it must have opened epochs and paid their
+		// boundary conversions — a zero here means the counters came unwired.
+		// The f64 row (and an auto row that never licensed f32) legitimately
+		// reports zeros: the store is never built for f64-effective runs.
+		if e.F32Steps > 0 && (e.F32Epochs == 0 || e.Conversions == 0) {
+			return nil, fmt.Errorf("solver bench: mixed %s entry took %d f32 steps but recorded no residency epochs/conversions: %+v",
+				e.Precision, e.F32Steps, e)
+		}
+		if e.F32Steps == 0 && e.Demotions > 0 && e.Precision == "auto" {
+			return nil, fmt.Errorf("solver bench: auto entry demoted %d tasks with no accepted f32 step: %+v", e.Demotions, e)
+		}
 	}
 	return &rep, nil
 }

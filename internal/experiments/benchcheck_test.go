@@ -57,18 +57,24 @@ func TestSolverBenchRoundTrip(t *testing.T) {
 	if last := rep.SimSolver[len(rep.SimSolver)-1]; last.Speedup <= 1 {
 		t.Fatalf("simulated speedup at w=%d is %.2f, want > 1", last.Workers, last.Speedup)
 	}
-	// The mixed section covers all three precision settings, and the forced
-	// f32 point both engaged the float32 path and refined into the band
-	// (ValidateSolverBench already gated the HPL3 values).
-	if len(rep.Mixed) != 3 {
-		t.Fatalf("mixed section has %d entries, want 3", len(rep.Mixed))
+	// The mixed section covers two operators × three precision settings, and
+	// each forced-f32 point both engaged the float32 path and refined into
+	// the band (ValidateSolverBench already gated the HPL3 values).
+	if len(rep.Mixed) != 6 {
+		t.Fatalf("mixed section has %d entries, want 6 (2 operators × 3 precisions)", len(rep.Mixed))
 	}
-	f32 := rep.Mixed[2]
-	if f32.Precision != "f32" || f32.F32Steps+f32.Demotions == 0 {
-		t.Fatalf("forced-f32 mixed entry = %+v, want f32 activity", f32)
+	if rep.Mixed[0].Matrix != "random" || rep.Mixed[3].Matrix != "diagdom" {
+		t.Fatalf("mixed operators = %q/%q, want random then diagdom",
+			rep.Mixed[0].Matrix, rep.Mixed[3].Matrix)
 	}
-	if f32.F32Steps > 0 && f32.RefineIters == 0 {
-		t.Fatalf("f32 factorization refined 0 rounds: %+v", f32)
+	for _, i := range []int{2, 5} {
+		f32 := rep.Mixed[i]
+		if f32.Precision != "f32" || f32.F32Steps+f32.Demotions == 0 {
+			t.Fatalf("forced-f32 mixed entry = %+v, want f32 activity", f32)
+		}
+		if f32.F32Steps > 0 && f32.RefineIters == 0 {
+			t.Fatalf("f32 factorization refined 0 rounds: %+v", f32)
+		}
 	}
 }
 
@@ -102,8 +108,9 @@ func TestValidateSolverBenchRejects(t *testing.T) {
 				{Workers: 2, MakespanSeconds: 0.06, GFlops: 1.6, Speedup: 1.7},
 			},
 			Mixed: []MixedBenchEntry{
-				{Precision: "f64", WallSeconds: 0.1, GFlops: 1, HPL3: 0.01},
-				{Precision: "f32", WallSeconds: 0.07, GFlops: 1.4, F32Steps: 4, RefineIters: 2, HPL3: 1.5},
+				{Matrix: "random", Precision: "f64", WallSeconds: 0.1, GFlops: 1, HPL3: 0.01},
+				{Matrix: "random", Precision: "f32", WallSeconds: 0.07, GFlops: 1.4, F32Steps: 4,
+					F32Epochs: 6, Conversions: 9, ConvMS: 0.2, RefineIters: 2, HPL3: 1.5},
 			},
 			Dispatch: []DispatchBenchEntry{{Workers: 1, NsPerTask: 300}},
 		}
@@ -124,6 +131,15 @@ func TestValidateSolverBenchRejects(t *testing.T) {
 		{"mixed out of band", func(r *SolverBenchReport) { r.Mixed[1].HPL3 = 1e6 }, "refine to tolerance"},
 		{"mixed nan marker", func(r *SolverBenchReport) { r.Mixed[1].HPL3 = -1 }, "refine to tolerance"},
 		{"f32 never engaged", func(r *SolverBenchReport) { r.Mixed[1].F32Steps = 0 }, "no f32 activity"},
+		{"epochs unwired", func(r *SolverBenchReport) { r.Mixed[1].F32Epochs = 0 }, "no residency epochs"},
+		{"conversions unwired", func(r *SolverBenchReport) { r.Mixed[1].Conversions = 0 }, "no residency epochs"},
+		{"auto demotes without steps", func(r *SolverBenchReport) {
+			r.Mixed[1].Precision = "auto"
+			r.Mixed[1].F32Steps = 0
+			r.Mixed[1].F32Epochs = 0
+			r.Mixed[1].Conversions = 0
+			r.Mixed[1].Demotions = 3
+		}, "no accepted f32 step"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -115,6 +115,33 @@ func Breakdown(o Options, out io.Writer) (*runtime.Stats, error) {
 	fmt.Fprintf(out, "simulated on %s: makespan %.4fs, critical path %.4fs, %d messages, %.2f MB\n",
 		o.Machine.Name, sr.Makespan, sim.CriticalPath(trace, o.Machine.CoreGFlops),
 		sr.Messages, float64(sr.CommBytes)/1e6)
+
+	// Conversion attribution: rerun the same operator in auto precision with
+	// the Max criterion (Random reports no margins, so auto would never
+	// license float32) and charge the epoch-boundary conversions against the
+	// tasks that paid them. Conversions-per-epoch is the number to watch: the
+	// resident store converts once per tile epoch, not once per task, so it
+	// stays O(1) while the tasks touching the tile within the epoch grow.
+	mcfg := timelineConfig(o)
+	mcfg.Criterion = criteria.Max{Alpha: 100}
+	mcfg.Precision = core.PrecisionAuto
+	mres, err := core.Run(a, b, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	mr := mres.Report
+	mstats := runtime.ComputeStats(mr.Trace)
+	fmt.Fprintf(out, "\n# Conversion attribution — same operator, auto precision, MAX(α=100)\n")
+	if mr.F32Epochs > 0 {
+		fmt.Fprintf(out, "auto run: %d f32 steps, %d demotions; %d tile epochs, %d conversions (%.2f per epoch) costing %v (%.2f%% of %v busy)\n",
+			mr.F32Steps, mr.Demotions, mr.F32Epochs, mr.Conversions,
+			float64(mr.Conversions)/float64(mr.F32Epochs), mr.ConvTime,
+			pct(mr.ConvTime.Seconds(), mstats.TotalBusy().Seconds()), mstats.TotalBusy().Round(time.Microsecond))
+		fmt.Fprintf(out, "trace-charged conversion time: %v (per-kernel split in the stats table's conv column)\n",
+			mstats.ConvTotal.Round(time.Microsecond))
+	} else {
+		fmt.Fprintf(out, "auto run licensed no float32 steps at this size (margins above the comfort bound); no epochs to attribute\n")
+	}
 	return meas, nil
 }
 

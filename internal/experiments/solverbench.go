@@ -11,6 +11,7 @@ import (
 	"luqr/internal/core"
 	"luqr/internal/criteria"
 	"luqr/internal/flops"
+	"luqr/internal/mat"
 	"luqr/internal/matgen"
 	"luqr/internal/runtime"
 	"luqr/internal/sim"
@@ -53,17 +54,26 @@ type SimScalingEntry struct {
 	Speedup         float64 `json:"speedup_vs_1"`
 }
 
-// MixedBenchEntry is one precision point of the mixed-precision section: the
-// canonical operator factored under one Config.Precision setting with the MAX
+// MixedBenchEntry is one precision point of the mixed-precision section: one
+// operator factored under one Config.Precision setting with the MAX
 // criterion (auto mode needs its margins; RANDOM reports none), 1 worker,
-// best of reps. HPL3 is the refined backward error — the accuracy side of the
-// accuracy-vs-speed trade the section records.
+// best of reps. Two operators are swept: the canonical random matrix (mostly
+// QR steps under MAX — auto barely engages) and a diagonally dominant one
+// (all-LU, GEMM-dominated — the class auto is for). HPL3 is the refined
+// backward error — the accuracy side of the accuracy-vs-speed trade.
 type MixedBenchEntry struct {
+	Matrix      string  `json:"matrix,omitempty"`
 	Precision   string  `json:"precision"`
 	WallSeconds float64 `json:"wall_seconds"`
 	GFlops      float64 `json:"gflops"`
 	F32Steps    int     `json:"f32_steps"`
 	Demotions   int     `json:"demotions"`
+	// F32Epochs counts tile promotions into float32 residency and Conversions
+	// the epoch-boundary conversion passes they cost (ConvMS their wall time);
+	// zero for the f64 row, where the residency store is never built.
+	F32Epochs   int     `json:"f32_epochs,omitempty"`
+	Conversions int     `json:"conversions,omitempty"`
+	ConvMS      float64 `json:"conv_ms,omitempty"`
 	RefineIters int     `json:"refine_iters"`
 	HPL3        float64 `json:"hpl3"`
 }
@@ -345,44 +355,63 @@ func WriteSolverBench(o SolverBenchOptions, out, table io.Writer) error {
 		fmt.Fprintf(table, "%-6d  %-7d  %-10.4f  %.3f\n", e.NB, e.Tiles, e.WallSeconds, e.GFlops)
 	}
 
-	// Mixed-precision sweep at 1 worker: the same operator under each
+	// Mixed-precision sweep at 1 worker: two operators under each
 	// Config.Precision setting, with the MAX criterion so auto mode has the
-	// margins it decides on. Wall time is the speed side; the refined HPL3,
-	// the f32-step/demotion counts, and the refinement rounds are the
-	// accuracy side. The validator gates HPL3 on the §V-A acceptance band —
-	// this is the "mixed run refines to tolerance" smoke assertion.
+	// margins it decides on. The random operator takes mostly QR steps at
+	// α=100 (auto barely engages — honest null result); the diagonally
+	// dominant one is all-LU with deep margins, so every step licenses
+	// float32 and the GEMM-dominated trailing updates run resident — the
+	// configuration where auto must beat f64 wall. Wall time is the speed
+	// side; the refined HPL3, the f32-step/demotion/epoch counts, and the
+	// refinement rounds are the accuracy side. The validator gates HPL3 on
+	// the §V-A acceptance band — the "mixed run refines to tolerance" smoke
+	// assertion — and rejects f32-stepping rows with unwired epoch counters.
 	fmt.Fprintf(table, "\n# Mixed precision (measured) — N=%d nb=%d, MAX(α=100), 1 worker, best of %d\n", o.N, o.NB, o.Reps)
-	fmt.Fprintf(table, "%-10s  %-10s  %-8s  %-10s  %-10s  %-7s  %s\n",
-		"precision", "wall(s)", "GF/s", "f32 steps", "demotions", "refine", "hpl3")
-	for _, prec := range []core.Precision{core.PrecisionF64, core.PrecisionAuto, core.PrecisionF32} {
-		var best *core.Report
-		for r := 0; r < o.Reps; r++ {
-			cfg := solverBenchConfig(o.NB, 1, false)
-			cfg.Criterion = criteria.Max{Alpha: 100}
-			cfg.Precision = prec
-			res, err := core.Run(a, b, cfg)
-			if err != nil {
-				return err
+	fmt.Fprintf(table, "%-8s  %-10s  %-10s  %-8s  %-10s  %-10s  %-7s  %-6s  %-9s  %-7s  %s\n",
+		"matrix", "precision", "wall(s)", "GF/s", "f32 steps", "demotions", "epochs", "conv", "conv(ms)", "refine", "hpl3")
+	diagRng := rand.New(rand.NewSource(1))
+	for _, op := range []struct {
+		name string
+		a    *mat.Matrix
+		b    []float64
+	}{
+		{"random", a, b},
+		{"diagdom", matgen.DiagDominant(o.N, diagRng), matgen.RandomVector(o.N, diagRng)},
+	} {
+		for _, prec := range []core.Precision{core.PrecisionF64, core.PrecisionAuto, core.PrecisionF32} {
+			var best *core.Report
+			for r := 0; r < o.Reps; r++ {
+				cfg := solverBenchConfig(o.NB, 1, false)
+				cfg.Criterion = criteria.Max{Alpha: 100}
+				cfg.Precision = prec
+				res, err := core.Run(op.a, op.b, cfg)
+				if err != nil {
+					return err
+				}
+				if best == nil || res.Report.WallTime < best.WallTime {
+					best = res.Report
+				}
 			}
-			if best == nil || res.Report.WallTime < best.WallTime {
-				best = res.Report
+			wall := best.WallTime.Seconds()
+			e := MixedBenchEntry{
+				Matrix:    op.name,
+				Precision: prec.String(), WallSeconds: wall, GFlops: flops.GFlops(total, wall),
+				F32Steps: best.F32Steps, Demotions: best.Demotions,
+				F32Epochs: best.F32Epochs, Conversions: best.Conversions,
+				ConvMS:      float64(best.ConvTime.Microseconds()) / 1000,
+				RefineIters: best.RefineIters, HPL3: best.HPL3,
 			}
+			if math.IsNaN(e.HPL3) {
+				// NaN is not representable in JSON; -1 is the explicit "broken"
+				// marker the validator rejects.
+				warn("mixed %s/%s run produced a NaN backward error", e.Matrix, e.Precision)
+				e.HPL3 = -1
+			}
+			rep.Mixed = append(rep.Mixed, e)
+			fmt.Fprintf(table, "%-8s  %-10s  %-10.4f  %-8.3f  %-10d  %-10d  %-7d  %-6d  %-9.1f  %-7d  %.3g\n",
+				e.Matrix, e.Precision, e.WallSeconds, e.GFlops, e.F32Steps, e.Demotions,
+				e.F32Epochs, e.Conversions, e.ConvMS, e.RefineIters, e.HPL3)
 		}
-		wall := best.WallTime.Seconds()
-		e := MixedBenchEntry{
-			Precision: prec.String(), WallSeconds: wall, GFlops: flops.GFlops(total, wall),
-			F32Steps: best.F32Steps, Demotions: best.Demotions,
-			RefineIters: best.RefineIters, HPL3: best.HPL3,
-		}
-		if math.IsNaN(e.HPL3) {
-			// NaN is not representable in JSON; -1 is the explicit "broken"
-			// marker the validator rejects.
-			warn("mixed %s run produced a NaN backward error", e.Precision)
-			e.HPL3 = -1
-		}
-		rep.Mixed = append(rep.Mixed, e)
-		fmt.Fprintf(table, "%-10s  %-10.4f  %-8.3f  %-10d  %-10d  %-7d  %.3g\n",
-			e.Precision, e.WallSeconds, e.GFlops, e.F32Steps, e.Demotions, e.RefineIters, e.HPL3)
 	}
 
 	// Simulated DAG scaling: trace one single-worker run, calibrate the

@@ -1,0 +1,146 @@
+package lapack
+
+import (
+	"math/rand"
+	"testing"
+
+	"luqr/internal/blas"
+	"luqr/internal/mat"
+)
+
+// round32 returns a float32 image of m and overwrites m with the widened
+// image, establishing the residency invariant (f64 storage == widened f32)
+// that makes the converting and resident kernels bit-comparable.
+func round32(m *mat.Matrix) *mat.Matrix32 {
+	img := mat.NewMatrix32(m.Rows, m.Cols)
+	img.RoundFrom(m)
+	img.WidenInto(m)
+	return img
+}
+
+func rand64(rng *rand.Rand, r, c int) *mat.Matrix {
+	m := mat.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// expectBitEqual asserts float64(img) == m elementwise (NaN == NaN).
+func expectBitEqual(t *testing.T, name string, img *mat.Matrix32, m *mat.Matrix) {
+	t.Helper()
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			a, b := float64(img.At(i, j)), m.At(i, j)
+			if a != b && !(a != a && b != b) {
+				t.Fatalf("%s: (%d,%d) resident %v != converting %v", name, i, j, a, b)
+			}
+		}
+	}
+}
+
+// TestGetrf32RMatchesGetrf32 cross-checks the resident recursive LU against
+// the converting one: same pivots, bit-identical factors, both above and
+// below the recursion leaf.
+func TestGetrf32RMatchesGetrf32(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range [][2]int{{1, 1}, {7, 5}, {16, 16}, {40, 33}, {96, 96}} {
+		m, n := d[0], d[1]
+		a := rand64(rng, m, n)
+		img := round32(a)
+		piv, err := Getrf32(a)
+		pivR, errR := Getrf32R(img)
+		if (err == nil) != (errR == nil) {
+			t.Fatalf("Getrf32R %dx%d error mismatch: %v vs %v", m, n, err, errR)
+		}
+		for k := range piv {
+			if piv[k] != pivR[k] {
+				t.Fatalf("Getrf32R %dx%d pivot %d: %d vs %d", m, n, k, pivR[k], piv[k])
+			}
+		}
+		expectBitEqual(t, "Getrf32R", img, a)
+	}
+}
+
+// TestGeqrt32RMatchesGeqrt32 cross-checks the resident ib-blocked panel QR:
+// V/R in the tile and the T factor must both match bit for bit.
+func TestGeqrt32RMatchesGeqrt32(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, d := range [][3]int{{8, 8, 4}, {24, 16, 8}, {40, 40, 8}, {33, 20, 6}} {
+		m, n, ib := d[0], d[1], d[2]
+		a := rand64(rng, m, n)
+		tf := mat.New(n, n)
+		aImg := round32(a)
+		tImg := mat.NewMatrix32(n, n)
+		Geqrt32IB(a, tf, ib)
+		Geqrt32RIB(aImg, tImg, ib)
+		expectBitEqual(t, "Geqrt32R A", aImg, a)
+		expectBitEqual(t, "Geqrt32R T", tImg, tf)
+
+		c := rand64(rng, m, 9)
+		cImg := round32(c)
+		Unmqr32(blas.Trans, a, tf, c)
+		tImg2 := mat.NewMatrix32(n, n)
+		tImg2.RoundFrom(tf)
+		Unmqr32R(blas.Trans, aImg, tImg2, cImg)
+		expectBitEqual(t, "Unmqr32R", cImg, c)
+	}
+}
+
+// TestTsqrt32RMatchesTsqrt32 cross-checks the resident TS factor and its
+// update kernel.
+func TestTsqrt32RMatchesTsqrt32(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, d := range [][3]int{{8, 8, 4}, {24, 16, 8}, {32, 32, 8}} {
+		m, n, ib := d[0], d[1], d[2]
+		r := rand64(rng, n, n)
+		a := rand64(rng, m, n)
+		tf := mat.New(n, n)
+		rImg, aImg := round32(r), round32(a)
+		tImg := mat.NewMatrix32(n, n)
+		Tsqrt32IB(r, a, tf, ib)
+		Tsqrt32RIB(rImg, aImg, tImg, ib)
+		expectBitEqual(t, "Tsqrt32R R", rImg, r)
+		expectBitEqual(t, "Tsqrt32R V", aImg, a)
+		expectBitEqual(t, "Tsqrt32R T", tImg, tf)
+
+		c1 := rand64(rng, n, 9)
+		c2 := rand64(rng, m, 9)
+		c1Img, c2Img := round32(c1), round32(c2)
+		Tsmqr32(blas.Trans, a, tf, c1, c2)
+		tImg2 := mat.NewMatrix32(n, n)
+		tImg2.RoundFrom(tf)
+		Tsmqr32R(blas.Trans, aImg, tImg2, c1Img, c2Img)
+		expectBitEqual(t, "Tsmqr32R C1", c1Img, c1)
+		expectBitEqual(t, "Tsmqr32R C2", c2Img, c2)
+	}
+}
+
+// TestTtqrt32RMatchesTtqrt32 cross-checks the resident TT factor and its
+// update kernel.
+func TestTtqrt32RMatchesTtqrt32(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, d := range [][2]int{{8, 4}, {16, 8}, {32, 8}, {20, 6}} {
+		n, ib := d[0], d[1]
+		r1 := rand64(rng, n, n)
+		r2 := rand64(rng, n, n)
+		tf := mat.New(n, n)
+		r1Img, r2Img := round32(r1), round32(r2)
+		tImg := mat.NewMatrix32(n, n)
+		Ttqrt32IB(r1, r2, tf, ib)
+		Ttqrt32RIB(r1Img, r2Img, tImg, ib)
+		expectBitEqual(t, "Ttqrt32R R1", r1Img, r1)
+		expectBitEqual(t, "Ttqrt32R R2", r2Img, r2)
+		expectBitEqual(t, "Ttqrt32R T", tImg, tf)
+
+		c1 := rand64(rng, n, 9)
+		c2 := rand64(rng, n, 9)
+		c1Img, c2Img := round32(c1), round32(c2)
+		Ttmqr32(blas.Trans, r2, tf, c1, c2)
+		tImg2 := mat.NewMatrix32(n, n)
+		tImg2.RoundFrom(tf)
+		Ttmqr32R(blas.Trans, r2Img, tImg2, c1Img, c2Img)
+		expectBitEqual(t, "Ttmqr32R C1", c1Img, c1)
+		expectBitEqual(t, "Ttmqr32R C2", c2Img, c2)
+	}
+}

@@ -57,3 +57,20 @@ func PutBuf32(b *Buf32) {
 	}
 	ws32Pools[b.class].Put(b)
 }
+
+// Matrix32 views the first rows·cols elements of the buffer as a rows×cols
+// row-major float32 matrix with tight stride. The view aliases b.Data; it
+// dies with the buffer at PutBuf32. Contents are unspecified.
+func (b *Buf32) Matrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 || rows*cols > len(b.Data) {
+		panic("mat: Buf32.Matrix32 view larger than buffer")
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Stride: cols, Data: b.Data[:rows*cols]}
+}
+
+// GetMatrix32 returns a rows×cols float32 matrix backed by a pooled buffer,
+// plus the buffer to PutBuf32 when done. Contents are unspecified.
+func GetMatrix32(rows, cols int) (*Matrix32, *Buf32) {
+	b := GetBuf32(rows * cols)
+	return b.Matrix32(rows, cols), b
+}

@@ -167,6 +167,19 @@ type TraceTask struct {
 	// and all worker deques at the moment this task was dispatched — a
 	// sample of scheduler pressure.
 	QueueDepth int
+	// ConvNS is the portion of the task's execution spent in precision
+	// conversions (float32 tile promotions/demotions), charged by the task
+	// body through ChargeConv. It lets the breakdown experiment attribute
+	// conversion overhead separately from kernel arithmetic.
+	ConvNS int64
+}
+
+// ChargeConv adds ns nanoseconds of precision-conversion time to the task's
+// record. Safe on a nil receiver, so task bodies may charge unconditionally.
+func (t *TraceTask) ChargeConv(ns int64) {
+	if t != nil {
+		t.ConvNS += ns
+	}
 }
 
 // Duration returns the measured execution time of the task.
@@ -186,6 +199,11 @@ type TaskSpec struct {
 	// TraceTask.ExtraComm); only meaningful when tracing.
 	ExtraComm []Message
 	Run       func() // the kernel body (may be nil for pure control tasks)
+	// RunTraced, when set, is called instead of Run with the task's trace
+	// record (nil when tracing is off). Bodies that want to charge
+	// conversion time via TraceTask.ChargeConv use this form; everything
+	// else keeps the plain Run.
+	RunTraced func(tr *TraceTask)
 	// Then runs on the worker right after Run, while the task is still
 	// considered pending, and may submit further tasks: this is the dynamic
 	// unfolding hook. It must not block on the engine.
@@ -368,9 +386,9 @@ type Engine struct {
 	// mu serializes Submit and NewHandle: handle dependency state, task and
 	// handle ids, and the trace log. Dispatch, execution, completion and
 	// successor release never take it.
-	mu      sync.Mutex
-	nextID  int // task ids, in submission order
-	nextHdl int // handle ids
+	mu        sync.Mutex
+	nextID    int // task ids, in submission order
+	nextHdl   int // handle ids
 	trace     []*TraceTask
 	tracing   bool
 	ownerLIFO bool
@@ -761,7 +779,9 @@ func (e *Engine) execute(t *task, id int, src DispatchKind) {
 		t.trace.QueueDepth = e.queuedLen()
 		t.trace.BeginNS = e.sinceStart()
 	}
-	if t.spec.Run != nil {
+	if t.spec.RunTraced != nil {
+		t.spec.RunTraced(t.trace)
+	} else if t.spec.Run != nil {
 		t.spec.Run()
 	}
 	if t.spec.Then != nil {

@@ -14,6 +14,9 @@ type KernelStat struct {
 	Mean  time.Duration
 	Max   time.Duration
 	Flops float64 // model flops summed over the family's tasks
+	// Conv is the portion of Total spent in precision conversions (float32
+	// tile promotions/demotions charged via TraceTask.ChargeConv).
+	Conv time.Duration
 }
 
 // WorkerStat reports how one worker spent the measured span.
@@ -50,6 +53,10 @@ type Stats struct {
 	LaneHits  int
 	LocalHits int
 	Steals    int
+	// ConvTotal is the total time tasks spent in precision conversions
+	// (summed TraceTask.ConvNS) — the quantity the resident-tile epochs
+	// exist to shrink.
+	ConvTotal time.Duration
 }
 
 // LocalHitRate returns the fraction of deque-path dispatches the executing
@@ -111,7 +118,9 @@ func ComputeStats(trace []*TraceTask) *Stats {
 			ks.Max = d
 		}
 		ks.Flops += t.Flops
+		ks.Conv += time.Duration(t.ConvNS)
 		s.Kernels[t.Kernel] = ks
+		s.ConvTotal += time.Duration(t.ConvNS)
 	}
 	for k, ks := range s.Kernels {
 		ks.Mean = ks.Total / time.Duration(ks.Count)
@@ -170,6 +179,7 @@ type KernelSnapshot struct {
 	MeanNS  int64   `json:"mean_ns"`
 	MaxNS   int64   `json:"max_ns"`
 	Flops   float64 `json:"flops"`
+	ConvNS  int64   `json:"conv_ns,omitempty"`
 }
 
 // StatsSnapshot is the JSON-serializable export of a Stats aggregate — the
@@ -181,6 +191,7 @@ type StatsSnapshot struct {
 	SpanNS         int64                     `json:"span_ns"`
 	BusyNS         int64                     `json:"busy_ns"`
 	CriticalPathNS int64                     `json:"critical_path_ns"`
+	ConvNS         int64                     `json:"conv_ns,omitempty"`
 	Kernels        map[string]KernelSnapshot `json:"kernels"`
 }
 
@@ -191,6 +202,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		SpanNS:         int64(s.Span),
 		BusyNS:         int64(s.TotalBusy()),
 		CriticalPathNS: int64(s.CriticalPath),
+		ConvNS:         int64(s.ConvTotal),
 		Kernels:        make(map[string]KernelSnapshot, len(s.Kernels)),
 	}
 	for name, ks := range s.Kernels {
@@ -200,6 +212,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 			MeanNS:  int64(ks.Mean),
 			MaxNS:   int64(ks.Max),
 			Flops:   ks.Flops,
+			ConvNS:  int64(ks.Conv),
 		}
 	}
 	return out
@@ -212,6 +225,7 @@ func (s *StatsSnapshot) Add(o StatsSnapshot) {
 	s.SpanNS += o.SpanNS
 	s.BusyNS += o.BusyNS
 	s.CriticalPathNS += o.CriticalPathNS
+	s.ConvNS += o.ConvNS
 	if s.Kernels == nil {
 		s.Kernels = make(map[string]KernelSnapshot, len(o.Kernels))
 	}
@@ -220,6 +234,7 @@ func (s *StatsSnapshot) Add(o StatsSnapshot) {
 		acc.Count += ks.Count
 		acc.TotalNS += ks.TotalNS
 		acc.Flops += ks.Flops
+		acc.ConvNS += ks.ConvNS
 		if ks.MaxNS > acc.MaxNS {
 			acc.MaxNS = ks.MaxNS
 		}
@@ -282,6 +297,10 @@ func (s *Stats) WriteTable(w io.Writer) {
 		s.Tasks, s.Workers, s.Span.Round(time.Microsecond), total.Round(time.Microsecond),
 		100*s.Utilization(), s.CriticalPath.Round(time.Microsecond))
 	fmt.Fprintf(w, "ready-queue depth: mean %.1f, max %d\n", s.QueueDepthMean, s.QueueDepthMax)
+	if s.ConvTotal > 0 {
+		fmt.Fprintf(w, "precision conversions: %v (%.1f%% of busy)\n",
+			s.ConvTotal.Round(time.Microsecond), 100*float64(s.ConvTotal)/float64(total))
+	}
 	fmt.Fprintf(w, "dispatch: lane %d, local %d, stolen %d (local-hit rate %.1f%%)\n",
 		s.LaneHits, s.LocalHits, s.Steals, 100*s.LocalHitRate())
 }

@@ -149,12 +149,17 @@ type ReportView struct {
 	Breakdown  bool    `json:"breakdown,omitempty"`
 	// Precision is the effective kernel precision ("auto" or "f32"; absent
 	// for pure-f64 runs), with the mixed path's accounting: steps that
-	// accepted float32 kernels, excursion demotions back to f64, and the
+	// accepted float32 kernels, excursion demotions back to f64, the
+	// float32 residency epochs the run's tiles entered, the conversion
+	// passes those epochs cost (with their wall time), and the
 	// iterative-refinement rounds the solve needed.
-	Precision   string `json:"precision,omitempty"`
-	F32Steps    int    `json:"f32_steps,omitempty"`
-	Demotions   int    `json:"demotions,omitempty"`
-	RefineIters int    `json:"refine_iters,omitempty"`
+	Precision   string  `json:"precision,omitempty"`
+	F32Steps    int     `json:"f32_steps,omitempty"`
+	Demotions   int     `json:"demotions,omitempty"`
+	F32Epochs   int     `json:"f32_epochs,omitempty"`
+	Conversions int     `json:"conversions,omitempty"`
+	ConvMS      float64 `json:"conv_ms,omitempty"`
+	RefineIters int     `json:"refine_iters,omitempty"`
 	// MarginMin/MarginMax summarize the criterion decision margins over the
 	// run's steps (present when at least one step had a finite margin).
 	MarginMin float64 `json:"margin_min,omitempty"`
@@ -217,6 +222,9 @@ func (j *Job) View() JobView {
 			rv.Precision = r.Precision.String()
 			rv.F32Steps = r.F32Steps
 			rv.Demotions = r.Demotions
+			rv.F32Epochs = r.F32Epochs
+			rv.Conversions = r.Conversions
+			rv.ConvMS = float64(r.ConvTime.Microseconds()) / 1000
 			rv.RefineIters = r.RefineIters
 		}
 		if !math.IsNaN(r.MarginMin) {

@@ -32,6 +32,8 @@ type Metrics struct {
 	F32Jobs     atomic.Int64 // runs that accepted at least one f32 step
 	F32Steps    atomic.Int64 // accepted f32 steps across all runs
 	Demotions   atomic.Int64 // f32 excursions demoted back to f64
+	F32Epochs   atomic.Int64 // tile promotions into float32 residency
+	Conversions atomic.Int64 // epoch-boundary conversion passes (round + widen)
 	RefineIters atomic.Int64 // iterative-refinement rounds in solves
 
 	// Factor-store counters (all zero when persistence is disabled).
@@ -110,6 +112,8 @@ type MetricsSnapshot struct {
 		F32Jobs     int64 `json:"f32_jobs"`
 		F32Steps    int64 `json:"f32_steps"`
 		Demotions   int64 `json:"demotions"`
+		F32Epochs   int64 `json:"f32_epochs"`
+		Conversions int64 `json:"conversions"`
 		RefineIters int64 `json:"refine_iters"`
 	} `json:"precision"`
 
@@ -204,6 +208,8 @@ func (m *Manager) MetricsSnapshot() MetricsSnapshot {
 	s.Precision.F32Jobs = m.met.F32Jobs.Load()
 	s.Precision.F32Steps = m.met.F32Steps.Load()
 	s.Precision.Demotions = m.met.Demotions.Load()
+	s.Precision.F32Epochs = m.met.F32Epochs.Load()
+	s.Precision.Conversions = m.met.Conversions.Load()
 	s.Precision.RefineIters = m.met.RefineIters.Load()
 
 	s.Solve.Requests = m.met.SolveRequests.Load()

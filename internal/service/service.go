@@ -316,6 +316,8 @@ func (m *Manager) runJob(j *Job) {
 			}
 			m.met.F32Steps.Add(int64(r.F32Steps))
 			m.met.Demotions.Add(int64(r.Demotions))
+			m.met.F32Epochs.Add(int64(r.F32Epochs))
+			m.met.Conversions.Add(int64(r.Conversions))
 			m.met.RefineIters.Add(int64(r.RefineIters))
 		}
 		if res.Report.Trace != nil {

@@ -1,0 +1,372 @@
+package tile
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"luqr/internal/mat"
+)
+
+// Float32 tile residency: the conversion-amortization layer behind the
+// mixed-precision path.
+//
+// Each tile of a factorization carries one of three precision states:
+//
+//	f64    — only the float64 array is valid (no live f32 image)
+//	clean  — the f32 image is valid and the float64 array holds exactly its
+//	         widened values (either may be read; the f64 array is the
+//	         epoch's master copy)
+//	dirty  — the f32 image is newer than the float64 array (the image is
+//	         the truth; the f64 array is the pre-epoch master copy)
+//
+// A tile is promoted (f64 → clean/dirty, one rounding pass) the first time a
+// float32 step touches it and then stays resident across consecutive f32
+// steps — kernels read and write the image directly through the resident
+// entry points in blas/lapack. It is demoted (dirty → f64, one widening
+// pass) only at an epoch boundary: the criterion flips the step back to
+// f64, an excursion forces the step to rerun in f64, or the run ends
+// (Flush). Because float32 widens to float64 exactly, demotion re-creates
+// exactly the float64 values the per-task round/widen kernels of the
+// non-resident path would have produced, so results are unchanged — only
+// the conversion count drops from once per task to once per tile per epoch.
+//
+// Counter taxonomy: Epochs counts tile promotions (f64 → resident);
+// To32/To64 count the rounding and widening passes (dropping a clean image
+// is free and uncounted, and a full-overwrite promotion via UnstackRows32
+// counts an epoch but no rounding pass, since no conversion ran).
+type Residency struct {
+	a   *Matrix
+	rhs *Vector // may be nil
+
+	am [][]entry
+	vm []entry
+
+	epochs atomic.Int64 // tile promotions f64 → resident
+	to32   atomic.Int64 // rounding passes (promotion with existing f64 content)
+	to64   atomic.Int64 // widening passes (demotion of a dirty image)
+	convNS atomic.Int64 // wall time spent inside conversion passes
+}
+
+const (
+	stateF64   int8 = iota // no live image
+	stateClean             // image valid, f64 array identical
+	stateDirty             // image newer than f64 array
+)
+
+type entry struct {
+	mu    sync.Mutex
+	state int8
+	img   *mat.Matrix32 // allocation retained across epochs once created
+}
+
+// Meter accumulates conversion nanoseconds on behalf of one task, so the
+// task body can charge them to its trace record. Residency methods accept a
+// nil Meter when the caller does not attribute conversion time.
+type Meter struct{ NS int64 }
+
+func (m *Meter) add(ns int64) {
+	if m != nil {
+		m.NS += ns
+	}
+}
+
+// NewResidency creates the residency tracker for a tiled matrix and an
+// optional right-hand side. All tiles start in the f64 state.
+func NewResidency(a *Matrix, rhs *Vector) *Residency {
+	r := &Residency{a: a, rhs: rhs}
+	r.am = make([][]entry, a.MT)
+	for i := range r.am {
+		r.am[i] = make([]entry, a.NT)
+	}
+	if rhs != nil {
+		r.vm = make([]entry, rhs.MT)
+	}
+	return r
+}
+
+// promote ensures e has a valid image for the f64 tile t, rounding the
+// current float64 content unless the caller will overwrite the whole image.
+func (r *Residency) promote(e *entry, t *mat.Matrix, rows, cols int, round bool, m *Meter) {
+	if e.img == nil {
+		e.img = mat.NewMatrix32(rows, cols)
+	}
+	r.epochs.Add(1)
+	if round {
+		start := time.Now()
+		e.img.RoundFrom(t)
+		ns := time.Since(start).Nanoseconds()
+		r.to32.Add(1)
+		r.convNS.Add(ns)
+		m.add(ns)
+	}
+}
+
+// demote widens a dirty image back into the f64 tile.
+func (r *Residency) demote(e *entry, t *mat.Matrix, m *Meter) {
+	start := time.Now()
+	e.img.WidenInto(t)
+	ns := time.Since(start).Nanoseconds()
+	r.to64.Add(1)
+	r.convNS.Add(ns)
+	m.add(ns)
+}
+
+func (r *Residency) read32(e *entry, t *mat.Matrix, m *Meter) *mat.Matrix32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == stateF64 {
+		r.promote(e, t, t.Rows, t.Cols, true, m)
+		e.state = stateClean
+	}
+	return e.img
+}
+
+func (r *Residency) write32(e *entry, t *mat.Matrix, m *Meter) (*mat.Matrix32, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	wasDirty := e.state == stateDirty
+	if e.state == stateF64 {
+		r.promote(e, t, t.Rows, t.Cols, true, m)
+	}
+	e.state = stateDirty
+	return e.img, wasDirty
+}
+
+func (r *Residency) ensureF64(e *entry, t *mat.Matrix, m *Meter) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == stateDirty {
+		r.demote(e, t, m)
+	}
+	e.state = stateF64
+}
+
+func (r *Residency) discard32(e *entry) {
+	e.mu.Lock()
+	e.state = stateF64
+	e.mu.Unlock()
+}
+
+// Read32 returns tile (i, j)'s f32 image for read-only kernel access,
+// promoting the tile if this is its first resident touch of the epoch.
+func (r *Residency) Read32(i, j int, m *Meter) *mat.Matrix32 {
+	return r.read32(&r.am[i][j], r.a.Tile(i, j), m)
+}
+
+// Write32 returns tile (i, j)'s f32 image for read-write kernel access and
+// reports whether the image was already dirty before this acquisition — the
+// excursion harness uses that to pick between snapshot-restore (dirty
+// before: the f64 array predates the epoch) and plain discard (clean or f64
+// before: the f64 array is the master copy).
+func (r *Residency) Write32(i, j int, m *Meter) (*mat.Matrix32, bool) {
+	return r.write32(&r.am[i][j], r.a.Tile(i, j), m)
+}
+
+// EnsureF64 makes tile (i, j)'s float64 array current and drops the image
+// from service: a dirty image is widened back (one counted demotion), a
+// clean image is dropped for free. Every f64 task must call this for every
+// tile it touches before running; on tiles already in the f64 state it is a
+// single mutex-protected state check.
+func (r *Residency) EnsureF64(i, j int, m *Meter) {
+	r.ensureF64(&r.am[i][j], r.a.Tile(i, j), m)
+}
+
+// Discard32 invalidates tile (i, j)'s image without conversion, returning
+// the tile to the f64 state. Only valid when the f64 array is known current
+// (the excursion harness's clean/f64-before restore rule).
+func (r *Residency) Discard32(i, j int) {
+	r.discard32(&r.am[i][j])
+}
+
+// StoreF64 overwrites tile (i, j)'s float64 array with src and invalidates
+// any image — the resident-safe form of Tile(i,j).CopyFrom(src) used by the
+// QR-path restore task.
+func (r *Residency) StoreF64(i, j int, src *mat.Matrix) {
+	e := &r.am[i][j]
+	e.mu.Lock()
+	e.state = stateF64
+	r.a.Tile(i, j).CopyFrom(src)
+	e.mu.Unlock()
+}
+
+// ReadVec32, WriteVec32, EnsureVecF64, DiscardVec32 are the right-hand-side
+// analogues of the matrix-tile methods.
+func (r *Residency) ReadVec32(i int, m *Meter) *mat.Matrix32 {
+	return r.read32(&r.vm[i], r.rhs.Tile(i), m)
+}
+
+func (r *Residency) WriteVec32(i int, m *Meter) (*mat.Matrix32, bool) {
+	return r.write32(&r.vm[i], r.rhs.Tile(i), m)
+}
+
+func (r *Residency) EnsureVecF64(i int, m *Meter) {
+	r.ensureF64(&r.vm[i], r.rhs.Tile(i), m)
+}
+
+func (r *Residency) DiscardVec32(i int) {
+	r.discard32(&r.vm[i])
+}
+
+// Read-through queries: criterion and growth-probe tasks need norms of
+// tiles that may be resident without disturbing their state. A dirty tile
+// is measured over its widened image (bit-identical to what demotion would
+// produce); otherwise the float64 array is current and is used directly.
+
+// TileNorm1 returns ‖A_ij‖₁ over the tile's current values.
+func (r *Residency) TileNorm1(i, j int) float64 {
+	e := &r.am[i][j]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == stateDirty {
+		return e.img.Norm1()
+	}
+	return r.a.Tile(i, j).Norm1()
+}
+
+// TileColAbsMax returns max_r |A_ij(r, col)| over the tile's current values.
+func (r *Residency) TileColAbsMax(i, j, col int) float64 {
+	e := &r.am[i][j]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == stateDirty {
+		return e.img.ColAbsMax(col)
+	}
+	return r.a.Tile(i, j).ColAbsMax(col)
+}
+
+// TileNormMax returns max |A_ij| over the tile's current values.
+func (r *Residency) TileNormMax(i, j int) float64 {
+	e := &r.am[i][j]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == stateDirty {
+		return e.img.NormMax()
+	}
+	return r.a.Tile(i, j).NormMax()
+}
+
+// CopyTileInto copies tile (i, j)'s current values into dst (widening a
+// dirty image) without changing the tile's state — the backup task's
+// read-through.
+func (r *Residency) CopyTileInto(dst *mat.Matrix, i, j int) {
+	e := &r.am[i][j]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == stateDirty {
+		e.img.WidenInto(dst)
+		return
+	}
+	dst.CopyFrom(r.a.Tile(i, j))
+}
+
+// StackRows32Into fills the stacked panel s from column j's tiles at rows,
+// reading through each tile's current state (copying a live image, rounding
+// a fresh f64 tile) without changing any state. Scratch rounding is not a
+// tile conversion and is uncounted.
+func (r *Residency) StackRows32Into(s *mat.Matrix32, rows []int, j int, m *Meter) {
+	nb := r.a.NB
+	start := time.Now()
+	rounded := false
+	for ri, i := range rows {
+		e := &r.am[i][j]
+		dst := s.View(ri*nb, 0, nb, nb)
+		e.mu.Lock()
+		if e.state == stateF64 {
+			dst.RoundFrom(r.a.Tile(i, j))
+			rounded = true
+		} else {
+			dst.CopyFrom(e.img)
+		}
+		e.mu.Unlock()
+	}
+	if rounded {
+		ns := time.Since(start).Nanoseconds()
+		r.convNS.Add(ns)
+		m.add(ns)
+	}
+}
+
+// UnstackRows32 scatters a factored stacked panel back into column j's
+// tiles as dirty images. Each tile's image is fully overwritten, so a tile
+// entering residency here counts an epoch but no rounding pass.
+func (r *Residency) UnstackRows32(s *mat.Matrix32, rows []int, j int) {
+	nb := r.a.NB
+	for ri, i := range rows {
+		e := &r.am[i][j]
+		e.mu.Lock()
+		if e.state == stateF64 {
+			r.promote(e, r.a.Tile(i, j), nb, nb, false, nil)
+		}
+		e.img.CopyFrom(s.View(ri*nb, 0, nb, nb))
+		e.state = stateDirty
+		e.mu.Unlock()
+	}
+}
+
+// StackVec32Into fills the stacked panel s from the right-hand-side tiles
+// at rows, reading through each tile's current state — the Vector analogue
+// of StackRows32Into.
+func (r *Residency) StackVec32Into(s *mat.Matrix32, rows []int, m *Meter) {
+	nb, w := r.rhs.NB, r.rhs.W
+	start := time.Now()
+	rounded := false
+	for ri, i := range rows {
+		e := &r.vm[i]
+		dst := s.View(ri*nb, 0, nb, w)
+		e.mu.Lock()
+		if e.state == stateF64 {
+			dst.RoundFrom(r.rhs.Tile(i))
+			rounded = true
+		} else {
+			dst.CopyFrom(e.img)
+		}
+		e.mu.Unlock()
+	}
+	if rounded {
+		ns := time.Since(start).Nanoseconds()
+		r.convNS.Add(ns)
+		m.add(ns)
+	}
+}
+
+// UnstackVec32 scatters a stacked panel back into the right-hand-side tiles
+// as dirty images — the Vector analogue of UnstackRows32.
+func (r *Residency) UnstackVec32(s *mat.Matrix32, rows []int) {
+	nb, w := r.rhs.NB, r.rhs.W
+	for ri, i := range rows {
+		e := &r.vm[i]
+		e.mu.Lock()
+		if e.state == stateF64 {
+			r.promote(e, r.rhs.Tile(i), nb, w, false, nil)
+		}
+		e.img.CopyFrom(s.View(ri*nb, 0, nb, w))
+		e.state = stateDirty
+		e.mu.Unlock()
+	}
+}
+
+// Flush demotes every dirty tile and drops every image, leaving the plain
+// float64 arrays authoritative. Called once after the dataflow engine
+// drains, before growth computation, solves, and serialization — which is
+// why stored factorizations and digests never see residency.
+func (r *Residency) Flush(m *Meter) {
+	for i := range r.am {
+		for j := range r.am[i] {
+			r.ensureF64(&r.am[i][j], r.a.Tile(i, j), m)
+		}
+	}
+	for i := range r.vm {
+		r.ensureF64(&r.vm[i], r.rhs.Tile(i), m)
+	}
+}
+
+// Counters returns the lifetime conversion counters: tile promotions
+// (epochs), rounding passes (to32), and widening passes (to64).
+func (r *Residency) Counters() (epochs, to32, to64 int64) {
+	return r.epochs.Load(), r.to32.Load(), r.to64.Load()
+}
+
+// ConvNS returns the total wall time spent in conversion passes, in
+// nanoseconds.
+func (r *Residency) ConvNS() int64 { return r.convNS.Load() }
