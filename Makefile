@@ -62,14 +62,17 @@ bench-solver:
 # validate step asserts the forced-f32 run engaged the float32 path and
 # refined back into the HPL acceptance band, that it opened residency
 # epochs and paid their boundary conversions (a zero there means the epoch
-# counters came unwired), and that the GEMM-dominated diagdom operator's
-# auto run licensed real f32 steps. Numbers are not gated — only the
-# machinery is.
+# counters came unwired), that the QR-stepping random operator's forced-f32
+# row ran its QR updates resident with a bounded conversions-per-epoch
+# ratio (per-column restacking would blow it up), and that the
+# GEMM-dominated diagdom operator's auto run licensed real f32 steps.
+# Numbers are not gated — only the machinery is.
 .PHONY: bench-solver-smoke
 bench-solver-smoke:
 	$(GO) run ./cmd/luqr-bench -sweep-workers bench_solver_smoke.json -n 512 -nb 64 -reps 1
 	$(GO) run ./cmd/luqr-bench -validate-solver bench_solver_smoke.json | grep -q 'mixed random f32: refined to tolerance'
 	$(GO) run ./cmd/luqr-bench -validate-solver bench_solver_smoke.json | grep -Eq 'mixed random f32: .* [1-9][0-9]* epochs, [1-9][0-9]* conversions'
+	$(GO) run ./cmd/luqr-bench -validate-solver bench_solver_smoke.json | grep -Eq 'mixed random f32: .* [1-9][0-9]* qr steps'
 	$(GO) run ./cmd/luqr-bench -validate-solver bench_solver_smoke.json | grep -Eq 'mixed diagdom auto: .* [1-9][0-9]* f32 steps'
 	$(GO) run ./cmd/luqr-bench -tune-probe -n 256 -tune-file tune_smoke.json
 	$(GO) run ./cmd/luqr-bench -tune-probe -n 256 -tune-file tune_smoke.json | grep -q 'probe skipped'

@@ -202,8 +202,8 @@ func main() {
 					if matrix == "" {
 						matrix = "random" // pre-two-operator files carried no name
 					}
-					fmt.Printf("mixed %s %s: refined to tolerance (hpl3=%.3g, %d f32 steps, %d demotions, %d epochs, %d conversions, %d refine iters)\n",
-						matrix, e.Precision, e.HPL3, e.F32Steps, e.Demotions, e.F32Epochs, e.Conversions, e.RefineIters)
+					fmt.Printf("mixed %s %s: refined to tolerance (hpl3=%.3g, %d f32 steps, %d qr steps, %d demotions, %d epochs, %d conversions, %d refine iters)\n",
+						matrix, e.Precision, e.HPL3, e.F32Steps, e.QRSteps, e.Demotions, e.F32Epochs, e.Conversions, e.RefineIters)
 				}
 			}
 		}

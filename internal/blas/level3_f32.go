@@ -17,6 +17,16 @@ import (
 // (pack32.go), so the demotion costs no separate pass, and the micro-kernel
 // (microkernel32.go) retires twice the lanes per FMA of the f64 one.
 
+// trsmRecLeaf is the order below which the recursive f32 triangular solvers
+// drop to the scalar substitution kernel; above it the solve halves and the
+// off-diagonal coupling runs through the packed Gemm32/Gemm32R path.
+const trsmRecLeaf = 8
+
+// trmmPackMin is the order from which the f32 triangular multiplies
+// materialize the triangle densely and run as one packed GEMM; below it the
+// scalar kernel's lower constant wins over the ~2× padded flops.
+const trmmPackMin = 16
+
 // Gemm32 computes C = alpha·op(A)·op(B) + beta·C in float32 arithmetic.
 //
 // The accumulator is a zeroed float32 scratch block padded to whole
@@ -50,6 +60,15 @@ func Gemm32(transA, transB Transpose, alpha float64, a, b *mat.Matrix, beta floa
 // accumulator from costing separate zero and merge sweeps over cold memory.
 // Blocking constants are shared with the f64 path — MC and NC are multiples
 // of both micro-tile geometries — so every kernel call is a full micro-tile.
+//
+// Aliasing contract (the packed f32 triangular multiplies depend on it):
+// C may alias the B operand unconditionally, and the A operand when
+// n <= gemmNC. All of slab jc's packB reads complete before any merge writes
+// to columns jc (packB runs per (jc, pc) and merges only fire on the last
+// pc), merges touch only columns jc, and within the last k-slab packA of row
+// block ic precedes the merges of row block ic while later row blocks are
+// row-disjoint. With more than one jc slab, packA would re-read columns an
+// earlier slab already merged — hence the gemmNC bound for A aliasing.
 func gemmPacked32(transA, transB Transpose, alpha, beta float32, a, b, c *mat.Matrix, acc []float32, ldc, m, n, k int) {
 	mr, nr := gemmMR32, gemmNR32
 	kcMax := min(k, gemmKC)
@@ -161,9 +180,12 @@ func Scal32(alpha float32, x []float64) {
 }
 
 // Trsm32 solves op(T)·X = alpha·B (Side == Left) or X·op(T) = alpha·B
-// (Side == Right) in place at float32: same blocked structure as Trsm —
-// triBlock-order diagonal blocks by float32 substitution, inter-block
-// coupling through Gemm32 — so most flops run through the f32 micro-kernel.
+// (Side == Right) in place at float32. The solve recurses on halves of T —
+// solve one half, fold the off-diagonal coupling into the other with a
+// single order-n/2 packed Gemm32, solve the remainder — dropping to the
+// scalar substitution kernel at order trsmRecLeaf. Halving keeps the
+// couplings as a few large GEMMs instead of many thin triBlock strips, so
+// nearly all flops run through the f32 micro-kernel.
 func Trsm32(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b *mat.Matrix) {
 	n := t.Rows
 	if t.Cols != n {
@@ -181,69 +203,63 @@ func Trsm32(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, 
 			Scal32(a32, b.Row(i))
 		}
 	}
-	if n <= triBlock {
+	trsmRec32(side, uplo, trans, diag, t, b)
+}
+
+// trsmRec32 is the recursive alpha-free body of Trsm32.
+func trsmRec32(side Side, uplo Uplo, trans Transpose, diag Diag, t, b *mat.Matrix) {
+	n := t.Rows
+	if n <= trsmRecLeaf {
 		trsmBasic32(side, uplo, trans, diag, t, b)
 		return
 	}
+	n1 := n / 2
+	n2 := n - n1
+	t11 := t.View(0, 0, n1, n1)
+	t22 := t.View(n1, n1, n2, n2)
 	effLower := (uplo == Lower) != (trans == Trans)
 	if side == Left {
 		k := b.Cols
+		b1 := b.View(0, 0, n1, k)
+		b2 := b.View(n1, 0, n2, k)
 		if effLower {
-			for i0 := 0; i0 < n; i0 += triBlock {
-				bs := min(triBlock, n-i0)
-				bi := b.View(i0, 0, bs, k)
-				if i0 > 0 {
-					if trans == NoTrans {
-						Gemm32(NoTrans, NoTrans, -1, t.View(i0, 0, bs, i0), b.View(0, 0, i0, k), 1, bi)
-					} else {
-						Gemm32(Trans, NoTrans, -1, t.View(0, i0, i0, bs), b.View(0, 0, i0, k), 1, bi)
-					}
-				}
-				trsmBasic32(Left, uplo, trans, diag, t.View(i0, i0, bs, bs), bi)
+			trsmRec32(side, uplo, trans, diag, t11, b1)
+			if trans == NoTrans {
+				Gemm32(NoTrans, NoTrans, -1, t.View(n1, 0, n2, n1), b1, 1, b2)
+			} else {
+				Gemm32(Trans, NoTrans, -1, t.View(0, n1, n1, n2), b1, 1, b2)
 			}
-			return
-		}
-		for i0 := ((n - 1) / triBlock) * triBlock; i0 >= 0; i0 -= triBlock {
-			bs := min(triBlock, n-i0)
-			bi := b.View(i0, 0, bs, k)
-			if rest := n - i0 - bs; rest > 0 {
-				if trans == NoTrans {
-					Gemm32(NoTrans, NoTrans, -1, t.View(i0, i0+bs, bs, rest), b.View(i0+bs, 0, rest, k), 1, bi)
-				} else {
-					Gemm32(Trans, NoTrans, -1, t.View(i0+bs, i0, rest, bs), b.View(i0+bs, 0, rest, k), 1, bi)
-				}
+			trsmRec32(side, uplo, trans, diag, t22, b2)
+		} else {
+			trsmRec32(side, uplo, trans, diag, t22, b2)
+			if trans == NoTrans {
+				Gemm32(NoTrans, NoTrans, -1, t.View(0, n1, n1, n2), b2, 1, b1)
+			} else {
+				Gemm32(Trans, NoTrans, -1, t.View(n1, 0, n2, n1), b2, 1, b1)
 			}
-			trsmBasic32(Left, uplo, trans, diag, t.View(i0, i0, bs, bs), bi)
+			trsmRec32(side, uplo, trans, diag, t11, b1)
 		}
 		return
 	}
 	m := b.Rows
-	if !effLower {
-		for j0 := 0; j0 < n; j0 += triBlock {
-			bs := min(triBlock, n-j0)
-			bj := b.View(0, j0, m, bs)
-			if j0 > 0 {
-				if trans == NoTrans {
-					Gemm32(NoTrans, NoTrans, -1, b.View(0, 0, m, j0), t.View(0, j0, j0, bs), 1, bj)
-				} else {
-					Gemm32(NoTrans, Trans, -1, b.View(0, 0, m, j0), t.View(j0, 0, bs, j0), 1, bj)
-				}
-			}
-			trsmBasic32(Right, uplo, trans, diag, t.View(j0, j0, bs, bs), bj)
+	b1 := b.View(0, 0, m, n1)
+	b2 := b.View(0, n1, m, n2)
+	if effLower {
+		trsmRec32(side, uplo, trans, diag, t22, b2)
+		if trans == NoTrans {
+			Gemm32(NoTrans, NoTrans, -1, b2, t.View(n1, 0, n2, n1), 1, b1)
+		} else {
+			Gemm32(NoTrans, Trans, -1, b2, t.View(0, n1, n1, n2), 1, b1)
 		}
-		return
-	}
-	for j0 := ((n - 1) / triBlock) * triBlock; j0 >= 0; j0 -= triBlock {
-		bs := min(triBlock, n-j0)
-		bj := b.View(0, j0, m, bs)
-		if rest := n - j0 - bs; rest > 0 {
-			if trans == NoTrans {
-				Gemm32(NoTrans, NoTrans, -1, b.View(0, j0+bs, m, rest), t.View(j0+bs, j0, rest, bs), 1, bj)
-			} else {
-				Gemm32(NoTrans, Trans, -1, b.View(0, j0+bs, m, rest), t.View(j0, j0+bs, bs, rest), 1, bj)
-			}
+		trsmRec32(side, uplo, trans, diag, t11, b1)
+	} else {
+		trsmRec32(side, uplo, trans, diag, t11, b1)
+		if trans == NoTrans {
+			Gemm32(NoTrans, NoTrans, -1, b1, t.View(0, n1, n1, n2), 1, b2)
+		} else {
+			Gemm32(NoTrans, Trans, -1, b1, t.View(n1, 0, n2, n1), 1, b2)
 		}
-		trsmBasic32(Right, uplo, trans, diag, t.View(j0, j0, bs, bs), bj)
+		trsmRec32(side, uplo, trans, diag, t22, b2)
 	}
 }
 
@@ -334,8 +350,18 @@ func trsmBasic32(side Side, uplo Uplo, trans Transpose, diag Diag, t, b *mat.Mat
 }
 
 // Trmm32 computes B = alpha·op(T)·B (Side == Left) or B = alpha·B·op(T)
-// (Side == Right) in place at float32, blocked like Trmm with the coupling
-// through Gemm32.
+// (Side == Right) in place at float32.
+//
+// From order trmmPackMin the triangle is materialized densely — zeros off
+// the triangle, exact ones on a Unit diagonal, op() resolved so only the
+// stored triangle of T is ever read — and the whole multiply runs as a
+// single in-place packed Gemm32 (see the aliasing contract on
+// gemmPacked32). The padding costs ~2× the triangle's flops but they retire
+// at micro-kernel rate, which wins well before nb-sized operands; the
+// ib-strip T-factor multiplies of the QR update kernels are the main
+// beneficiary. A Right-side multiply with n > gemmNC would need columns
+// repacked after they were merged, so that case (and tiny orders) keeps the
+// triBlock-blocked driver.
 func Trmm32(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b *mat.Matrix) {
 	n := t.Rows
 	if t.Cols != n {
@@ -346,6 +372,17 @@ func Trmm32(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, 
 	}
 	if side == Right && b.Cols != n {
 		panic(fmt.Sprintf("blas: Trmm32 Right shape mismatch T=%d B=%dx%d", n, b.Rows, b.Cols))
+	}
+	if n >= trmmPackMin && (side == Left || n <= gemmNC) {
+		tri, tribuf := mat.GetMatrix(n, n)
+		defer mat.PutBuf(tribuf)
+		materializeTri32(tri, t, uplo, trans, diag)
+		if side == Left {
+			Gemm32(NoTrans, NoTrans, alpha, tri, b, 0, b)
+		} else {
+			Gemm32(NoTrans, NoTrans, alpha, b, tri, 0, b)
+		}
+		return
 	}
 	if n <= triBlock {
 		trmmBasic32(side, uplo, trans, diag, float32(alpha), t, b)
@@ -412,6 +449,39 @@ func Trmm32(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, 
 			} else {
 				Gemm32(NoTrans, Trans, alpha, b.View(0, j0+bs, m, rest), t.View(j0, j0+bs, bs, rest), 1, bj)
 			}
+		}
+	}
+}
+
+// materializeTri32 writes op(T) densely into dst: triangle entries copied,
+// zeros off the triangle, exact ones on a Unit diagonal. op() is resolved
+// here so the packed multiply sees a plain NoTrans operand, and only the
+// stored triangle of t is read — values outside it (say, the R factor above
+// a Householder V) never leak into the product.
+func materializeTri32(dst, t *mat.Matrix, uplo Uplo, trans Transpose, diag Diag) {
+	n := t.Rows
+	effLower := (uplo == Lower) != (trans == Trans)
+	for i := 0; i < n; i++ {
+		row := dst.Row(i)
+		lo, hi := 0, i+1
+		if !effLower {
+			lo, hi = i, n
+		}
+		for j := 0; j < lo; j++ {
+			row[j] = 0
+		}
+		for j := hi; j < n; j++ {
+			row[j] = 0
+		}
+		if trans == Trans {
+			for j := lo; j < hi; j++ {
+				row[j] = t.At(j, i)
+			}
+		} else {
+			copy(row[lo:hi], t.Row(i)[lo:hi])
+		}
+		if diag == Unit {
+			row[i] = 1
 		}
 	}
 }

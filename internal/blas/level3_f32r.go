@@ -123,7 +123,8 @@ func Gemm32R(transA, transB Transpose, alpha float64, a, b *mat.Matrix32, beta f
 
 // gemmPacked32R is gemmPacked32 over float32 storage: identical five-loop
 // blocking, zero-on-first / merge-on-last accumulator discipline, and
-// micro-kernel.
+// micro-kernel. It inherits gemmPacked32's aliasing contract: C may alias
+// the B operand unconditionally, and the A operand when n <= gemmNC.
 func gemmPacked32R(transA, transB Transpose, alpha, beta float32, a, b, c *mat.Matrix32, acc []float32, ldc, m, n, k int) {
 	mr, nr := gemmMR32, gemmNR32
 	kcMax := min(k, gemmKC)
@@ -235,8 +236,9 @@ func Scal32R(alpha float32, x []float32) {
 }
 
 // Trsm32R solves op(T)·X = alpha·B (Side == Left) or X·op(T) = alpha·B
-// (Side == Right) in place on float32 storage: same blocked structure as
-// Trsm32 with the coupling through Gemm32R.
+// (Side == Right) in place on float32 storage: same recursive halving as
+// Trsm32 — identical split points, coupling GEMMs, and leaf order — so the
+// two siblings stay bit-identical.
 func Trsm32R(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b *mat.Matrix32) {
 	n := t.Rows
 	if t.Cols != n {
@@ -254,69 +256,64 @@ func Trsm32R(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t,
 			Scal32R(a32, b.Row(i))
 		}
 	}
-	if n <= triBlock {
+	trsmRec32R(side, uplo, trans, diag, t, b)
+}
+
+// trsmRec32R is the recursive alpha-free body of Trsm32R — the exact mirror
+// of trsmRec32.
+func trsmRec32R(side Side, uplo Uplo, trans Transpose, diag Diag, t, b *mat.Matrix32) {
+	n := t.Rows
+	if n <= trsmRecLeaf {
 		trsmBasic32R(side, uplo, trans, diag, t, b)
 		return
 	}
+	n1 := n / 2
+	n2 := n - n1
+	t11 := t.View(0, 0, n1, n1)
+	t22 := t.View(n1, n1, n2, n2)
 	effLower := (uplo == Lower) != (trans == Trans)
 	if side == Left {
 		k := b.Cols
+		b1 := b.View(0, 0, n1, k)
+		b2 := b.View(n1, 0, n2, k)
 		if effLower {
-			for i0 := 0; i0 < n; i0 += triBlock {
-				bs := min(triBlock, n-i0)
-				bi := b.View(i0, 0, bs, k)
-				if i0 > 0 {
-					if trans == NoTrans {
-						Gemm32R(NoTrans, NoTrans, -1, t.View(i0, 0, bs, i0), b.View(0, 0, i0, k), 1, bi)
-					} else {
-						Gemm32R(Trans, NoTrans, -1, t.View(0, i0, i0, bs), b.View(0, 0, i0, k), 1, bi)
-					}
-				}
-				trsmBasic32R(Left, uplo, trans, diag, t.View(i0, i0, bs, bs), bi)
+			trsmRec32R(side, uplo, trans, diag, t11, b1)
+			if trans == NoTrans {
+				Gemm32R(NoTrans, NoTrans, -1, t.View(n1, 0, n2, n1), b1, 1, b2)
+			} else {
+				Gemm32R(Trans, NoTrans, -1, t.View(0, n1, n1, n2), b1, 1, b2)
 			}
-			return
-		}
-		for i0 := ((n - 1) / triBlock) * triBlock; i0 >= 0; i0 -= triBlock {
-			bs := min(triBlock, n-i0)
-			bi := b.View(i0, 0, bs, k)
-			if rest := n - i0 - bs; rest > 0 {
-				if trans == NoTrans {
-					Gemm32R(NoTrans, NoTrans, -1, t.View(i0, i0+bs, bs, rest), b.View(i0+bs, 0, rest, k), 1, bi)
-				} else {
-					Gemm32R(Trans, NoTrans, -1, t.View(i0+bs, i0, rest, bs), b.View(i0+bs, 0, rest, k), 1, bi)
-				}
+			trsmRec32R(side, uplo, trans, diag, t22, b2)
+		} else {
+			trsmRec32R(side, uplo, trans, diag, t22, b2)
+			if trans == NoTrans {
+				Gemm32R(NoTrans, NoTrans, -1, t.View(0, n1, n1, n2), b2, 1, b1)
+			} else {
+				Gemm32R(Trans, NoTrans, -1, t.View(n1, 0, n2, n1), b2, 1, b1)
 			}
-			trsmBasic32R(Left, uplo, trans, diag, t.View(i0, i0, bs, bs), bi)
+			trsmRec32R(side, uplo, trans, diag, t11, b1)
 		}
 		return
 	}
 	m := b.Rows
-	if !effLower {
-		for j0 := 0; j0 < n; j0 += triBlock {
-			bs := min(triBlock, n-j0)
-			bj := b.View(0, j0, m, bs)
-			if j0 > 0 {
-				if trans == NoTrans {
-					Gemm32R(NoTrans, NoTrans, -1, b.View(0, 0, m, j0), t.View(0, j0, j0, bs), 1, bj)
-				} else {
-					Gemm32R(NoTrans, Trans, -1, b.View(0, 0, m, j0), t.View(j0, 0, bs, j0), 1, bj)
-				}
-			}
-			trsmBasic32R(Right, uplo, trans, diag, t.View(j0, j0, bs, bs), bj)
+	b1 := b.View(0, 0, m, n1)
+	b2 := b.View(0, n1, m, n2)
+	if effLower {
+		trsmRec32R(side, uplo, trans, diag, t22, b2)
+		if trans == NoTrans {
+			Gemm32R(NoTrans, NoTrans, -1, b2, t.View(n1, 0, n2, n1), 1, b1)
+		} else {
+			Gemm32R(NoTrans, Trans, -1, b2, t.View(0, n1, n1, n2), 1, b1)
 		}
-		return
-	}
-	for j0 := ((n - 1) / triBlock) * triBlock; j0 >= 0; j0 -= triBlock {
-		bs := min(triBlock, n-j0)
-		bj := b.View(0, j0, m, bs)
-		if rest := n - j0 - bs; rest > 0 {
-			if trans == NoTrans {
-				Gemm32R(NoTrans, NoTrans, -1, b.View(0, j0+bs, m, rest), t.View(j0+bs, j0, rest, bs), 1, bj)
-			} else {
-				Gemm32R(NoTrans, Trans, -1, b.View(0, j0+bs, m, rest), t.View(j0, j0+bs, bs, rest), 1, bj)
-			}
+		trsmRec32R(side, uplo, trans, diag, t11, b1)
+	} else {
+		trsmRec32R(side, uplo, trans, diag, t11, b1)
+		if trans == NoTrans {
+			Gemm32R(NoTrans, NoTrans, -1, b1, t.View(0, n1, n1, n2), 1, b2)
+		} else {
+			Gemm32R(NoTrans, Trans, -1, b1, t.View(n1, 0, n2, n1), 1, b2)
 		}
-		trsmBasic32R(Right, uplo, trans, diag, t.View(j0, j0, bs, bs), bj)
+		trsmRec32R(side, uplo, trans, diag, t22, b2)
 	}
 }
 
@@ -407,8 +404,10 @@ func trsmBasic32R(side Side, uplo Uplo, trans Transpose, diag Diag, t, b *mat.Ma
 }
 
 // Trmm32R computes B = alpha·op(T)·B (Side == Left) or B = alpha·B·op(T)
-// (Side == Right) in place on float32 storage, blocked like Trmm32 with the
-// coupling through Gemm32R.
+// (Side == Right) in place on float32 storage: same dense-triangle packed
+// path as Trmm32 — identical gate, materialization, and in-place Gemm32R
+// call (see the aliasing contract on gemmPacked32) — so the two siblings
+// stay bit-identical.
 func Trmm32R(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t, b *mat.Matrix32) {
 	n := t.Rows
 	if t.Cols != n {
@@ -419,6 +418,17 @@ func Trmm32R(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t,
 	}
 	if side == Right && b.Cols != n {
 		panic(fmt.Sprintf("blas: Trmm32R Right shape mismatch T=%d B=%dx%d", n, b.Rows, b.Cols))
+	}
+	if n >= trmmPackMin && (side == Left || n <= gemmNC) {
+		tri, tribuf := mat.GetMatrix32(n, n)
+		defer mat.PutBuf32(tribuf)
+		materializeTri32R(tri, t, uplo, trans, diag)
+		if side == Left {
+			Gemm32R(NoTrans, NoTrans, alpha, tri, b, 0, b)
+		} else {
+			Gemm32R(NoTrans, NoTrans, alpha, b, tri, 0, b)
+		}
+		return
 	}
 	if n <= triBlock {
 		trmmBasic32R(side, uplo, trans, diag, float32(alpha), t, b)
@@ -485,6 +495,37 @@ func Trmm32R(side Side, uplo Uplo, trans Transpose, diag Diag, alpha float64, t,
 			} else {
 				Gemm32R(NoTrans, Trans, alpha, b.View(0, j0+bs, m, rest), t.View(j0, j0+bs, bs, rest), 1, bj)
 			}
+		}
+	}
+}
+
+// materializeTri32R writes op(T) densely into dst — the exact mirror of
+// materializeTri32: triangle entries copied, zeros off the triangle, exact
+// ones on a Unit diagonal, only the stored triangle of t read.
+func materializeTri32R(dst, t *mat.Matrix32, uplo Uplo, trans Transpose, diag Diag) {
+	n := t.Rows
+	effLower := (uplo == Lower) != (trans == Trans)
+	for i := 0; i < n; i++ {
+		row := dst.Row(i)
+		lo, hi := 0, i+1
+		if !effLower {
+			lo, hi = i, n
+		}
+		for j := 0; j < lo; j++ {
+			row[j] = 0
+		}
+		for j := hi; j < n; j++ {
+			row[j] = 0
+		}
+		if trans == Trans {
+			for j := lo; j < hi; j++ {
+				row[j] = t.At(j, i)
+			}
+		} else {
+			copy(row[lo:hi], t.Row(i)[lo:hi])
+		}
+		if diag == Unit {
+			row[i] = 1
 		}
 	}
 }

@@ -626,20 +626,20 @@ func (f *fact) submitPanelFactor(st *stepState, withCriterion bool) {
 		RunTraced: func(tr *runtime.TraceTask) {
 			m := &tile.Meter{}
 			if f.res != nil && st.f32 {
-				// Forced-float32 resident panel: factor a float32 stack built
-				// by reading through each tile's current state, scatter the
-				// factors back as dirty images, and keep a widened float64
-				// copy in st.stack — exactly the values the per-task
-				// round/widen path would have produced — so the criterion
-				// quantities, applies and the RHS replay are unchanged.
-				st.stack32 = mat.NewMatrix32(len(st.rows)*nb, nb)
-				f.res.StackRows32Into(st.stack32, st.rows, k, m)
+				// Forced-float32 resident panel: factor a float32 step stack
+				// acquired by reading through each tile's current state, then
+				// commit it — the stack views become the panel tiles' dirty
+				// images — and keep a widened float64 copy in st.stack,
+				// exactly the values the per-task round/widen path would have
+				// produced, so the criterion quantities, applies and the RHS
+				// replay are unchanged.
+				st.stack32 = f.res.AcquireRowStack32(st.rows, k, m)
 				st.piv, st.luErr = lapack.Getrf32R(st.stack32)
 				if st.luErr != nil || f.excursion32(st.stack32) {
-					// Demote the whole step: the images were untouched (the
-					// stack is scratch until UnstackRows32), so normalizing
-					// the tiles to float64 and refactoring restarts from
-					// clean data — bit-identical to the non-resident demote.
+					// Demote the whole step: the images are untouched until
+					// commit, so abandoning the stack, normalizing the tiles
+					// to float64 and refactoring restarts from clean data —
+					// bit-identical to the non-resident demote.
 					st.stack32, st.l11_32 = nil, nil
 					f.ensure64(m, colRefs(st.rows, k)...)
 					st.stack = f.A.StackRows(st.rows, k)
@@ -651,7 +651,7 @@ func (f *fact) submitPanelFactor(st *stepState, withCriterion bool) {
 					st.stack = mat.New(len(st.rows)*nb, nb)
 					st.stack32.WidenInto(st.stack)
 					st.l11_32 = st.stack32.View(0, 0, nb, nb)
-					f.res.UnstackRows32(st.stack32, st.rows, k)
+					f.res.CommitRowStack32(st.stack32, st.rows, k)
 				}
 			} else {
 				// The float64 trial (and the non-resident float32 path)

@@ -44,21 +44,18 @@ func (f *fact) submitLUStep(st *stepState) {
 				m := &tile.Meter{}
 				defer func() { tr.ChargeConv(m.NS) }()
 				if f.res != nil && st.f32 {
-					// Resident apply: stack the tiles' float32 images, swap
-					// and solve in place, scatter back as dirty images. The
-					// scratch holds all new state until UnstackRows32, so a
-					// demotion just normalizes the tiles and falls through to
-					// the float64 apply below.
-					s32, sbuf32 := mat.GetMatrix32(len(st.rows)*nb, nb)
-					f.res.StackRows32Into(s32, st.rows, j, m)
+					// Resident apply: acquire the column's step stack (one
+					// rounding pass per stateF64 tile), swap and solve in
+					// place, then commit — the stack views become the tiles'
+					// dirty images, with no scatter-back copy and no pooled
+					// scratch to leak on panic. The tiles are untouched until
+					// commit, so a demotion just abandons the stack and falls
+					// through to the float64 apply below.
+					s32 := f.res.AcquireRowStack32(st.rows, j, m)
 					lapack.Laswp32R(s32, st.piv, false)
 					blas.Trsm32R(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, st.l11_32, s32.View(0, 0, nb, nb))
-					ok := !f.excursion32(s32)
-					if ok {
-						f.res.UnstackRows32(s32, st.rows, j)
-					}
-					mat.PutBuf32(sbuf32)
-					if ok {
+					if !f.excursion32(s32) {
+						f.res.CommitRowStack32(s32, st.rows, j)
 						return
 					}
 					f.noteDemotion()
@@ -106,16 +103,11 @@ func (f *fact) submitLUStep(st *stepState) {
 				m := &tile.Meter{}
 				defer func() { tr.ChargeConv(m.NS) }()
 				if f.res != nil && st.f32 {
-					s32, sbuf32 := mat.GetMatrix32(len(st.rows)*nb, f.rhs.W)
-					f.res.StackVec32Into(s32, st.rows, m)
+					s32 := f.res.AcquireVecStack32(st.rows, m)
 					lapack.Laswp32R(s32, st.piv, false)
 					blas.Trsm32R(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, st.l11_32, s32.View(0, 0, nb, f.rhs.W))
-					ok := !f.excursion32(s32)
-					if ok {
-						f.res.UnstackVec32(s32, st.rows)
-					}
-					mat.PutBuf32(sbuf32)
-					if ok {
+					if !f.excursion32(s32) {
+						f.res.CommitVecStack32(s32, st.rows)
 						return
 					}
 					f.noteDemotion()

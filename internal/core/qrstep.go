@@ -147,10 +147,10 @@ func (f *fact) submitKill(st *stepState, i, piv int, ts bool) {
 	st.hTKill[i] = hT
 
 	kernel, factFlops, updFlops := "TSQRT", flops.Tsqrt(nb), flops.Tsmqr(nb, nb)
-	updKernel := "TSMQR"
+	updKernel, rhsFlops := "TSMQR", flops.Tsmqr(nb, f.rhs.W)
 	if !ts {
 		kernel, factFlops, updFlops = "TTQRT", flops.Ttqrt(nb), flops.Ttmqr(nb, nb)
-		updKernel = "TTMQR"
+		updKernel, rhsFlops = "TTMQR", flops.Ttmqr(nb, f.rhs.W)
 	}
 
 	f.e.Submit(runtime.TaskSpec{
@@ -227,7 +227,7 @@ func (f *fact) submitKill(st *stepState, i, piv int, ts bool) {
 		Name:     fmt.Sprintf("%s(%d,%d,rhs)", updKernel, i, piv),
 		Kernel:   updKernel,
 		Node:     f.owner(i, k),
-		Flops:    flops.Tsmqr(nb, f.rhs.W),
+		Flops:    rhsFlops,
 		Priority: prioUpdate(k, k+1),
 		Accesses: []runtime.Access{
 			runtime.R(f.h[i][k]), runtime.R(hT),

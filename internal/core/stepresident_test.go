@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"luqr/internal/criteria"
+	"luqr/internal/flops"
+	"luqr/internal/matgen"
+	"luqr/internal/tile"
+	"luqr/internal/tree"
+)
+
+// TestForcedF32ConversionsPerTileBounded is the step-resident stack's
+// accounting regression: on an all-LU forced-float32 run every tile pays at
+// most one rounding pass (its first touch — panel or SWPTRSM acquire) and
+// one widening pass (the final flush), so total conversions are O(tiles),
+// not O(tiles × trailing columns). Before the shared step stack, every
+// SWPTRSM(k,j) re-rounded its column's stateF64 tiles into fresh scratch —
+// uncounted work proportional to the whole trailing submatrix per step.
+func TestForcedF32ConversionsPerTileBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n, nb := 96, 16
+	a := matgen.DiagDominant(n, rng)
+	b := matgen.RandomVector(n, rng)
+	res := runOn(t, a, b, Config{
+		Alg: LUQR, NB: nb, Grid: tile.NewGrid(2, 2),
+		Criterion: criteria.Always{}, Precision: PrecisionF32,
+	})
+	if res.Report.F32Steps != res.Report.NT {
+		t.Fatalf("forced-f32 run took %d f32 steps of %d", res.Report.F32Steps, res.Report.NT)
+	}
+	if res.Report.Demotions != 0 {
+		t.Fatalf("diagdom forced-f32 run demoted %d tasks", res.Report.Demotions)
+	}
+	nt := res.Report.NT
+	tiles := nt*nt + nt // matrix tiles + RHS tiles
+	if res.Report.F32Epochs == 0 || res.Report.F32Epochs > tiles {
+		t.Fatalf("epochs = %d, want in (0, %d]", res.Report.F32Epochs, tiles)
+	}
+	// One rounding in + one widening out per tile, nothing per column.
+	if res.Report.Conversions == 0 || res.Report.Conversions > 2*tiles {
+		t.Fatalf("conversions = %d for %d tiles — stacking is re-converting per column", res.Report.Conversions, tiles)
+	}
+}
+
+// TestKillUpdateRHSFlopsLabel pins the satellite fix in submitKill: the RHS
+// update of a TT kill must be labelled with TTMQR flops (2·nb²·w), not the
+// TSMQR count (4·nb²·w) — the mislabel skewed per-kernel GFLOP/s
+// attribution in traces and the breakdown experiment.
+func TestKillUpdateRHSFlopsLabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n, nb := 96, 16
+	a := matgen.Random(n, rng)
+	b := matgen.RandomVector(n, rng)
+	// All-QR hybrid on a 2-row grid with a flat-TS intra tree: TS kills
+	// inside each domain, TT kills merging the domain roots — both kinds
+	// must appear.
+	res := runOn(t, a, b, Config{
+		Alg: LUQR, NB: nb, Grid: tile.NewGrid(2, 2),
+		IntraTree: tree.FlatTS, InterTree: tree.Fibonacci,
+		Criterion: criteria.Never{}, Trace: true,
+	})
+	w := 1 // single right-hand side
+	var ts, tt int
+	for _, tr := range res.Report.Trace {
+		if !strings.Contains(tr.Name, "rhs") {
+			continue
+		}
+		switch tr.Kernel {
+		case "TSMQR":
+			ts++
+			if tr.Flops != flops.Tsmqr(nb, w) {
+				t.Fatalf("%s flops = %g, want Tsmqr = %g", tr.Name, tr.Flops, flops.Tsmqr(nb, w))
+			}
+		case "TTMQR":
+			tt++
+			if tr.Flops != flops.Ttmqr(nb, w) {
+				t.Fatalf("%s flops = %g, want Ttmqr = %g", tr.Name, tr.Flops, flops.Ttmqr(nb, w))
+			}
+		}
+	}
+	if ts == 0 || tt == 0 {
+		t.Fatalf("trace carried %d TSMQR-rhs and %d TTMQR-rhs kills; need both to pin the labels", ts, tt)
+	}
+}

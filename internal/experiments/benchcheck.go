@@ -98,6 +98,22 @@ func ValidateSolverBench(r io.Reader) (*SolverBenchReport, error) {
 		if e.F32Steps == 0 && e.Demotions > 0 && e.Precision == "auto" {
 			return nil, fmt.Errorf("solver bench: auto entry demoted %d tasks with no accepted f32 step: %+v", e.Demotions, e)
 		}
+		// QR residency: a row that ran f32 QR steps did its UNMQR/TSMQR/
+		// TTMQR updates on resident images through the step stacks, so it
+		// must have opened epochs, and the step-resident stacking bounds the
+		// conversion passes to O(tiles) — at most the rounding into plus the
+		// widening out of each epoch, with headroom for trial-step
+		// re-roundings. A ratio blowout means per-column restacking is back.
+		if e.F32Steps > 0 && e.QRSteps > 0 {
+			if e.F32Epochs == 0 {
+				return nil, fmt.Errorf("solver bench: mixed %s entry took %d f32 QR steps with no resident epochs: %+v",
+					e.Precision, e.QRSteps, e)
+			}
+			if e.Conversions > 4*e.F32Epochs {
+				return nil, fmt.Errorf("solver bench: mixed %s entry converts %d times for %d epochs (> 4x) — QR stacking is re-converting per column: %+v",
+					e.Precision, e.Conversions, e.F32Epochs, e)
+			}
+		}
 	}
 	return &rep, nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"luqr/internal/blas"
 	"luqr/internal/flops"
+	"luqr/internal/lapack"
 	"luqr/internal/mat"
 )
 
@@ -75,6 +76,7 @@ func WriteKernelBench(nbs []int, reps int, out io.Writer) error {
 			})
 		}
 		rep.Current = append(rep.Current, measureGemm32(nb, reps))
+		rep.Current = append(rep.Current, measureQRUpdates32(nb, reps)...)
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -119,4 +121,75 @@ func measureGemm32(nb, reps int) KernelBenchEntry {
 		gf = flops.Gemm(nb, nb, nb) / ns
 	}
 	return KernelBenchEntry{Kernel: "GEMM.f32", NB: nb, NsPerOp: ns, GFlops: gf}
+}
+
+// measureQRUpdates32 times the float32 QR update kernels — UNMQR, TSMQR,
+// TTMQR in their converting f32 forms — at one tile order, reported under
+// ".f32"-suffixed kernel names with the Table I flop models. Against the f64
+// base rows from Table1 these give `-diff-kernels` its f32/f64 ratios for
+// the QR side of the mixed path, the rates the packed Trmm32/Trsm32 routing
+// is meant to lift.
+func measureQRUpdates32(nb, reps int) []KernelBenchEntry {
+	rng := rand.New(rand.NewSource(101))
+	randTile := func() *mat.Matrix {
+		m := mat.New(nb, nb)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		return m
+	}
+	upperTile := func() *mat.Matrix {
+		m := randTile()
+		for i := 0; i < nb; i++ {
+			for j := 0; j < i; j++ {
+				m.Set(i, j, 0)
+			}
+			m.Set(i, i, m.At(i, i)+float64(nb)) // keep solves well posed
+		}
+		return m
+	}
+	timeOne := func(kernel string, model float64, setup func() func()) KernelBenchEntry {
+		op := setup()
+		op() // warm pools and dispatch before timing
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			const minWall = 10 * time.Millisecond
+			iters := 0
+			t0 := time.Now()
+			for time.Since(t0) < minWall {
+				op()
+				iters++
+			}
+			d := time.Since(t0).Seconds() / float64(iters)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		ns := best * 1e9
+		gf := 0.0
+		if ns > 0 {
+			gf = model / ns
+		}
+		return KernelBenchEntry{Kernel: kernel, NB: nb, NsPerOp: ns, GFlops: gf}
+	}
+	return []KernelBenchEntry{
+		timeOne("UNMQR.f32", flops.Unmqr(nb, nb), func() func() {
+			a, t := randTile(), mat.New(nb, nb)
+			lapack.Geqrt(a, t)
+			c := randTile()
+			return func() { lapack.Unmqr32(blas.Trans, a, t, c) }
+		}),
+		timeOne("TSMQR.f32", flops.Tsmqr(nb, nb), func() func() {
+			r, a, t := upperTile(), randTile(), mat.New(nb, nb)
+			lapack.Tsqrt(r, a, t)
+			c1, c2 := randTile(), randTile()
+			return func() { lapack.Tsmqr32(blas.Trans, a, t, c1, c2) }
+		}),
+		timeOne("TTMQR.f32", flops.Ttmqr(nb, nb), func() func() {
+			r1, r2, t := upperTile(), upperTile(), mat.New(nb, nb)
+			lapack.Ttqrt(r1, r2, t)
+			c1, c2 := randTile(), randTile()
+			return func() { lapack.Ttmqr32(blas.Trans, r2, t, c1, c2) }
+		}),
+	}
 }

@@ -67,7 +67,12 @@ type MixedBenchEntry struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	GFlops      float64 `json:"gflops"`
 	F32Steps    int     `json:"f32_steps"`
-	Demotions   int     `json:"demotions"`
+	// QRSteps counts elimination steps taken as QR. On the QR-heavy random
+	// operator it is most of the steps, so the forced-f32 row's wall delta
+	// against f64 is dominated by the f32 QR update kernels — the quantity
+	// the packed Trmm32/Trsm32 routing and step-resident stacks target.
+	QRSteps   int `json:"qr_steps,omitempty"`
+	Demotions int `json:"demotions"`
 	// F32Epochs counts tile promotions into float32 residency and Conversions
 	// the epoch-boundary conversion passes they cost (ConvMS their wall time);
 	// zero for the f64 row, where the residency store is never built.
@@ -367,8 +372,8 @@ func WriteSolverBench(o SolverBenchOptions, out, table io.Writer) error {
 	// the §V-A acceptance band — the "mixed run refines to tolerance" smoke
 	// assertion — and rejects f32-stepping rows with unwired epoch counters.
 	fmt.Fprintf(table, "\n# Mixed precision (measured) — N=%d nb=%d, MAX(α=100), 1 worker, best of %d\n", o.N, o.NB, o.Reps)
-	fmt.Fprintf(table, "%-8s  %-10s  %-10s  %-8s  %-10s  %-10s  %-7s  %-6s  %-9s  %-7s  %s\n",
-		"matrix", "precision", "wall(s)", "GF/s", "f32 steps", "demotions", "epochs", "conv", "conv(ms)", "refine", "hpl3")
+	fmt.Fprintf(table, "%-8s  %-10s  %-10s  %-8s  %-10s  %-9s  %-10s  %-7s  %-6s  %-9s  %-7s  %s\n",
+		"matrix", "precision", "wall(s)", "GF/s", "f32 steps", "qr steps", "demotions", "epochs", "conv", "conv(ms)", "refine", "hpl3")
 	diagRng := rand.New(rand.NewSource(1))
 	for _, op := range []struct {
 		name string
@@ -396,7 +401,7 @@ func WriteSolverBench(o SolverBenchOptions, out, table io.Writer) error {
 			e := MixedBenchEntry{
 				Matrix:    op.name,
 				Precision: prec.String(), WallSeconds: wall, GFlops: flops.GFlops(total, wall),
-				F32Steps: best.F32Steps, Demotions: best.Demotions,
+				F32Steps: best.F32Steps, QRSteps: best.QRSteps, Demotions: best.Demotions,
 				F32Epochs: best.F32Epochs, Conversions: best.Conversions,
 				ConvMS:      float64(best.ConvTime.Microseconds()) / 1000,
 				RefineIters: best.RefineIters, HPL3: best.HPL3,
@@ -408,8 +413,8 @@ func WriteSolverBench(o SolverBenchOptions, out, table io.Writer) error {
 				e.HPL3 = -1
 			}
 			rep.Mixed = append(rep.Mixed, e)
-			fmt.Fprintf(table, "%-8s  %-10s  %-10.4f  %-8.3f  %-10d  %-10d  %-7d  %-6d  %-9.1f  %-7d  %.3g\n",
-				e.Matrix, e.Precision, e.WallSeconds, e.GFlops, e.F32Steps, e.Demotions,
+			fmt.Fprintf(table, "%-8s  %-10s  %-10.4f  %-8.3f  %-10d  %-9d  %-10d  %-7d  %-6d  %-9.1f  %-7d  %.3g\n",
+				e.Matrix, e.Precision, e.WallSeconds, e.GFlops, e.F32Steps, e.QRSteps, e.Demotions,
 				e.F32Epochs, e.Conversions, e.ConvMS, e.RefineIters, e.HPL3)
 		}
 	}

@@ -321,14 +321,19 @@ func Unmqr32(trans blas.Transpose, v, t, c *mat.Matrix) {
 	} else {
 		blas.Trmm32(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, tview, w)
 	}
-	w2, w2buf := mat.GetMatrix(n, k)
-	defer mat.PutBuf(w2buf)
-	w2.CopyFrom(w)
-	blas.Trmm32(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, v1, w2)
-	subRows32(c1, w2)
 	if m > n {
+		w2, w2buf := mat.GetMatrix(n, k)
+		defer mat.PutBuf(w2buf)
+		w2.CopyFrom(w)
+		blas.Trmm32(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, v1, w2)
+		subRows32(c1, w2)
 		blas.Gemm32(blas.NoTrans, blas.NoTrans, -1, v.View(n, 0, m-n, n), w, 1, c.View(n, 0, m-n, k))
+		return
 	}
+	// m == n: the trailing GEMM is gone and W is dead after the
+	// subtraction, so V1·W runs in place without the scratch copy.
+	blas.Trmm32(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, v1, w)
+	subRows32(c1, w)
 }
 
 // Tsqrt32 is Tsqrt at float32; same V = [I; V2] contract, R's strictly

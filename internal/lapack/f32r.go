@@ -326,14 +326,19 @@ func Unmqr32R(trans blas.Transpose, v, t, c *mat.Matrix32) {
 	} else {
 		blas.Trmm32R(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, 1, tview, w)
 	}
-	w2, w2buf := mat.GetMatrix32(n, k)
-	defer mat.PutBuf32(w2buf)
-	w2.CopyFrom(w)
-	blas.Trmm32R(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, v1, w2)
-	subRows32R(c1, w2)
 	if m > n {
+		w2, w2buf := mat.GetMatrix32(n, k)
+		defer mat.PutBuf32(w2buf)
+		w2.CopyFrom(w)
+		blas.Trmm32R(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, v1, w2)
+		subRows32R(c1, w2)
 		blas.Gemm32R(blas.NoTrans, blas.NoTrans, -1, v.View(n, 0, m-n, n), w, 1, c.View(n, 0, m-n, k))
+		return
 	}
+	// m == n: the trailing GEMM is gone and W is dead after the
+	// subtraction, so V1·W runs in place without the scratch copy.
+	blas.Trmm32R(blas.Left, blas.Lower, blas.NoTrans, blas.Unit, 1, v1, w)
+	subRows32R(c1, w)
 }
 
 // Tsqrt32R is Tsqrt32 on float32 storage.

@@ -33,8 +33,11 @@ import (
 //
 // Counter taxonomy: Epochs counts tile promotions (f64 → resident);
 // To32/To64 count the rounding and widening passes (dropping a clean image
-// is free and uncounted, and a full-overwrite promotion via UnstackRows32
-// counts an epoch but no rounding pass, since no conversion ran).
+// is free and uncounted). The step-resident stack path splits the two
+// moments: AcquireRowStack32 counts the rounding pass when it rounds a
+// stateF64 tile into the stack, CommitRowStack32 counts the epoch when the
+// stack view becomes the tile's image — so an abandoned stack leaves a
+// counted rounding pass but no epoch.
 type Residency struct {
 	a   *Matrix
 	rhs *Vector // may be nil
@@ -57,7 +60,7 @@ const (
 type entry struct {
 	mu    sync.Mutex
 	state int8
-	img   *mat.Matrix32 // allocation retained across epochs once created
+	img   *mat.Matrix32 // retained across epochs; may view a committed step stack
 }
 
 // Meter accumulates conversion nanoseconds on behalf of one task, so the
@@ -260,87 +263,100 @@ func (r *Residency) CopyTileInto(dst *mat.Matrix, i, j int) {
 	dst.CopyFrom(r.a.Tile(i, j))
 }
 
-// StackRows32Into fills the stacked panel s from column j's tiles at rows,
-// reading through each tile's current state (copying a live image, rounding
-// a fresh f64 tile) without changing any state. Scratch rounding is not a
-// tile conversion and is uncounted.
-func (r *Residency) StackRows32Into(s *mat.Matrix32, rows []int, j int, m *Meter) {
+// Step-resident stacks. A SWPTRSM or panel-factor task works on a stacked
+// row panel — column j's tiles at rows, laid out contiguously. Acquire
+// builds the stack reading through each tile's state; Commit rebinds the
+// tiles' images to views of the stack, so the stack IS the resident storage
+// from then on: no scatter-back copy, and a stateF64 tile pays exactly one
+// rounding pass per (tile, step) — at acquire — no matter how many stack
+// views later kernels touch.
+
+// AcquireRowStack32 returns the stacked float32 panel of column j's tiles
+// at rows: a live image is copied, a stateF64 tile is rounded directly into
+// its stack slot. Only the rounding branches are timed and charged to the
+// conversion meter — copies of already-resident images are plain data
+// movement, not conversion. No tile state changes until CommitRowStack32,
+// so a caller that abandons the stack (excursion demotion, singular factor)
+// leaves every tile exactly as it found it; the rounding work it did is
+// still counted, honestly, as conversion that ran.
+//
+// The stack is allocated fresh, never pooled: after Commit the tiles'
+// images alias its views, and the residency entries own its lifetime from
+// then on.
+func (r *Residency) AcquireRowStack32(rows []int, j int, m *Meter) *mat.Matrix32 {
 	nb := r.a.NB
-	start := time.Now()
-	rounded := false
+	s := mat.NewMatrix32(len(rows)*nb, nb)
 	for ri, i := range rows {
 		e := &r.am[i][j]
 		dst := s.View(ri*nb, 0, nb, nb)
 		e.mu.Lock()
 		if e.state == stateF64 {
+			start := time.Now()
 			dst.RoundFrom(r.a.Tile(i, j))
-			rounded = true
+			ns := time.Since(start).Nanoseconds()
+			r.to32.Add(1)
+			r.convNS.Add(ns)
+			m.add(ns)
 		} else {
 			dst.CopyFrom(e.img)
 		}
 		e.mu.Unlock()
 	}
-	if rounded {
-		ns := time.Since(start).Nanoseconds()
-		r.convNS.Add(ns)
-		m.add(ns)
-	}
+	return s
 }
 
-// UnstackRows32 scatters a factored stacked panel back into column j's
-// tiles as dirty images. Each tile's image is fully overwritten, so a tile
-// entering residency here counts an epoch but no rounding pass.
-func (r *Residency) UnstackRows32(s *mat.Matrix32, rows []int, j int) {
+// CommitRowStack32 installs an acquired (and now factored or updated) stack
+// as column j's resident images: each tile's image is rebound to its stack
+// view and marked dirty. A tile entering residency here counts an epoch;
+// its rounding pass was already counted at acquire time, and a tile that
+// was already resident continues its epoch with no conversion at all.
+func (r *Residency) CommitRowStack32(s *mat.Matrix32, rows []int, j int) {
 	nb := r.a.NB
 	for ri, i := range rows {
 		e := &r.am[i][j]
 		e.mu.Lock()
 		if e.state == stateF64 {
-			r.promote(e, r.a.Tile(i, j), nb, nb, false, nil)
+			r.epochs.Add(1)
 		}
-		e.img.CopyFrom(s.View(ri*nb, 0, nb, nb))
+		e.img = s.View(ri*nb, 0, nb, nb)
 		e.state = stateDirty
 		e.mu.Unlock()
 	}
 }
 
-// StackVec32Into fills the stacked panel s from the right-hand-side tiles
-// at rows, reading through each tile's current state — the Vector analogue
-// of StackRows32Into.
-func (r *Residency) StackVec32Into(s *mat.Matrix32, rows []int, m *Meter) {
+// AcquireVecStack32 is the right-hand-side analogue of AcquireRowStack32.
+func (r *Residency) AcquireVecStack32(rows []int, m *Meter) *mat.Matrix32 {
 	nb, w := r.rhs.NB, r.rhs.W
-	start := time.Now()
-	rounded := false
+	s := mat.NewMatrix32(len(rows)*nb, w)
 	for ri, i := range rows {
 		e := &r.vm[i]
 		dst := s.View(ri*nb, 0, nb, w)
 		e.mu.Lock()
 		if e.state == stateF64 {
+			start := time.Now()
 			dst.RoundFrom(r.rhs.Tile(i))
-			rounded = true
+			ns := time.Since(start).Nanoseconds()
+			r.to32.Add(1)
+			r.convNS.Add(ns)
+			m.add(ns)
 		} else {
 			dst.CopyFrom(e.img)
 		}
 		e.mu.Unlock()
 	}
-	if rounded {
-		ns := time.Since(start).Nanoseconds()
-		r.convNS.Add(ns)
-		m.add(ns)
-	}
+	return s
 }
 
-// UnstackVec32 scatters a stacked panel back into the right-hand-side tiles
-// as dirty images — the Vector analogue of UnstackRows32.
-func (r *Residency) UnstackVec32(s *mat.Matrix32, rows []int) {
+// CommitVecStack32 is the right-hand-side analogue of CommitRowStack32.
+func (r *Residency) CommitVecStack32(s *mat.Matrix32, rows []int) {
 	nb, w := r.rhs.NB, r.rhs.W
 	for ri, i := range rows {
 		e := &r.vm[i]
 		e.mu.Lock()
 		if e.state == stateF64 {
-			r.promote(e, r.rhs.Tile(i), nb, w, false, nil)
+			r.epochs.Add(1)
 		}
-		e.img.CopyFrom(s.View(ri*nb, 0, nb, w))
+		e.img = s.View(ri*nb, 0, nb, w)
 		e.state = stateDirty
 		e.mu.Unlock()
 	}
